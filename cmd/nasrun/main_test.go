@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFTandEP(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernels", "ft,ep", "-class", "S", "-nodes", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "FT   PASS") || !strings.Contains(s, "EP   PASS") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernels", "xx"}, &out); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestRunBadClass(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-class", "C"}, &out); err == nil {
+		t.Error("unwired class should fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command tempd is the stand-alone temperature sampling daemon: it reads
+// every discovered sensor at the configured rate for the configured
+// duration and writes the samples as a TPST trace — the component the
+// paper launches before a profiled application's main (§3.2).
+//
+// Usage:
+//
+//	tempd -duration 10s -rate 4 -o temps.tpst
+//	tempd -hwmon /sys/class/hwmon -duration 1m -o - | tempest-parse -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"tempest/internal/sensors"
+	"tempest/internal/tempd"
+	"tempest/internal/thermal"
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tempd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tempd", flag.ContinueOnError)
+	hwmon := fs.String("hwmon", "", "hwmon sysfs root (default /sys/class/hwmon)")
+	rate := fs.Float64("rate", 4, "samples per second")
+	duration := fs.Duration("duration", 10*time.Second, "sampling duration (0 = until SIGINT)")
+	out := fs.String("o", "tempd.tpst", "output trace file (- for stdout)")
+	simulate := fs.Bool("simulate", true, "fall back to simulated sensors when no hwmon chips exist")
+	burn := fs.Bool("burn", false, "with simulated sensors: drive core 0 at full utilisation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := sensors.NewRegistry(sensors.NewHwmonProvider(*hwmon))
+	err := reg.Discover()
+	var cpu *thermal.CPU
+	var mu sync.Mutex
+	if err == sensors.ErrNoSensors && *simulate {
+		cpu, err = thermal.NewCPU(thermal.DefaultOpteronParams())
+		if err != nil {
+			return err
+		}
+		reg = sensors.NewRegistry(sensors.NewSimProvider(cpu, &mu, "sim"))
+		err = reg.Discover()
+		fmt.Fprintln(os.Stderr, "tempd: no hwmon sensors; using simulated sensor set")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tempd: %d sensors, %.1f Hz\n", reg.Len(), *rate)
+
+	tracer, err := trace.NewTracer(trace.Config{Clock: vclock.NewRealClock()})
+	if err != nil {
+		return err
+	}
+	d, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: *rate})
+	if err != nil {
+		return err
+	}
+	if cpu != nil && *burn {
+		mu.Lock()
+		_ = cpu.SetCoreUtilization(0, 1)
+		mu.Unlock()
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+
+	// Advance the simulated model in real time, if present.
+	stopSim := make(chan struct{})
+	var simWG sync.WaitGroup
+	if cpu != nil {
+		simWG.Add(1)
+		go func() {
+			defer simWG.Done()
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			last := time.Now()
+			for {
+				select {
+				case <-stopSim:
+					return
+				case now := <-tick.C:
+					mu.Lock()
+					_ = cpu.Step(now.Sub(last))
+					mu.Unlock()
+					last = now
+				}
+			}
+		}()
+	}
+
+	// Run until the duration elapses or SIGINT arrives (the paper's
+	// destructor sends tempd a termination signal).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	if err := d.Stop(); err != nil {
+		return err
+	}
+	close(stopSim)
+	simWG.Wait()
+	fmt.Fprintf(os.Stderr, "tempd: %d samples, busy fraction %.4f\n", d.Samples(), d.BusyFraction())
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tracer.Finish().Write(w)
+}

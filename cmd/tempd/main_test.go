@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tempest/internal/trace"
+)
+
+func fakeHwmon(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("39000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestTempdWritesTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.tpst")
+	err := run([]string{
+		"-hwmon", fakeHwmon(t),
+		"-duration", "300ms",
+		"-rate", "20",
+		"-o", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindSample {
+			samples++
+			if e.ValueC != 39 {
+				t.Errorf("sample value %v, want 39", e.ValueC)
+			}
+		}
+	}
+	if samples < 2 {
+		t.Errorf("samples = %d, want ≥2 over 300 ms at 20 Hz", samples)
+	}
+}
+
+func TestTempdSimulatedFallback(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sim.tpst")
+	err := run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "missing"),
+		"-duration", "250ms",
+		"-rate", "20",
+		"-burn",
+		"-o", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six simulated sensors announce themselves.
+	markers := 0
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindMarker {
+			markers++
+		}
+	}
+	if markers != 6 {
+		t.Errorf("sensor announcements = %d, want 6", markers)
+	}
+}
+
+func TestTempdNoSensorsNoFallback(t *testing.T) {
+	err := run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "missing"),
+		"-simulate=false",
+		"-duration", "50ms",
+		"-o", filepath.Join(t.TempDir(), "x.tpst"),
+	})
+	if err == nil {
+		t.Error("no sensors without fallback should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLiveRunSimulated(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "none"),
+		"-rate", "50",
+		"-burn", "150ms",
+		"-idle", "100ms",
+		"-cycles", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"burn_phase", "idle_phase", "Min"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLiveRunFormats(t *testing.T) {
+	for _, format := range []string{"csv", "json", "plot"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-hwmon", filepath.Join(t.TempDir(), "none"),
+			"-rate", "50",
+			"-burn", "60ms",
+			"-idle", "30ms",
+			"-format", format,
+			"-unit", "C",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s empty", format)
+		}
+	}
+}
+
+func TestLiveRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "0"}, &out); err == nil {
+		t.Error("zero cycles should fail")
+	}
+	if err := run([]string{"-format", "pdf", "-burn", "10ms", "-idle", "0", "-rate", "50", "-hwmon", filepath.Join(t.TempDir(), "x")}, &out); err == nil {
+		t.Error("bad format should fail")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tempest-parse is the offline trace parser: it reads one or more
+// TPST trace files (one per node), merges each node's function timeline
+// with its temperature samples and prints the per-function statistical
+// profile — the post-processing step of the paper's Figure 1.
+//
+// Usage:
+//
+//	tempest-parse node0.tpst node1.tpst
+//	tempest-parse -format plot -sensor 0 node0.tpst
+//	tempd -o - | tempest-parse -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tempest/internal/parser"
+	"tempest/internal/report"
+	"tempest/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tempest-parse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tempest-parse", flag.ContinueOnError)
+	unit := fs.String("unit", "F", "temperature unit: F|C")
+	format := fs.String("format", "report", "output: report|csv|json|plot|gnuplot")
+	sensor := fs.Int("sensor", 0, "sensor index for plot output")
+	top := fs.Int("top", 0, "limit report to the N longest functions (0 = all)")
+	labels := fs.Bool("labels", true, "print sensor labels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no trace files given (use - for stdin)")
+	}
+
+	u := parser.Fahrenheit
+	switch strings.ToUpper(*unit) {
+	case "F":
+	case "C":
+		u = parser.Celsius
+	default:
+		return fmt.Errorf("unknown unit %q", *unit)
+	}
+
+	var traces []*trace.Trace
+	for _, path := range files {
+		var tr *trace.Trace
+		var err error
+		if path == "-" {
+			tr, err = trace.ReadTrace(os.Stdin)
+		} else {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				return ferr
+			}
+			tr, err = trace.ReadTrace(f)
+			f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		traces = append(traces, tr)
+	}
+
+	p, err := parser.ParseAll(traces, parser.Options{Unit: u})
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "report":
+		return report.WriteProfile(out, p, report.Options{
+			OnlySignificant: true, Labels: *labels, TopN: *top,
+		})
+	case "csv":
+		return report.WriteSeriesCSV(out, p)
+	case "json":
+		return report.WriteJSON(out, p)
+	case "plot":
+		return report.PlotCluster(out, p, report.PlotOptions{Sensor: *sensor, FunctionBand: true})
+	case "gnuplot":
+		return report.WriteGnuplot(out, p, *sensor)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

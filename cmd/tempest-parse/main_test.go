@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+// writeSampleTrace creates a small TPST file on disk.
+func writeSampleTrace(t *testing.T, nodeID uint32) string {
+	t.Helper()
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk, NodeID: nodeID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkerAt("sensor:0:CPU 0 Core", 0)
+	lane := tr.NewLane()
+	fid := tr.RegisterFunc("hot")
+	lane.EnterAt(fid, 0)
+	for i := 0; i <= 40; i++ {
+		tr.SampleAt(0, 35+float64(i)*0.2, time.Duration(i)*250*time.Millisecond)
+	}
+	_ = lane.ExitAt(fid, 10*time.Second)
+	path := filepath.Join(t.TempDir(), "trace.tpst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Finish().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseReport(t *testing.T) {
+	path := writeSampleTrace(t, 3)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Function: hot") || !strings.Contains(s, "node 3") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "CPU 0 Core") {
+		t.Error("labels missing")
+	}
+}
+
+func TestParseFormats(t *testing.T) {
+	path := writeSampleTrace(t, 0)
+	for _, format := range []string{"csv", "json", "plot"} {
+		var out bytes.Buffer
+		if err := run([]string{"-format", format, path}, &out); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", format)
+		}
+	}
+}
+
+func TestParseMultipleNodes(t *testing.T) {
+	p1 := writeSampleTrace(t, 0)
+	p2 := writeSampleTrace(t, 1)
+	var out bytes.Buffer
+	if err := run([]string{p1, p2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "node 0") || !strings.Contains(out.String(), "node 1") {
+		t.Error("multi-node output incomplete")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no files should fail")
+	}
+	if err := run([]string{"-unit", "K", "x"}, &out); err == nil {
+		t.Error("bad unit should fail")
+	}
+	if err := run([]string{"/nonexistent/trace.tpst"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(garbage, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}, &out); err == nil {
+		t.Error("garbage file should fail")
+	}
+	path := writeSampleTrace(t, 0)
+	if err := run([]string{"-format", "pdf", path}, &out); err == nil {
+		t.Error("bad format should fail")
+	}
+}

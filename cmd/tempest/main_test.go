@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMicroDReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bench", "micro-d", "-nodes", "1", "-format", "report"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Function: foo1", "not significant", "Min"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunAllFormats(t *testing.T) {
+	for _, format := range []string{"report", "csv", "json", "plot", "gnuplot"} {
+		var out bytes.Buffer
+		err := run([]string{"-bench", "micro-c", "-nodes", "1", "-format", format}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", format)
+		}
+	}
+}
+
+func TestRunNASKernels(t *testing.T) {
+	for _, bench := range []string{"ft", "ep", "is"} {
+		var out bytes.Buffer
+		err := run([]string{"-bench", bench, "-class", "S", "-nodes", "4", "-format", "csv"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if !strings.HasPrefix(out.String(), "time_s,") {
+			t.Errorf("%s: csv header missing", bench)
+		}
+	}
+}
+
+func TestRunCelsius(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "micro-a", "-nodes", "1", "-unit", "C", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "°C") {
+		t.Error("unit not propagated")
+	}
+}
+
+func TestRunTraceDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	var out bytes.Buffer
+	err := run([]string{"-bench", "micro-a", "-nodes", "2", "-trace-dir", dir, "-format", "csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"node0.tpst", "node1.tpst"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("trace file %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "nope"},
+		{"-bench", "micro-z"},
+		{"-bench", "ft", "-class", "Q"},
+		{"-unit", "K"},
+		{"-format", "pdf", "-bench", "micro-a", "-nodes", "1"},
+		{"-nodes", "-1"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestWorkloadResolution(t *testing.T) {
+	for _, name := range []string{"ft", "bt", "sp", "lu", "ep", "cg", "mg", "is"} {
+		body, cost, err := workload(name, "S")
+		if err != nil || body == nil || cost == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"micro-a", "micro-e"} {
+		body, cost, err := workload(name, "S")
+		if err != nil || body == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if cost != nil {
+			t.Errorf("%s should not set a NAS cost model", name)
+		}
+	}
+}
+
+func TestRunThrottleComparison(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bench", "micro-b", "-nodes", "1", "-throttle", "foo1:0.6:1.4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Thermal optimisation effect", "foo1", "makespan"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunThrottleBadSpec(t *testing.T) {
+	for _, spec := range []string{"foo1", "foo1:x:1.4", "foo1:0.6:y"} {
+		var out bytes.Buffer
+		if err := run([]string{"-bench", "micro-b", "-nodes", "1", "-throttle", spec}, &out); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		}
+	}
+}

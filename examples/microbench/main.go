@@ -1,0 +1,44 @@
+// Microbench reproduces the paper's Figure 2: micro-benchmark D (Table 1)
+// on one node — foo1 runs a 60 s CPU burn, then foo2 waits on a timer
+// while the CPU cools. Part (a) is the standard-output statistics table;
+// part (b) the temperature profile.
+//
+//	go run ./examples/microbench
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tempest/internal/micro"
+	"tempest/internal/parser"
+	"tempest/internal/report"
+)
+
+func main() {
+	bench := micro.D(micro.Durations{}) // paper-scale: 60 s burn, 10 s timer
+	res, err := micro.RunOnNode(bench, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := parser.ParseAll(res.Traces, parser.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Figure 2(a): Tempest standard output ===")
+	if err := report.WriteProfile(os.Stdout, profile, report.Options{
+		OnlySignificant: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Figure 2(b): temperature profile ===")
+	if err := report.PlotCluster(os.Stdout, profile, report.PlotOptions{
+		Sensor:       0,
+		FunctionBand: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: profile a tiny two-phase workload on a simulated 2-node
+// cluster and print the paper-format thermal report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tempest"
+)
+
+func main() {
+	s, err := tempest.NewSession(tempest.Config{
+		Nodes: 2,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile, err := s.Run(func(rc *tempest.Rank) error {
+		// Phase 1: a memory-bound warm-up.
+		if err := rc.Instrument("load_data", tempest.UtilMemory, 8*time.Second, nil); err != nil {
+			return err
+		}
+		// Everyone waits for the slowest loader.
+		if err := rc.Barrier(); err != nil {
+			return err
+		}
+		// Phase 2: the hot kernel.
+		return rc.Instrument("solve", tempest.UtilBurn, 30*time.Second, func() {
+			// Real computation can run here; its simulated cost is the
+			// declared 30 s.
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run completed in %v of virtual time\n\n", profile.Duration)
+	if err := profile.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Where should optimisation start? (the paper's question 2)
+	hot, err := profile.HotFunctions(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhottest functions (by thermal contribution):")
+	for i, f := range hot {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %d. node %d %-12s avg %.1f °F over %.1fs (score %.0f)\n",
+			i+1, f.Node, f.Name, f.AvgTemp, f.TotalTimeS, f.Score)
+	}
+}

@@ -1,0 +1,63 @@
+// Steering demonstrates the paper's last future-work item: using thermal
+// data at runtime to make management decisions. A rank maintains an
+// online estimate of its die temperature and duty-cycles a hot kernel
+// under a cap; afterwards the (ground-truth) profile quantifies what the
+// cap bought and what it cost.
+//
+//	go run ./examples/steering
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempest"
+)
+
+const capC = 45.0 // °C runtime cap ≈ 113 °F
+
+func run(capped bool) *tempest.Profile {
+	s, err := tempest.NewSession(tempest.Config{Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := s.Run(func(rc *tempest.Rank) error {
+		rc.Enter("hot_kernel")
+		defer func() {
+			if err := rc.Exit(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		if capped {
+			elapsed, err := rc.ComputeCapped(tempest.UtilBurn, 90*time.Second, time.Second, capC)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  capped run: 90s of work took %v (estimate-governed)\n", elapsed.Round(time.Second))
+			return nil
+		}
+		return rc.Compute(tempest.UtilBurn, 90*time.Second, nil)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	fmt.Println("uncapped run:")
+	before := run(false)
+	fmt.Printf("\ncapped run (runtime estimate ≤ %.0f °C):\n", capC)
+	after := run(true)
+
+	cmp, err := before.Compare(after, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nruntime thermal steering, measured by the profiler:\n")
+	fmt.Printf("  peak CPU temperature: %.1f °F → %.1f °F (drop %.1f °F)\n",
+		cmp.PeakBefore, cmp.PeakAfter, cmp.PeakDrop())
+	fmt.Printf("  makespan: %.0fs → %.0fs (%+.1f%%)\n",
+		cmp.MakespanBeforeS, cmp.MakespanAfterS, cmp.SlowdownPct())
+}

@@ -1,0 +1,3 @@
+module tempest
+
+go 1.22

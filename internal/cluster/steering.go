@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tempest/internal/thermal"
+)
+
+// steering.go implements the paper's final future-work item: "the use of
+// Tempest data at runtime to make thermal management decisions" (§5).
+//
+// The cluster's ground-truth thermal state is computed in a post-pass, so
+// a workload cannot read its own sensors mid-run. What a real runtime
+// *can* do — and what this file provides — is maintain an online
+// first-order estimate of its die temperature from its own utilisation
+// history (exactly the event-driven model of Bellosa et al. [1,11], which
+// the related-work section contrasts with Tempest) and steer on that:
+// back off when the estimate crosses a cap, resume when it cools.
+
+// thermalEstimator is a single-pole RC observer of one socket's die
+// temperature, calibrated from the node's thermal parameters.
+type thermalEstimator struct {
+	idleC float64 // estimated warm-idle die temperature
+	gainC float64 // ΔT at full utilisation of this rank's core
+	tauS  float64 // dominant time constant
+	tempC float64
+	init  bool
+}
+
+func newThermalEstimator(p thermal.Params) *thermalEstimator {
+	rtot := p.DieToSinkKPerW + p.SinkToAmbKPerW
+	idlePower := p.UncoreWPerSocket + float64(p.CoresPerSocket)*p.IdleWPerCore
+	// +1.5 °C approximates the motherboard back-coupling the full RC
+	// network exhibits at idle.
+	idle := p.AmbientC + idlePower*rtot + 1.5
+	return &thermalEstimator{
+		idleC: idle,
+		gainC: (p.MaxWPerCore - p.IdleWPerCore) * rtot,
+		tauS:  (p.DieCapJPerK + p.SinkCapJPerK) * (p.DieToSinkKPerW + p.SinkToAmbKPerW),
+	}
+}
+
+// advance folds one activity segment into the estimate.
+func (e *thermalEstimator) advance(util float64, d time.Duration) {
+	if !e.init {
+		e.tempC = e.idleC
+		e.init = true
+	}
+	target := e.idleC + util*e.gainC
+	alpha := 1 - math.Exp(-d.Seconds()/e.tauS)
+	e.tempC += alpha * (target - e.tempC)
+}
+
+// value returns the current estimate in °C.
+func (e *thermalEstimator) value() float64 {
+	if !e.init {
+		e.tempC = e.idleC
+		e.init = true
+	}
+	return e.tempC
+}
+
+// EstimateDieC returns the rank's online die-temperature estimate in °C —
+// the runtime signal a thermal-aware workload steers on. It is a model
+// of the rank's own socket only; ground truth (other cores, ambient
+// noise, board coupling) is what the profile later reports.
+func (rc *Rank) EstimateDieC() float64 {
+	if rc.est == nil {
+		return 0
+	}
+	return rc.est.value()
+}
+
+// ComputeCapped runs `total` of work at `util`, chunked at `chunk`, but
+// backs off to idle whenever the online estimate exceeds capC, resuming
+// below capC−2 °C — a runtime duty-cycle governor. It records the work
+// chunks as the currently open function and the cooling pauses as
+// "thermal_backoff". It returns the wall (logical) time consumed, which
+// exceeds `total` whenever the cap engaged (the performance cost of the
+// thermal decision, the paper's question 4 measured at runtime).
+func (rc *Rank) ComputeCapped(util float64, total, chunk time.Duration, capC float64) (time.Duration, error) {
+	if rc.est == nil {
+		return 0, fmt.Errorf("cluster: rank has no thermal estimator")
+	}
+	if chunk <= 0 || total < 0 {
+		return 0, fmt.Errorf("cluster: invalid chunking %v/%v", chunk, total)
+	}
+	start := rc.now
+	remaining := total
+	for remaining > 0 {
+		if rc.EstimateDieC() > capC {
+			rc.Enter("thermal_backoff")
+			for rc.EstimateDieC() > capC-2 {
+				if err := rc.Compute(UtilIdle, chunk, nil); err != nil {
+					_ = rc.Exit()
+					return 0, err
+				}
+			}
+			if err := rc.Exit(); err != nil {
+				return 0, err
+			}
+		}
+		step := chunk
+		if remaining < step {
+			step = remaining
+		}
+		if err := rc.Compute(util, step, nil); err != nil {
+			return 0, err
+		}
+		remaining -= step
+	}
+	return rc.now - start, nil
+}

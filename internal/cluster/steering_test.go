@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tempest/internal/thermal"
+	"tempest/internal/trace"
+)
+
+func steeringConfig() Config {
+	p := thermal.DefaultOpteronParams()
+	p.NoiseAmpC = 0
+	return Config{Nodes: 1, RanksPerNode: 1, Params: p, Seed: 3}
+}
+
+func TestEstimatorTracksGroundTruth(t *testing.T) {
+	// The online estimate at the end of a burn must land within a few
+	// degrees of what the post-pass ground truth reports — close enough
+	// to steer on, per the Bellosa-style model's purpose.
+	c, err := New(steeringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var estimate float64
+	res, err := c.Run(func(rc *Rank) error {
+		if err := rc.Compute(UtilBurn, 60*time.Second, nil); err != nil {
+			return err
+		}
+		estimate = rc.EstimateDieC()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, e := range res.Traces[0].Events {
+		if e.Kind == trace.KindSample && e.SensorID == 0 {
+			truth = e.ValueC
+		}
+	}
+	if math.Abs(estimate-truth) > 4 {
+		t.Errorf("estimate %0.1f °C vs ground truth %0.1f °C", estimate, truth)
+	}
+}
+
+func TestEstimatorStartsAtIdle(t *testing.T) {
+	c, err := New(steeringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(rc *Rank) error {
+		est := rc.EstimateDieC()
+		// Warm idle is ≈34 °C on the default build.
+		if est < 28 || est > 40 {
+			t.Errorf("initial estimate %0.1f °C, want ≈ warm idle", est)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeCappedLimitsPeak(t *testing.T) {
+	const capC = 45.0
+	run := func(capped bool) (peakTruth float64, makespan time.Duration) {
+		c, err := New(steeringConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(func(rc *Rank) error {
+			rc.Enter("governed")
+			defer func() { _ = rc.Exit() }()
+			if capped {
+				_, err := rc.ComputeCapped(UtilBurn, 90*time.Second, time.Second, capC)
+				return err
+			}
+			return rc.Compute(UtilBurn, 90*time.Second, nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Traces[0].Events {
+			if e.Kind == trace.KindSample && e.SensorID == 0 && e.ValueC > peakTruth {
+				peakTruth = e.ValueC
+			}
+		}
+		return peakTruth, res.Duration
+	}
+	openPeak, openSpan := run(false)
+	capPeak, capSpan := run(true)
+	if capPeak >= openPeak-2 {
+		t.Errorf("governor barely cooled: %0.1f vs %0.1f °C", capPeak, openPeak)
+	}
+	// Estimator error plus quantisation allows a few degrees of overshoot.
+	if capPeak > capC+5 {
+		t.Errorf("governed ground-truth peak %0.1f °C far above %0.1f °C cap", capPeak, capC)
+	}
+	if capSpan <= openSpan {
+		t.Error("runtime steering must cost time (question 4's trade-off)")
+	}
+}
+
+func TestComputeCappedRecordsBackoff(t *testing.T) {
+	c, err := New(steeringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(rc *Rank) error {
+		_, err := rc.ComputeCapped(UtilBurn, 60*time.Second, time.Second, 42)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range res.Traces[0].Events {
+		if e.Kind == trace.KindEnter {
+			if name, _ := res.Traces[0].Sym.Name(e.FuncID); name == "thermal_backoff" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("thermal_backoff phases missing from the trace")
+	}
+}
+
+func TestComputeCappedValidation(t *testing.T) {
+	c, err := New(steeringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(rc *Rank) error {
+		if _, err := rc.ComputeCapped(UtilBurn, time.Second, 0, 50); err == nil {
+			t.Error("zero chunk should fail")
+		}
+		if _, err := rc.ComputeCapped(UtilBurn, -time.Second, time.Second, 50); err == nil {
+			t.Error("negative total should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tempest/internal/mpi"
+)
+
+// subcomm.go exposes MPI_Comm_split to workloads with the same
+// logical-clock bookkeeping the Rank's world collectives get: a
+// sub-communicator collective synchronises the clocks of its *members
+// only* — ranks outside the group keep computing, exactly the partial
+// synchronisation NPB's multi-partition codes (and CG's 2-D processor
+// grid) rely on.
+
+// SubComm is a communicator over a subset of ranks, bound to this rank's
+// logical clock and trace lane.
+type SubComm struct {
+	rc   *Rank
+	comm *mpi.Comm
+}
+
+// Split partitions the world (collective across all ranks; see
+// mpi.Comm.Split). A negative colour returns nil.
+func (rc *Rank) Split(color, key int) (*SubComm, error) {
+	sub, err := rc.comm.Split(color, key)
+	if err != nil {
+		return nil, err
+	}
+	// The split itself is a world-collective synchronisation point.
+	t, err := rc.syncClocks()
+	if err != nil {
+		return nil, err
+	}
+	rc.commWindow("MPI_Comm_split", t+time.Duration(rc.cost.BarrierS*float64(time.Second)))
+	if sub == nil {
+		return nil, nil
+	}
+	return &SubComm{rc: rc, comm: sub}, nil
+}
+
+// Rank returns this rank's position within the sub-communicator.
+func (sc *SubComm) Rank() int { return sc.comm.Rank() }
+
+// Size returns the sub-communicator's member count.
+func (sc *SubComm) Size() int { return sc.comm.Size() }
+
+// syncSub agrees on the max logical time across the group only.
+func (sc *SubComm) syncSub() (time.Duration, error) {
+	in := []float64{float64(sc.rc.now)}
+	out := make([]float64, 1)
+	if err := sc.comm.Allreduce(mpi.OpMax, in, out); err != nil {
+		return 0, err
+	}
+	return time.Duration(out[0]), nil
+}
+
+// groupCost models a dissemination collective within the group.
+func (sc *SubComm) groupCost(bytes int) time.Duration {
+	p := sc.Size()
+	s := sc.rc.cost.BarrierS + float64(p-1)*sc.rc.cost.LatencyS + float64(bytes)/sc.rc.cost.BandwidthBytesPerS
+	return time.Duration(s * float64(time.Second))
+}
+
+// Barrier synchronises the group's members.
+func (sc *SubComm) Barrier() error {
+	if err := sc.comm.Barrier(); err != nil {
+		return err
+	}
+	t, err := sc.syncSub()
+	if err != nil {
+		return err
+	}
+	sc.rc.commWindow("MPI_Barrier", t+time.Duration(sc.rc.cost.BarrierS*float64(time.Second)))
+	return nil
+}
+
+// Allreduce combines in element-wise across the group into out.
+func (sc *SubComm) Allreduce(op mpi.Op, in, out []float64) error {
+	if err := sc.comm.Allreduce(op, in, out); err != nil {
+		return err
+	}
+	t, err := sc.syncSub()
+	if err != nil {
+		return err
+	}
+	sc.rc.commWindow("MPI_Allreduce", t+sc.groupCost(8*len(in)))
+	return nil
+}
+
+// Allgather concatenates every member's block into out on all members.
+func (sc *SubComm) Allgather(in, out []float64) error {
+	if len(out) != len(in)*sc.Size() {
+		return fmt.Errorf("cluster: allgather out length %d, want %d", len(out), len(in)*sc.Size())
+	}
+	if err := sc.comm.Allgather(in, out); err != nil {
+		return err
+	}
+	t, err := sc.syncSub()
+	if err != nil {
+		return err
+	}
+	sc.rc.commWindow("MPI_Allgather", t+sc.groupCost(8*len(out)))
+	return nil
+}
+
+// Bcast broadcasts root's xs within the group.
+func (sc *SubComm) Bcast(root int, xs []float64) error {
+	if err := sc.comm.BcastFloat64s(root, xs); err != nil {
+		return err
+	}
+	t, err := sc.syncSub()
+	if err != nil {
+		return err
+	}
+	sc.rc.commWindow("MPI_Bcast", t+sc.groupCost(8*len(xs)))
+	return nil
+}
+
+// Alltoall exchanges equal blocks among the group's members.
+func (sc *SubComm) Alltoall(in, out []float64) error {
+	if err := sc.comm.Alltoall(in, out); err != nil {
+		return err
+	}
+	t, err := sc.syncSub()
+	if err != nil {
+		return err
+	}
+	sc.rc.commWindow("MPI_Alltoall", t+sc.groupCost(8*len(in)))
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package gprof implements a gprof-style flat profiler, the baseline
+// Tempest is validated against in §3.4.
+//
+// gprof attributes CPU time to functions by sampling the program counter
+// into fixed buckets and counting calls via an mcount hook; its output is
+// the per-function *total*, with no timeline. §3.1 explains why that is
+// insufficient for thermal work: "gprof does not pinpoint which function
+// was executing at time X". This package provides
+//
+//   - Profiler: a live bucket profiler (mcount-like Enter/Exit plus a
+//     SampleTick playing the role of SIGPROF), used to measure baseline
+//     overhead; and
+//   - FromTrace: the exact flat profile computed from a Tempest trace, so
+//     tests can assert the two tools agree on per-function time the way
+//     the paper's validation does.
+package gprof
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+// Entry is one row of a flat profile.
+type Entry struct {
+	Name  string
+	Calls int64
+	// Self is time attributed to the function itself, excluding callees.
+	Self time.Duration
+	// Cumulative is inclusive time (function plus callees).
+	Cumulative time.Duration
+	// SelfPercent is Self as a share of the profile's total self time.
+	SelfPercent float64
+}
+
+// Profiler is a live bucket profiler. Enter/Exit maintain a per-lane call
+// stack (the mcount role); SampleTick charges one sampling quantum to the
+// innermost open function on every lane (the SIGPROF role).
+type Profiler struct {
+	clock    vclock.Clock
+	interval time.Duration
+
+	mu     sync.Mutex
+	stacks map[int][]string // lane → stack of function names
+	calls  map[string]int64
+	ticks  map[string]int64 // bucket counts, by innermost function
+}
+
+// DefaultSampleInterval matches gprof's customary 100 Hz.
+const DefaultSampleInterval = 10 * time.Millisecond
+
+// New builds a profiler over clock; interval 0 defaults to 10 ms.
+func New(clock vclock.Clock, interval time.Duration) (*Profiler, error) {
+	if clock == nil {
+		return nil, errors.New("gprof: clock is required")
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("gprof: negative sample interval %v", interval)
+	}
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Profiler{
+		clock:    clock,
+		interval: interval,
+		stacks:   make(map[int][]string),
+		calls:    make(map[string]int64),
+		ticks:    make(map[string]int64),
+	}, nil
+}
+
+// Interval returns the sampling quantum.
+func (p *Profiler) Interval() time.Duration { return p.interval }
+
+// Enter records a call on the lane's stack.
+func (p *Profiler) Enter(lane int, name string) {
+	p.mu.Lock()
+	p.stacks[lane] = append(p.stacks[lane], name)
+	p.calls[name]++
+	p.mu.Unlock()
+}
+
+// Exit pops the lane's stack; unbalanced exits are an error.
+func (p *Profiler) Exit(lane int, name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stacks[lane]
+	if len(st) == 0 {
+		return fmt.Errorf("gprof: exit %q on empty stack (lane %d)", name, lane)
+	}
+	top := st[len(st)-1]
+	p.stacks[lane] = st[:len(st)-1]
+	if top != name {
+		return fmt.Errorf("gprof: exit %q but %q is open (lane %d)", name, top, lane)
+	}
+	return nil
+}
+
+// SampleTick charges one quantum to the innermost open function of every
+// lane — a virtual SIGPROF firing.
+func (p *Profiler) SampleTick() {
+	p.mu.Lock()
+	for _, st := range p.stacks {
+		if len(st) > 0 {
+			p.ticks[st[len(st)-1]]++
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Flat renders the bucket counts as a flat profile sorted by self time
+// (descending), name-ordered among ties. Cumulative time is not observable
+// from buckets alone, matching real gprof's need for call-graph estimation;
+// here Cumulative is left equal to Self.
+func (p *Profiler) Flat() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, n := range p.ticks {
+		total += n
+	}
+	entries := make([]Entry, 0, len(p.calls))
+	for name, calls := range p.calls {
+		self := time.Duration(p.ticks[name]) * p.interval
+		pct := 0.0
+		if total > 0 {
+			pct = float64(p.ticks[name]) / float64(total) * 100
+		}
+		entries = append(entries, Entry{
+			Name: name, Calls: calls, Self: self, Cumulative: self, SelfPercent: pct,
+		})
+	}
+	sortEntries(entries)
+	return entries
+}
+
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Self != entries[j].Self {
+			return entries[i].Self > entries[j].Self
+		}
+		return entries[i].Name < entries[j].Name
+	})
+}
+
+// FromTrace computes the exact flat profile of a Tempest trace: per
+// function, the call count, exclusive (self) and inclusive (cumulative)
+// time, by walking each lane's enter/exit nesting. Functions still open at
+// the final event are charged up to that event's timestamp.
+func FromTrace(tr *trace.Trace) ([]Entry, error) {
+	if tr == nil {
+		return nil, errors.New("gprof: nil trace")
+	}
+	type frame struct {
+		fid       uint32
+		enter     time.Duration
+		childTime time.Duration
+	}
+	stacks := make(map[uint32][]frame)
+	selfT := make(map[uint32]time.Duration)
+	cumT := make(map[uint32]time.Duration)
+	calls := make(map[uint32]int64)
+	var last time.Duration
+
+	for i, e := range tr.Events {
+		if e.TS > last {
+			last = e.TS
+		}
+		switch e.Kind {
+		case trace.KindEnter:
+			stacks[e.Lane] = append(stacks[e.Lane], frame{fid: e.FuncID, enter: e.TS})
+			calls[e.FuncID]++
+		case trace.KindExit:
+			st := stacks[e.Lane]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("gprof: event %d: exit with empty stack on lane %d", i, e.Lane)
+			}
+			top := st[len(st)-1]
+			if top.fid != e.FuncID {
+				return nil, fmt.Errorf("gprof: event %d: exit func %d but %d is open", i, e.FuncID, top.fid)
+			}
+			stacks[e.Lane] = st[:len(st)-1]
+			inclusive := e.TS - top.enter
+			cumT[top.fid] += inclusive
+			selfT[top.fid] += inclusive - top.childTime
+			if len(stacks[e.Lane]) > 0 {
+				parent := &stacks[e.Lane][len(stacks[e.Lane])-1]
+				parent.childTime += inclusive
+			}
+		}
+	}
+	// Close dangling frames at the last observed timestamp.
+	for lane, st := range stacks {
+		for len(st) > 0 {
+			top := st[len(st)-1]
+			st = st[:len(st)-1]
+			inclusive := last - top.enter
+			cumT[top.fid] += inclusive
+			selfT[top.fid] += inclusive - top.childTime
+			if len(st) > 0 {
+				st[len(st)-1].childTime += inclusive
+			}
+		}
+		stacks[lane] = nil
+	}
+
+	var totalSelf time.Duration
+	for _, d := range selfT {
+		totalSelf += d
+	}
+	entries := make([]Entry, 0, len(calls))
+	for fid, n := range calls {
+		name, err := tr.Sym.Name(fid)
+		if err != nil {
+			return nil, err
+		}
+		pct := 0.0
+		if totalSelf > 0 {
+			pct = float64(selfT[fid]) / float64(totalSelf) * 100
+		}
+		entries = append(entries, Entry{
+			Name: name, Calls: n,
+			Self: selfT[fid], Cumulative: cumT[fid],
+			SelfPercent: pct,
+		})
+	}
+	sortEntries(entries)
+	return entries, nil
+}
+
+// Format renders entries in gprof's flat-profile style.
+func Format(entries []Entry) string {
+	out := "  %   cumulative   self              self\n time      seconds  seconds    calls  ms/call  name\n"
+	var cum time.Duration
+	for _, e := range entries {
+		cum += e.Self
+		msPerCall := 0.0
+		if e.Calls > 0 {
+			msPerCall = float64(e.Self.Milliseconds()) / float64(e.Calls)
+		}
+		out += fmt.Sprintf("%5.1f %12.2f %8.2f %8d %8.2f  %s\n",
+			e.SelfPercent, cum.Seconds(), e.Self.Seconds(), e.Calls, msPerCall, e.Name)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+// Package hotspot answers the paper's four user questions (§1) from a
+// parsed Tempest profile:
+//
+//  1. which parts of the application will benefit from thermal management
+//     (HotFunctions — ranked thermal contribution);
+//  2. where to start optimising (the top of that ranking);
+//  3. whether thermal properties are similar across machines (HotNodes —
+//     per-node averages, maxima and warming trends);
+//  4. what the performance effects of a thermal optimisation are
+//     (Compare — before/after profiles: temperature drop vs slowdown).
+package hotspot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tempest/internal/parser"
+)
+
+// FunctionHeat ranks one function's thermal contribution on one node.
+type FunctionHeat struct {
+	Node uint32
+	Name string
+	// AvgTemp and MaxTemp are over samples during the function, in the
+	// profile's unit.
+	AvgTemp float64
+	MaxTemp float64
+	// TotalTimeS is the function's inclusive time in seconds.
+	TotalTimeS float64
+	// Score is the thermal contribution: (AvgTemp − node baseline) ×
+	// TotalTimeS, in degree-seconds. A long-running warm function
+	// outranks a brief spike — it is where optimisation pays.
+	Score float64
+}
+
+// HotFunctions ranks significant functions by Score, hottest first.
+// sensor selects which sensor's statistics to rank by (0 = first CPU
+// sensor). Insignificant functions (no samples / too brief) are skipped.
+func HotFunctions(p *parser.Profile, sensor int) ([]FunctionHeat, error) {
+	if p == nil {
+		return nil, errors.New("hotspot: nil profile")
+	}
+	var out []FunctionHeat
+	for ni := range p.Nodes {
+		np := &p.Nodes[ni]
+		baseline, err := nodeBaseline(np, sensor)
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: node %d: %w", np.NodeID, err)
+		}
+		for _, f := range np.Functions {
+			if !f.Significant || sensor >= len(f.Sensors) || f.Sensors[sensor].N == 0 {
+				continue
+			}
+			s := f.Sensors[sensor]
+			secs := f.TotalTime.Seconds()
+			out = append(out, FunctionHeat{
+				Node:       np.NodeID,
+				Name:       f.Name,
+				AvgTemp:    s.Avg,
+				MaxTemp:    s.Max,
+				TotalTimeS: secs,
+				Score:      (s.Avg - baseline) * secs,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// nodeBaseline is the node's coolest observed sample on the sensor — the
+// "unloaded" reference heat contribution is measured against.
+func nodeBaseline(np *parser.NodeProfile, sensor int) (float64, error) {
+	if sensor < 0 || sensor >= len(np.Samples) {
+		return 0, fmt.Errorf("sensor %d out of range [0,%d)", sensor, len(np.Samples))
+	}
+	if len(np.Samples[sensor]) == 0 {
+		return 0, fmt.Errorf("sensor %d has no samples", sensor)
+	}
+	baseline := math.Inf(1)
+	for _, s := range np.Samples[sensor] {
+		if s.Value < baseline {
+			baseline = s.Value
+		}
+	}
+	return baseline, nil
+}
+
+// NodeHeat summarises one node's thermal behaviour.
+type NodeHeat struct {
+	NodeID uint32
+	// Avg and Max are over the node's whole run.
+	Avg float64
+	Max float64
+	// TrendPerS is the fitted warming rate in degrees/second — positive
+	// for Figure 3's "steadily warming" nodes.
+	TrendPerS float64
+	// Volatility is the standard deviation of the series — high for the
+	// "volatile behaviour around an average" nodes.
+	Volatility float64
+}
+
+// HotNodes ranks nodes by average temperature on the sensor, hottest
+// first — the "hot nodes" identification of §5.
+func HotNodes(p *parser.Profile, sensor int) ([]NodeHeat, error) {
+	if p == nil {
+		return nil, errors.New("hotspot: nil profile")
+	}
+	var out []NodeHeat
+	for ni := range p.Nodes {
+		np := &p.Nodes[ni]
+		if sensor < 0 || sensor >= len(np.Samples) || len(np.Samples[sensor]) == 0 {
+			return nil, fmt.Errorf("hotspot: node %d sensor %d has no samples", np.NodeID, sensor)
+		}
+		var sum, sumSq, maxV float64
+		maxV = math.Inf(-1)
+		n := float64(len(np.Samples[sensor]))
+		for _, s := range np.Samples[sensor] {
+			sum += s.Value
+			sumSq += s.Value * s.Value
+			if s.Value > maxV {
+				maxV = s.Value
+			}
+		}
+		avg := sum / n
+		variance := sumSq/n - avg*avg
+		if variance < 0 {
+			variance = 0
+		}
+		trend, err := np.Trend(sensor)
+		if err != nil {
+			trend = 0
+		}
+		out = append(out, NodeHeat{
+			NodeID:     np.NodeID,
+			Avg:        avg,
+			Max:        maxV,
+			TrendPerS:  trend,
+			Volatility: math.Sqrt(variance),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Avg != out[j].Avg {
+			return out[i].Avg > out[j].Avg
+		}
+		return out[i].NodeID < out[j].NodeID
+	})
+	return out, nil
+}
+
+// Delta is one function's before/after change under an optimisation.
+type Delta struct {
+	Node                    uint32
+	Name                    string
+	TimeBeforeS, TimeAfterS float64
+	AvgBefore, AvgAfter     float64
+	MaxBefore, MaxAfter     float64
+}
+
+// SlowdownPct is the relative time increase of the function, in percent.
+func (d Delta) SlowdownPct() float64 {
+	if d.TimeBeforeS == 0 {
+		return 0
+	}
+	return (d.TimeAfterS - d.TimeBeforeS) / d.TimeBeforeS * 100
+}
+
+// Comparison captures the net effect of a thermal optimisation.
+type Comparison struct {
+	MakespanBeforeS float64
+	MakespanAfterS  float64
+	// PeakBefore/PeakAfter are the hottest samples across all nodes.
+	PeakBefore float64
+	PeakAfter  float64
+	Functions  []Delta
+}
+
+// SlowdownPct is the relative makespan increase, in percent.
+func (c *Comparison) SlowdownPct() float64 {
+	if c.MakespanBeforeS == 0 {
+		return 0
+	}
+	return (c.MakespanAfterS - c.MakespanBeforeS) / c.MakespanBeforeS * 100
+}
+
+// PeakDrop is the reduction in peak temperature (positive = cooler).
+func (c *Comparison) PeakDrop() float64 { return c.PeakBefore - c.PeakAfter }
+
+// Compare matches functions by (node, name) across two profiles of the
+// same workload and reports per-function and global changes.
+func Compare(before, after *parser.Profile, sensor int) (*Comparison, error) {
+	if before == nil || after == nil {
+		return nil, errors.New("hotspot: nil profile")
+	}
+	if len(before.Nodes) != len(after.Nodes) {
+		return nil, fmt.Errorf("hotspot: node counts differ: %d vs %d", len(before.Nodes), len(after.Nodes))
+	}
+	cmp := &Comparison{
+		PeakBefore: math.Inf(-1),
+		PeakAfter:  math.Inf(-1),
+	}
+	for ni := range before.Nodes {
+		b, a := &before.Nodes[ni], &after.Nodes[ni]
+		if b.NodeID != a.NodeID {
+			return nil, fmt.Errorf("hotspot: node order mismatch at %d: %d vs %d", ni, b.NodeID, a.NodeID)
+		}
+		if s := b.Duration.Seconds(); s > cmp.MakespanBeforeS {
+			cmp.MakespanBeforeS = s
+		}
+		if s := a.Duration.Seconds(); s > cmp.MakespanAfterS {
+			cmp.MakespanAfterS = s
+		}
+		if sensor >= 0 && sensor < len(b.Samples) {
+			for _, s := range b.Samples[sensor] {
+				if s.Value > cmp.PeakBefore {
+					cmp.PeakBefore = s.Value
+				}
+			}
+		}
+		if sensor >= 0 && sensor < len(a.Samples) {
+			for _, s := range a.Samples[sensor] {
+				if s.Value > cmp.PeakAfter {
+					cmp.PeakAfter = s.Value
+				}
+			}
+		}
+		for _, fb := range b.Functions {
+			fa, ok := a.Function(fb.Name)
+			if !ok {
+				continue
+			}
+			d := Delta{
+				Node:        b.NodeID,
+				Name:        fb.Name,
+				TimeBeforeS: fb.TotalTime.Seconds(),
+				TimeAfterS:  fa.TotalTime.Seconds(),
+			}
+			if sensor < len(fb.Sensors) && fb.Sensors[sensor].N > 0 {
+				d.AvgBefore = fb.Sensors[sensor].Avg
+				d.MaxBefore = fb.Sensors[sensor].Max
+			}
+			if sensor < len(fa.Sensors) && fa.Sensors[sensor].N > 0 {
+				d.AvgAfter = fa.Sensors[sensor].Avg
+				d.MaxAfter = fa.Sensors[sensor].Max
+			}
+			cmp.Functions = append(cmp.Functions, d)
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,237 @@
+package hotspot
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+)
+
+// hotColdWorkload runs a hot function then a cool one; on node 1 (ranks
+// there) everything is cooler because it idles half the time.
+func hotColdProfile(t *testing.T, throttles map[string]cluster.Throttle) *parser.Profile {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: 2, RanksPerNode: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		rc.SetThrottles(throttles)
+		burn := 30 * time.Second
+		if rc.Rank() == 1 {
+			// Node 1 idles first: cooler on average.
+			if err := rc.Compute(cluster.UtilIdle, burn, nil); err != nil {
+				return err
+			}
+		}
+		if err := rc.Instrument("hot_kernel", cluster.UtilBurn, burn, nil); err != nil {
+			return err
+		}
+		return rc.Instrument("cool_kernel", cluster.UtilComm, burn, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parser.ParseAll(res.Traces, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHotFunctionsRanking(t *testing.T) {
+	p := hotColdProfile(t, nil)
+	hf, err := HotFunctions(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hf) == 0 {
+		t.Fatal("no ranked functions")
+	}
+	// Find first non-main entry: hot_kernel must outrank cool_kernel.
+	var hotIdx, coolIdx = -1, -1
+	for i, f := range hf {
+		if f.Node != 0 {
+			continue
+		}
+		if f.Name == "hot_kernel" && hotIdx < 0 {
+			hotIdx = i
+		}
+		if f.Name == "cool_kernel" && coolIdx < 0 {
+			coolIdx = i
+		}
+	}
+	if hotIdx < 0 || coolIdx < 0 {
+		t.Fatalf("kernels missing from ranking: %+v", hf)
+	}
+	if hotIdx > coolIdx {
+		t.Errorf("hot_kernel ranked %d below cool_kernel %d", hotIdx, coolIdx)
+	}
+	for _, f := range hf {
+		if f.Name == "hot_kernel" && f.Node == 0 {
+			if f.AvgTemp <= 0 || f.MaxTemp < f.AvgTemp || f.Score <= 0 {
+				t.Errorf("hot_kernel stats: %+v", f)
+			}
+		}
+	}
+}
+
+func TestHotFunctionsErrors(t *testing.T) {
+	if _, err := HotFunctions(nil, 0); err == nil {
+		t.Error("nil profile should fail")
+	}
+	p := hotColdProfile(t, nil)
+	if _, err := HotFunctions(p, 99); err == nil {
+		t.Error("bad sensor should fail")
+	}
+}
+
+func TestHotNodesIdentifiesCoolerNode(t *testing.T) {
+	p := hotColdProfile(t, nil)
+	hn, err := HotNodes(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hn) != 2 {
+		t.Fatalf("nodes = %d", len(hn))
+	}
+	// Node 0 burns the whole run; node 1 idles first → node 0 hotter.
+	if hn[0].NodeID != 0 {
+		t.Errorf("hottest node = %d, want 0 (order: %+v)", hn[0].NodeID, hn)
+	}
+	if hn[0].Avg <= hn[1].Avg {
+		t.Error("ranking not by average")
+	}
+	if hn[0].Max < hn[0].Avg {
+		t.Error("max below average")
+	}
+}
+
+func TestHotNodesErrors(t *testing.T) {
+	if _, err := HotNodes(nil, 0); err == nil {
+		t.Error("nil profile should fail")
+	}
+	p := hotColdProfile(t, nil)
+	if _, err := HotNodes(p, 99); err == nil {
+		t.Error("bad sensor should fail")
+	}
+}
+
+func TestCompareThrottledRun(t *testing.T) {
+	before := hotColdProfile(t, nil)
+	after := hotColdProfile(t, map[string]cluster.Throttle{
+		"hot_kernel": {UtilScale: 0.6, TimeScale: 1.5},
+	})
+	cmp, err := Compare(before, after, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimisation trades time for temperature (question 4).
+	if cmp.SlowdownPct() <= 0 {
+		t.Errorf("throttled run not slower: %+v", cmp)
+	}
+	if cmp.PeakDrop() <= 0 {
+		t.Errorf("throttled run not cooler: peak %v → %v", cmp.PeakBefore, cmp.PeakAfter)
+	}
+	// Per-function: hot_kernel slower and cooler after.
+	found := false
+	for _, d := range cmp.Functions {
+		if d.Name == "hot_kernel" && d.Node == 0 {
+			found = true
+			if d.SlowdownPct() < 40 {
+				t.Errorf("hot_kernel slowdown = %.1f%%, want ≈50%%", d.SlowdownPct())
+			}
+			if d.MaxAfter >= d.MaxBefore {
+				t.Errorf("hot_kernel max temp %v → %v, want drop", d.MaxBefore, d.MaxAfter)
+			}
+		}
+	}
+	if !found {
+		t.Error("hot_kernel missing from comparison")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	p := hotColdProfile(t, nil)
+	if _, err := Compare(nil, p, 0); err == nil {
+		t.Error("nil before should fail")
+	}
+	if _, err := Compare(p, nil, 0); err == nil {
+		t.Error("nil after should fail")
+	}
+	short := &parser.Profile{Nodes: p.Nodes[:1]}
+	if _, err := Compare(p, short, 0); err == nil {
+		t.Error("node count mismatch should fail")
+	}
+	swapped := &parser.Profile{Nodes: []parser.NodeProfile{p.Nodes[1], p.Nodes[0]}}
+	if _, err := Compare(p, swapped, 0); err == nil {
+		t.Error("node order mismatch should fail")
+	}
+}
+
+func TestDeltaSlowdownZeroBase(t *testing.T) {
+	d := Delta{TimeBeforeS: 0, TimeAfterS: 5}
+	if d.SlowdownPct() != 0 {
+		t.Error("zero base should report 0")
+	}
+	c := Comparison{}
+	if c.SlowdownPct() != 0 {
+		t.Error("zero makespan should report 0")
+	}
+}
+
+func TestTrendsInNodeHeat(t *testing.T) {
+	// A workload with monotone increasing burn produces a positive trend.
+	c, err := cluster.New(cluster.Config{Nodes: 1, RanksPerNode: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		return rc.Compute(cluster.UtilBurn, 40*time.Second, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parser.ParseAll(res.Traces, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := HotNodes(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hn[0].TrendPerS <= 0 {
+		t.Errorf("burn trend = %v, want positive (warming)", hn[0].TrendPerS)
+	}
+}
+
+func BenchmarkHotFunctions(b *testing.B) {
+	c, err := cluster.New(cluster.Config{Nodes: 4, RanksPerNode: 1, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		for k := 0; k < 8; k++ {
+			if err := rc.Instrument(fmt.Sprintf("fn%d", k), cluster.UtilCompute, 2*time.Second, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := parser.ParseAll(res.Traces, parser.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HotFunctions(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

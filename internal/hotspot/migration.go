@@ -1,0 +1,104 @@
+package hotspot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tempest/internal/parser"
+	"tempest/internal/thermal"
+)
+
+// migration.go implements the paper's §5 future-work study: "cluster-wide
+// workload migration from hot servers to cooler servers". Given a
+// profile (which workloads ran hot where) and the fleet's thermal builds
+// (which machines cool well), SuggestNodeMap produces the placement that
+// puts the hottest workload on the best-cooled hardware. Re-running the
+// cluster with that NodeMap quantifies the benefit.
+
+// CoolingQuality scores a node build: the reciprocal of its die→ambient
+// thermal resistance, normalised by fan headroom. Higher is better at
+// shedding heat.
+func CoolingQuality(p thermal.Params) float64 {
+	r := p.DieToSinkKPerW + p.SinkToAmbKPerW
+	if r <= 0 {
+		return 0
+	}
+	q := 1 / r
+	// Ambient matters too: a node in warm air is effectively worse.
+	q *= 1 - (p.AmbientC-20)/100
+	return q
+}
+
+// NodeLoads extracts each logical node's thermal load from a profile:
+// the mean excess of its CPU sensor over the node's own baseline, in
+// degrees — a hardware-independent proxy for how much heat the workload
+// placed there.
+func NodeLoads(p *parser.Profile, sensor int) ([]float64, error) {
+	if p == nil {
+		return nil, errors.New("hotspot: nil profile")
+	}
+	loads := make([]float64, len(p.Nodes))
+	for i := range p.Nodes {
+		np := &p.Nodes[i]
+		base, err := nodeBaseline(np, sensor)
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: node %d: %w", np.NodeID, err)
+		}
+		var sum float64
+		for _, s := range np.Samples[sensor] {
+			sum += s.Value - base
+		}
+		loads[i] = sum / float64(len(np.Samples[sensor]))
+	}
+	return loads, nil
+}
+
+// SuggestNodeMap pairs workload load ranks with hardware cooling ranks:
+// the hottest logical node is mapped onto the best-cooled physical node.
+// The result is a NodeMap for cluster.Config (logical → physical).
+func SuggestNodeMap(loads, cooling []float64) ([]int, error) {
+	if len(loads) == 0 {
+		return nil, errors.New("hotspot: no nodes")
+	}
+	if len(loads) != len(cooling) {
+		return nil, fmt.Errorf("hotspot: %d loads vs %d cooling scores", len(loads), len(cooling))
+	}
+	byLoad := make([]int, len(loads))
+	byCooling := make([]int, len(cooling))
+	for i := range byLoad {
+		byLoad[i] = i
+		byCooling[i] = i
+	}
+	sort.SliceStable(byLoad, func(a, b int) bool { return loads[byLoad[a]] > loads[byLoad[b]] })
+	sort.SliceStable(byCooling, func(a, b int) bool { return cooling[byCooling[a]] > cooling[byCooling[b]] })
+	nodeMap := make([]int, len(loads))
+	for rank := range byLoad {
+		nodeMap[byLoad[rank]] = byCooling[rank]
+	}
+	return nodeMap, nil
+}
+
+// PlacementGain summarises a placement what-if: the peak-temperature
+// change between a baseline profile and a re-run under a suggested map.
+type PlacementGain struct {
+	NodeMap               []int
+	PeakBefore, PeakAfter float64
+}
+
+// Gain is the peak reduction in degrees (positive = the migration helped).
+func (g PlacementGain) Gain() float64 { return g.PeakBefore - g.PeakAfter }
+
+// EvaluatePlacement compares two profiles of the same workload under
+// different placements.
+func EvaluatePlacement(nodeMap []int, before, after *parser.Profile, sensor int) (PlacementGain, error) {
+	cmp, err := Compare(before, after, sensor)
+	if err != nil {
+		return PlacementGain{}, err
+	}
+	return PlacementGain{
+		NodeMap:    append([]int(nil), nodeMap...),
+		PeakBefore: cmp.PeakBefore,
+		PeakAfter:  cmp.PeakAfter,
+	}, nil
+}

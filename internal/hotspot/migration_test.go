@@ -1,0 +1,161 @@
+package hotspot
+
+import (
+	"testing"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+	"tempest/internal/thermal"
+)
+
+func TestCoolingQuality(t *testing.T) {
+	good := thermal.DefaultOpteronParams()
+	bad := good
+	bad.SinkToAmbKPerW *= 1.5 // worse heatsinking
+	if !(CoolingQuality(good) > CoolingQuality(bad)) {
+		t.Error("higher resistance should score worse")
+	}
+	warm := good
+	warm.AmbientC += 5
+	if !(CoolingQuality(good) > CoolingQuality(warm)) {
+		t.Error("warmer ambient should score worse")
+	}
+	var zero thermal.Params
+	if CoolingQuality(zero) != 0 {
+		t.Error("degenerate params should score zero")
+	}
+}
+
+func TestSuggestNodeMapPairsExtremes(t *testing.T) {
+	loads := []float64{1, 9, 5, 3}   // node 1 hottest
+	cooling := []float64{2, 1, 8, 4} // node 2 best cooled
+	nm, err := SuggestNodeMap(loads, cooling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hottest (1) → best cooled (2); coolest (0) → worst cooled (1).
+	if nm[1] != 2 {
+		t.Errorf("hottest mapped to %d, want 2 (map %v)", nm[1], nm)
+	}
+	if nm[0] != 1 {
+		t.Errorf("coolest mapped to %d, want 1 (map %v)", nm[0], nm)
+	}
+	// The map is a permutation.
+	seen := map[int]bool{}
+	for _, p := range nm {
+		if seen[p] {
+			t.Fatalf("map %v is not a permutation", nm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSuggestNodeMapErrors(t *testing.T) {
+	if _, err := SuggestNodeMap(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := SuggestNodeMap([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// TestMigrationWhatIfEndToEnd runs the full §5 study: an imbalanced
+// workload on heterogeneous hardware, a suggested re-placement, and a
+// measurable peak-temperature gain after the re-run.
+func TestMigrationWhatIfEndToEnd(t *testing.T) {
+	const nodes = 4
+	workload := func(rc *cluster.Rank) error {
+		// Rank 0 carries a heavy burn; the rest idle-ish.
+		util, dur := cluster.UtilComm, 40*time.Second
+		if rc.Rank() == 0 {
+			util = cluster.UtilBurn
+		}
+		return rc.Instrument("job", util, dur, nil)
+	}
+	var seed int64
+	run := func(nodeMap []int) (*parser.Profile, []thermal.Params) {
+		c, err := cluster.New(cluster.Config{
+			Nodes: nodes, RanksPerNode: 1, Seed: seed,
+			Heterogeneous: true, NodeMap: nodeMap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := parser.ParseAll(res.Traces, parser.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, c.NodeParams()
+	}
+
+	// Search a few seeds for a fleet where the hot rank did NOT start on
+	// the best-cooled node (so the suggested migration is non-trivial).
+	var before *parser.Profile
+	var nodeMap []int
+	found := false
+	for _, s := range []int64{42, 7, 13, 23, 31, 57, 64, 99} {
+		seed = s
+		var params []thermal.Params
+		before, params = run(nil)
+		loads, err := NodeLoads(before, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The burn rank must show the highest load regardless of seed.
+		for i := 1; i < nodes; i++ {
+			if loads[i] >= loads[0] {
+				t.Fatalf("seed %d: load proxy wrong: %v", s, loads)
+			}
+		}
+		cooling := make([]float64, nodes)
+		for i, p := range params {
+			cooling[i] = CoolingQuality(p)
+		}
+		nodeMap, err = SuggestNodeMap(loads, cooling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodeMap[0] != 0 { // hot rank moves somewhere better
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no tested seed produced a non-trivial placement — suspicious")
+	}
+
+	after, _ := run(nodeMap)
+	gain, err := EvaluatePlacement(nodeMap, before, after, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain.Gain() < 0 {
+		t.Errorf("migration made things worse: peak %v → %v (map %v)",
+			gain.PeakBefore, gain.PeakAfter, nodeMap)
+	}
+	t.Logf("seed %d migration gain: peak %.1f → %.1f °F with map %v",
+		seed, gain.PeakBefore, gain.PeakAfter, nodeMap)
+}
+
+func TestNodeLoadsErrors(t *testing.T) {
+	if _, err := NodeLoads(nil, 0); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestClusterNodeMapValidation(t *testing.T) {
+	if _, err := cluster.New(cluster.Config{Nodes: 2, RanksPerNode: 1, NodeMap: []int{0}}); err == nil {
+		t.Error("short NodeMap should fail")
+	}
+	if _, err := cluster.New(cluster.Config{Nodes: 2, RanksPerNode: 1, NodeMap: []int{0, -3}}); err == nil {
+		t.Error("negative NodeMap entry should fail")
+	}
+	if _, err := cluster.New(cluster.Config{Nodes: 2, RanksPerNode: 1, NodeMap: []int{1, 0}}); err != nil {
+		t.Errorf("valid NodeMap rejected: %v", err)
+	}
+}

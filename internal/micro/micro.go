@@ -1,0 +1,214 @@
+// Package micro implements the paper's serial micro-benchmarks (§4.2,
+// Table 1): five programs — A through E — exercising the tracer under
+// increasing structural difficulty (single function, multiple functions,
+// interleaving, recursion with interleaving), plus the CPU-burn and
+// timer-wait primitives micro-benchmark D combines to produce Figure 2.
+//
+// Each benchmark is a cluster workload body; running one on a one-node
+// simulated cluster reproduces the corresponding paper experiment.
+package micro
+
+import (
+	"fmt"
+	"time"
+
+	"tempest/internal/cluster"
+)
+
+// Bench is one micro-benchmark.
+type Bench struct {
+	// ID is the paper's letter, "A" through "E".
+	ID string
+	// Description summarises Table 1's row.
+	Description string
+	// Body is the workload to run on a cluster rank.
+	Body func(rc *cluster.Rank) error
+}
+
+// Burn models the paper's CPU-burn kernel: util 1.0 for d, with a genuine
+// arithmetic loop so the instrumented path does real work.
+func Burn(rc *cluster.Rank, d time.Duration) error {
+	return rc.Compute(cluster.UtilBurn, d, func() {
+		sink := 1.0
+		for i := 0; i < 1000; i++ {
+			sink = sink*1.0000001 + float64(i%7)
+		}
+		burnSink = sink
+	})
+}
+
+// burnSink defeats dead-code elimination of Burn's loop.
+var burnSink float64
+
+// TimerWait models setting a timer and sleeping until it expires: idle
+// utilisation for d (the CPU cools, as Figure 2b shows after foo1).
+func TimerWait(rc *cluster.Rank, d time.Duration) error {
+	return rc.Compute(cluster.UtilIdle, d, nil)
+}
+
+// Durations configures benchmark time scales. The paper's micro-benchmark
+// D burns ≈60 s; tests use much shorter settings.
+type Durations struct {
+	// Burn is the CPU-burn length (default 60 s).
+	Burn time.Duration
+	// Timer is the timer-wait length (default 10 s).
+	Timer time.Duration
+	// Unit is the short phase length for benchmarks C and E (default 2 s).
+	Unit time.Duration
+}
+
+func (d Durations) withDefaults() Durations {
+	if d.Burn == 0 {
+		d.Burn = 60 * time.Second
+	}
+	if d.Timer == 0 {
+		d.Timer = 10 * time.Second
+	}
+	if d.Unit == 0 {
+		d.Unit = 2 * time.Second
+	}
+	return d
+}
+
+// A returns micro-benchmark A: main alone, a single burn in main with no
+// sub-functions.
+func A(d Durations) Bench {
+	d = d.withDefaults()
+	return Bench{
+		ID:          "A",
+		Description: "main alone",
+		Body: func(rc *cluster.Rank) error {
+			return Burn(rc, d.Burn)
+		},
+	}
+}
+
+// B returns micro-benchmark B: one function.
+func B(d Durations) Bench {
+	d = d.withDefaults()
+	return Bench{
+		ID:          "B",
+		Description: "one function",
+		Body: func(rc *cluster.Rank) error {
+			rc.Enter("foo1")
+			if err := Burn(rc, d.Burn); err != nil {
+				return err
+			}
+			return rc.Exit()
+		},
+	}
+}
+
+// C returns micro-benchmark C: multiple functions called in sequence.
+func C(d Durations) Bench {
+	d = d.withDefaults()
+	return Bench{
+		ID:          "C",
+		Description: "multiple functions",
+		Body: func(rc *cluster.Rank) error {
+			for i, util := range []float64{cluster.UtilBurn, cluster.UtilMemory, cluster.UtilCompute} {
+				rc.Enter(fmt.Sprintf("foo%d", i+1))
+				if err := rc.Compute(util, d.Unit, nil); err != nil {
+					return err
+				}
+				if err := rc.Exit(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// D returns micro-benchmark D, the Figure 2 workload: foo1 dominates with
+// a CPU burn and calls foo2 once; main calls foo2 again, then sets a timer
+// and waits while the CPU cools. foo2 itself "simply exits after a short
+// timer expires" — its total time is far below the sampling interval, so
+// its thermal data is not significant (exactly Figure 2a's output).
+//
+//	main() {
+//	    foo1() {            // CPU burn
+//	        foo2()          // brief
+//	    }
+//	    foo2()              // brief
+//	    // timer wait: CPU cools (Figure 2b's abrupt drop)
+//	}
+func D(d Durations) Bench {
+	d = d.withDefaults()
+	briefFoo2 := func(rc *cluster.Rank) error {
+		rc.Enter("foo2")
+		if err := rc.Compute(cluster.UtilIdle, 100*time.Microsecond, nil); err != nil {
+			return err
+		}
+		return rc.Exit()
+	}
+	return Bench{
+		ID:          "D",
+		Description: "multiple functions with interleaving",
+		Body: func(rc *cluster.Rank) error {
+			rc.Enter("foo1")
+			if err := Burn(rc, d.Burn); err != nil {
+				return err
+			}
+			if err := briefFoo2(rc); err != nil {
+				return err
+			}
+			if err := rc.Exit(); err != nil {
+				return err
+			}
+			if err := briefFoo2(rc); err != nil {
+				return err
+			}
+			return TimerWait(rc, d.Timer)
+		},
+	}
+}
+
+// E returns micro-benchmark E: recursion with interleaving — foo1 recurses
+// and calls foo2 at every level.
+func E(d Durations) Bench {
+	d = d.withDefaults()
+	const depth = 5
+	return Bench{
+		ID:          "E",
+		Description: "multiple functions with recursion and interleaving",
+		Body: func(rc *cluster.Rank) error {
+			var rec func(level int) error
+			rec = func(level int) error {
+				rc.Enter("foo1")
+				if err := rc.Compute(cluster.UtilCompute, d.Unit/depth, nil); err != nil {
+					return err
+				}
+				rc.Enter("foo2")
+				if err := rc.Compute(cluster.UtilMemory, d.Unit/(2*depth), nil); err != nil {
+					return err
+				}
+				if err := rc.Exit(); err != nil {
+					return err
+				}
+				if level > 1 {
+					if err := rec(level - 1); err != nil {
+						return err
+					}
+				}
+				return rc.Exit()
+			}
+			return rec(depth)
+		},
+	}
+}
+
+// All returns the five benchmarks of Table 1 at the given durations.
+func All(d Durations) []Bench {
+	return []Bench{A(d), B(d), C(d), D(d), E(d)}
+}
+
+// RunOnNode executes a benchmark on a fresh one-node simulated cluster
+// and returns the run result. seed controls the node's thermal build.
+func RunOnNode(b Bench, seed int64) (*cluster.Result, error) {
+	c, err := cluster.New(cluster.Config{Nodes: 1, RanksPerNode: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(b.Body)
+}

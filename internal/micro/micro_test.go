@@ -1,0 +1,242 @@
+package micro
+
+import (
+	"testing"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+	"tempest/internal/thermal"
+)
+
+var short = Durations{Burn: 4 * time.Second, Timer: 2 * time.Second, Unit: time.Second}
+
+func parseBench(t *testing.T, b Bench) *parser.NodeProfile {
+	t.Helper()
+	res, err := RunOnNode(b, 3)
+	if err != nil {
+		t.Fatalf("%s: %v", b.ID, err)
+	}
+	np, err := parser.Parse(res.Traces[0], parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func TestAllReturnsFive(t *testing.T) {
+	bs := All(short)
+	if len(bs) != 5 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	want := []string{"A", "B", "C", "D", "E"}
+	for i, b := range bs {
+		if b.ID != want[i] {
+			t.Errorf("bench %d id = %s", i, b.ID)
+		}
+		if b.Description == "" || b.Body == nil {
+			t.Errorf("bench %s incomplete", b.ID)
+		}
+	}
+}
+
+func TestDefaultsMatchPaperScale(t *testing.T) {
+	d := Durations{}.withDefaults()
+	if d.Burn != 60*time.Second || d.Timer != 10*time.Second {
+		t.Errorf("defaults = %+v", d)
+	}
+}
+
+func TestBenchA_MainAlone(t *testing.T) {
+	np := parseBench(t, A(short))
+	if len(np.Functions) != 1 || np.Functions[0].Name != "main" {
+		t.Fatalf("A functions: %+v", names(np))
+	}
+	if np.Functions[0].TotalTime != short.Burn {
+		t.Errorf("main total = %v", np.Functions[0].TotalTime)
+	}
+}
+
+func TestBenchB_OneFunction(t *testing.T) {
+	np := parseBench(t, B(short))
+	foo1, ok := np.Function("foo1")
+	if !ok {
+		t.Fatalf("B functions: %v", names(np))
+	}
+	if foo1.TotalTime != short.Burn {
+		t.Errorf("foo1 total = %v", foo1.TotalTime)
+	}
+	mainP, _ := np.Function("main")
+	if mainP.TotalTime < foo1.TotalTime {
+		t.Error("main must include foo1")
+	}
+}
+
+func TestBenchC_MultipleFunctions(t *testing.T) {
+	np := parseBench(t, C(short))
+	for _, name := range []string{"foo1", "foo2", "foo3"} {
+		f, ok := np.Function(name)
+		if !ok {
+			t.Fatalf("missing %s in %v", name, names(np))
+		}
+		if f.TotalTime != short.Unit {
+			t.Errorf("%s total = %v", name, f.TotalTime)
+		}
+		if f.Calls != 1 {
+			t.Errorf("%s calls = %d", name, f.Calls)
+		}
+	}
+}
+
+func TestBenchD_InterleavingAndSignificance(t *testing.T) {
+	np := parseBench(t, D(short))
+	foo1, ok := np.Function("foo1")
+	if !ok {
+		t.Fatal("foo1 missing")
+	}
+	foo2, ok := np.Function("foo2")
+	if !ok {
+		t.Fatal("foo2 missing")
+	}
+	if foo2.Calls != 2 {
+		t.Errorf("foo2 calls = %d, want 2 (nested + sequential)", foo2.Calls)
+	}
+	if !foo1.Significant {
+		t.Error("foo1 must be significant")
+	}
+	if foo2.Significant {
+		t.Error("foo2 must be insignificant (Figure 2a's rule)")
+	}
+	// foo1 dominates total time.
+	if foo1.TotalTime <= foo2.TotalTime {
+		t.Errorf("foo1 (%v) must dominate foo2 (%v)", foo1.TotalTime, foo2.TotalTime)
+	}
+	// Listing order: main, foo1, foo2 — exactly Figure 2a.
+	if np.Functions[0].Name != "main" || np.Functions[1].Name != "foo1" || np.Functions[2].Name != "foo2" {
+		t.Errorf("order: %v", names(np))
+	}
+}
+
+func TestBenchD_PaperThermalShape(t *testing.T) {
+	// Full paper-scale D: foo1 heats toward ≈124 °F; after it ends the
+	// timer wait cools the CPU (Figure 2b's abrupt drop).
+	res, err := RunOnNode(D(Durations{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := parser.Parse(res.Traces[0], parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo1, _ := np.Function("foo1")
+	s0 := foo1.Sensors[0] // CPU 0 core sensor (sorted first)
+	if s0.Max < 117 || s0.Max > 131 {
+		t.Errorf("foo1 max = %.1f °F, want ≈124", s0.Max)
+	}
+	if s0.Max-s0.Min < 20 {
+		t.Errorf("foo1 heated only %.1f °F", s0.Max-s0.Min)
+	}
+	// After foo1 ends, the timer wait in main must show cooling: the
+	// run's final sample sits below the temperature at foo1's end.
+	ts, vs, err := np.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := foo1.Intervals[len(foo1.Intervals)-1].End
+	var atEnd, final float64
+	for i, tsv := range ts {
+		if tsv <= end {
+			atEnd = vs[i]
+		}
+		final = vs[i]
+	}
+	if final >= atEnd {
+		t.Errorf("no cooling during timer wait: %v → %v", atEnd, final)
+	}
+}
+
+func TestBenchE_Recursion(t *testing.T) {
+	np := parseBench(t, E(short))
+	foo1, ok := np.Function("foo1")
+	if !ok {
+		t.Fatal("foo1 missing")
+	}
+	if foo1.Calls != 5 {
+		t.Errorf("foo1 calls = %d, want 5 (recursion depth)", foo1.Calls)
+	}
+	foo2, _ := np.Function("foo2")
+	if foo2.Calls != 5 {
+		t.Errorf("foo2 calls = %d, want 5 (interleaved at each level)", foo2.Calls)
+	}
+	// Union semantics: foo1's total equals the whole recursive span, which
+	// must not exceed the program duration.
+	if foo1.TotalTime > np.Duration {
+		t.Errorf("foo1 union %v exceeds program %v", foo1.TotalTime, np.Duration)
+	}
+}
+
+func TestBenchesCompleteWithoutLeaks(t *testing.T) {
+	for _, b := range All(short) {
+		np := parseBench(t, b)
+		// Every parsed function's intervals lie within the run.
+		for _, f := range np.Functions {
+			for _, iv := range f.Intervals {
+				if iv.Start < 0 || iv.End > np.Duration {
+					t.Errorf("%s/%s interval %v outside run", b.ID, f.Name, iv)
+				}
+			}
+		}
+	}
+}
+
+func TestBurnHeatsTimerCools(t *testing.T) {
+	// Primitive-level check against the thermal model.
+	c, err := cluster.New(cluster.Config{Nodes: 1, RanksPerNode: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		if err := Burn(rc, 30*time.Second); err != nil {
+			return err
+		}
+		return TimerWait(rc, 30*time.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := parser.Parse(res.Traces[0], parser.Options{Unit: parser.Celsius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, vs, _ := np.Series(0)
+	var peak, end float64
+	for i := range ts {
+		if vs[i] > peak {
+			peak = vs[i]
+		}
+		end = vs[i]
+	}
+	if peak < 40 {
+		t.Errorf("burn peak = %v °C", peak)
+	}
+	if end > peak-5 {
+		t.Errorf("timer failed to cool: peak %v, end %v", peak, end)
+	}
+	_ = thermal.CToF
+}
+
+func names(np *parser.NodeProfile) []string {
+	out := make([]string, len(np.Functions))
+	for i, f := range np.Functions {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func BenchmarkMicroD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOnNode(D(short), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport carries rank-to-rank messages over TCP connections,
+// re-using the same mailbox matching engine as the in-process transport.
+// Frames are length-prefixed:
+//
+//	src   uint32 LE
+//	ctx   uint32 LE (communicator context id)
+//	tag   int64  LE (two's complement; internal tags are negative)
+//	nbyte uint32 LE
+//	payload
+//
+// Every rank listens on one socket; connections are established lazily on
+// first send and cached. A background goroutine per accepted/established
+// connection demultiplexes frames into the destination mailbox.
+type TCPTransport struct {
+	rank  int
+	addrs []string
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn // outbound, by destination rank
+	accepted []net.Conn       // inbound, closed on shutdown
+	closed   bool
+
+	box *mailbox
+	wg  sync.WaitGroup
+}
+
+// NewTCPNode creates the transport endpoint for one rank. addrs lists the
+// listen address of every rank (index = rank); addrs[rank] must be
+// listenable locally. The returned transport serves only its own rank's
+// mailbox: Recv(me, …) requires me == rank.
+func NewTCPNode(rank int, addrs []string) (*TCPTransport, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("mpi: rank %d out of range for %d addresses", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	t := &TCPTransport{
+		rank:  rank,
+		addrs: append([]string(nil), addrs...),
+		ln:    ln,
+		conns: make(map[int]net.Conn),
+		box:   newMailbox(),
+	}
+	// Record the actual address (supports ":0" ephemeral ports).
+	t.addrs[rank] = ln.Addr().String()
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns this rank's actual listen address.
+func (t *TCPTransport) Addr() string { return t.addrs[t.rank] }
+
+// SetPeerAddr updates a peer's dial address (needed when peers use
+// ephemeral ports: collect each node's Addr after construction, then
+// distribute the full table).
+func (t *TCPTransport) SetPeerAddr(rank int, addr string) error {
+	if rank < 0 || rank >= len(t.addrs) {
+		return fmt.Errorf("mpi: peer rank %d out of range", rank)
+	}
+	t.mu.Lock()
+	t.addrs[rank] = addr
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted = append(t.accepted, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [20]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		src := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		ctx := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
+		n := binary.LittleEndian.Uint32(hdr[16:20])
+		if n > 1<<30 {
+			return // corrupt frame; drop the connection
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if t.box.put(inMsg{src: src, ctx: ctx, tag: tag, data: data}) != nil {
+			return
+		}
+	}
+}
+
+// Size implements Transport.
+func (t *TCPTransport) Size() int { return len(t.addrs) }
+
+// Send implements Transport. from must equal this node's rank: a TCP node
+// only originates its own traffic.
+func (t *TCPTransport) Send(from, to, ctx, tag int, data []byte) error {
+	if from != t.rank {
+		return fmt.Errorf("mpi: TCP node %d cannot send as rank %d", t.rank, from)
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", to, len(t.addrs))
+	}
+	if to == t.rank {
+		// Local delivery without touching the network.
+		return t.box.put(inMsg{src: from, ctx: ctx, tag: tag, data: data})
+	}
+	conn, err := t.dial(to)
+	if err != nil {
+		return err
+	}
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(from))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ctx))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(int64(tag)))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(data)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mpi: send header to %d: %w", to, err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("mpi: send payload to %d: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) dial(to int) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr := t.addrs[to]
+	t.mu.Unlock()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial rank %d at %s: %w", to, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		c.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Recv implements Transport for this node's own rank.
+func (t *TCPTransport) Recv(me, from, ctx, tag int) (int, int, []byte, error) {
+	if me != t.rank {
+		return 0, 0, nil, fmt.Errorf("mpi: TCP node %d cannot receive for rank %d", t.rank, me)
+	}
+	msg, err := t.box.get(from, ctx, tag)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return msg.src, msg.tag, msg.data, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[int]net.Conn{}
+	accepted := t.accepted
+	t.accepted = nil
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.box.close()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildTCPWorld spins up n TCP nodes on loopback ephemeral ports and wires
+// their address tables together, returning one single-endpoint World per
+// rank.
+func buildTCPWorld(t testing.TB, n int) ([]*World, []*TCPTransport) {
+	t.Helper()
+	placeholder := make([]string, n)
+	for i := range placeholder {
+		placeholder[i] = "127.0.0.1:0"
+	}
+	nodes := make([]*TCPTransport, n)
+	for r := 0; r < n; r++ {
+		node, err := NewTCPNode(r, placeholder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = node
+	}
+	// Distribute actual addresses (the out-of-band bootstrap a launcher
+	// like mpirun performs).
+	for r, node := range nodes {
+		for p, peer := range nodes {
+			if err := node.SetPeerAddr(p, peer.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = r
+	}
+	worlds := make([]*World, n)
+	for r, node := range nodes {
+		w, err := NewWorldOver(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[r] = w
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+	})
+	return worlds, nodes
+}
+
+// runTCP mimics Run over a set of single-endpoint TCP worlds.
+func runTCP(t testing.TB, worlds []*World, body func(c *Comm) error) error {
+	t.Helper()
+	errs := make([]error, len(worlds))
+	var wg sync.WaitGroup
+	for r := range worlds {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := worlds[r].Comm(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if err := body(c); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	worlds, _ := buildTCPWorld(t, 2)
+	err := runTCP(t, worlds, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("over tcp"))
+		}
+		src, tag, data, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if src != 0 || tag != 7 || string(data) != "over tcp" {
+			return fmt.Errorf("got src=%d tag=%d %q", src, tag, data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSelfSendStaysLocal(t *testing.T) {
+	worlds, _ := buildTCPWorld(t, 1)
+	err := runTCP(t, worlds, func(c *Comm) error {
+		if err := c.Send(0, 3, []byte("self")); err != nil {
+			return err
+		}
+		_, _, data, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if string(data) != "self" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectivesMatchChanTransport(t *testing.T) {
+	// The same program must produce identical results over TCP and the
+	// in-process transport — transport parity is what lets simulated and
+	// multi-process deployments share benchmark code.
+	const size = 4
+	program := func(c *Comm) ([]float64, error) {
+		if err := c.Barrier(); err != nil {
+			return nil, err
+		}
+		in := []float64{float64(c.Rank() + 1)}
+		sum := make([]float64, 1)
+		if err := c.Allreduce(OpSum, in, sum); err != nil {
+			return nil, err
+		}
+		blocks := make([]float64, size)
+		for i := range blocks {
+			blocks[i] = float64(c.Rank()*size + i)
+		}
+		trans := make([]float64, size)
+		if err := c.Alltoall(blocks, trans); err != nil {
+			return nil, err
+		}
+		out := append(sum, trans...)
+		gathered := make([]float64, size*len(out))
+		if err := c.Allgather(out, gathered); err != nil {
+			return nil, err
+		}
+		return gathered, nil
+	}
+
+	chanResults := make([][]float64, size)
+	if err := Run(size, func(c *Comm) error {
+		r, err := program(c)
+		chanResults[c.Rank()] = r
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	worlds, _ := buildTCPWorld(t, size)
+	tcpResults := make([][]float64, size)
+	if err := runTCP(t, worlds, func(c *Comm) error {
+		r, err := program(c)
+		tcpResults[c.Rank()] = r
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < size; r++ {
+		if len(chanResults[r]) != len(tcpResults[r]) {
+			t.Fatalf("rank %d: lengths differ", r)
+		}
+		for k := range chanResults[r] {
+			if chanResults[r][k] != tcpResults[r][k] {
+				t.Fatalf("rank %d slot %d: chan %v vs tcp %v", r, k, chanResults[r][k], tcpResults[r][k])
+			}
+		}
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	worlds, _ := buildTCPWorld(t, 2)
+	const n = 1 << 18 // 256 KiB
+	err := runTCP(t, worlds, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			return c.Send(1, 1, data)
+		}
+		_, _, data, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != n {
+			return fmt.Errorf("got %d bytes", len(data))
+		}
+		for i := range data {
+			if data[i] != byte(i*31) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPWrongEndpointUse(t *testing.T) {
+	worlds, nodes := buildTCPWorld(t, 2)
+	w0 := worlds[0]
+	// Using rank 1's Comm on node 0's transport must fail loudly.
+	c1, err := w0.Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(0, 1, nil); err == nil {
+		t.Error("foreign-rank send should fail")
+	}
+	if _, _, _, err := c1.Recv(0, 1); err == nil {
+		t.Error("foreign-rank recv should fail")
+	}
+	_ = nodes
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	worlds, nodes := buildTCPWorld(t, 2)
+	c0, _ := worlds[0].Comm(0)
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c0.Recv(1, 0)
+		done <- err
+	}()
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is a no-op.
+	if err := nodes[0].Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	// Send after close fails.
+	if err := nodes[0].Send(0, 1, 0, 1, nil); err == nil {
+		t.Error("send after close should fail")
+	}
+}
+
+func TestTCPInvalidConstruction(t *testing.T) {
+	if _, err := NewTCPNode(5, []string{"127.0.0.1:0"}); err == nil {
+		t.Error("rank out of range should fail")
+	}
+	if _, err := NewTCPNode(0, []string{"256.0.0.1:99999"}); err == nil {
+		t.Error("unlistenable address should fail")
+	}
+	node, err := NewTCPNode(0, []string{"127.0.0.1:0", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.SetPeerAddr(9, "x"); err == nil {
+		t.Error("out-of-range peer should fail")
+	}
+	if err := node.Send(0, 9, 0, 0, nil); err == nil {
+		t.Error("send to rank 9 should fail")
+	}
+}
+
+func BenchmarkTCPPingPong(b *testing.B) {
+	worlds, _ := buildTCPWorld(b, 2)
+	c0, _ := worlds[0].Comm(0)
+	c1, _ := worlds[1].Comm(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			_, _, data, err := c1.Recv(0, 1)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := c1.Send(0, 2, data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, append([]byte(nil), payload...)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := c0.Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

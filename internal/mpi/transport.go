@@ -1,0 +1,185 @@
+// Package mpi is a message-passing runtime with MPI-1 style semantics:
+// ranks, tagged point-to-point messages with FIFO matching, wildcard
+// receives, and the collectives the NAS Parallel Benchmarks need (Barrier,
+// Bcast, Reduce, Allreduce, Gather, Allgather, Scatter, Alltoall).
+//
+// The paper profiles MPI applications on a four-node Opteron cluster; Go
+// has no practical MPI binding, so this package is the substituted
+// substrate (see DESIGN.md). Two transports share one matching engine:
+// an in-process transport (ranks as goroutines — the default for
+// simulated clusters) and a TCP transport over net.Conn for multi-process
+// runs. The synchronisation structure of a program — who blocks on whom,
+// where the all-to-alls and barriers fall — is identical in either, which
+// is the property the thermal phases in Figures 3–4 derive from.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches any non-negative user tag in Recv.
+const AnyTag = -1
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("mpi: transport closed")
+
+// Transport moves raw tagged messages between ranks. Implementations must
+// preserve per-(sender, receiver, context, tag) FIFO order. The context
+// id isolates communicators sharing one transport: a receive only matches
+// messages sent in the same context (MPI's communicator-safety rule).
+type Transport interface {
+	// Send delivers data from rank `from` to rank `to` with tag `tag`
+	// in communicator context `ctx`. The data slice is owned by the
+	// transport after the call.
+	Send(from, to, ctx, tag int, data []byte) error
+	// Recv blocks until a message for rank `me` matching (ctx, from,
+	// tag) arrives. from may be AnySource; tag may be AnyTag. It returns
+	// the actual source, actual tag and payload.
+	Recv(me, from, ctx, tag int) (src, gotTag int, data []byte, err error)
+	// Size returns the number of ranks.
+	Size() int
+	// Close releases resources and unblocks pending receives with
+	// ErrClosed.
+	Close() error
+}
+
+// inMsg is one queued message.
+type inMsg struct {
+	src  int
+	ctx  int
+	tag  int
+	data []byte
+}
+
+// mailbox holds undelivered messages for one rank with MPI matching:
+// the earliest queued message satisfying the (source, tag) pattern wins.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []inMsg
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg inMsg) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+// match scans FIFO for the first message matching the pattern.
+func matches(msg inMsg, from, ctx, tag int) bool {
+	if msg.ctx != ctx {
+		return false
+	}
+	if from != AnySource && msg.src != from {
+		return false
+	}
+	if tag != AnyTag && msg.tag != tag {
+		return false
+	}
+	return true
+}
+
+func (m *mailbox) get(from, ctx, tag int) (inMsg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.queue {
+			if matches(m.queue[i], from, ctx, tag) {
+				msg := m.queue[i]
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return inMsg{}, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// ChanTransport is the in-process transport: a mailbox per rank.
+type ChanTransport struct {
+	boxes []*mailbox
+}
+
+// NewChanTransport builds an in-process transport for size ranks.
+func NewChanTransport(size int) (*ChanTransport, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d must be ≥1", size)
+	}
+	t := &ChanTransport{boxes: make([]*mailbox, size)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t, nil
+}
+
+// Size implements Transport.
+func (t *ChanTransport) Size() int { return len(t.boxes) }
+
+// Send implements Transport.
+func (t *ChanTransport) Send(from, to, ctx, tag int, data []byte) error {
+	if err := t.checkRank(from); err != nil {
+		return err
+	}
+	if err := t.checkRank(to); err != nil {
+		return err
+	}
+	return t.boxes[to].put(inMsg{src: from, ctx: ctx, tag: tag, data: data})
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(me, from, ctx, tag int) (int, int, []byte, error) {
+	if err := t.checkRank(me); err != nil {
+		return 0, 0, nil, err
+	}
+	if from != AnySource {
+		if err := t.checkRank(from); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	msg, err := t.boxes[me].get(from, ctx, tag)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return msg.src, msg.tag, msg.data, nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	for _, b := range t.boxes {
+		b.close()
+	}
+	return nil
+}
+
+func (t *ChanTransport) checkRank(r int) error {
+	if r < 0 || r >= len(t.boxes) {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", r, len(t.boxes))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// World owns a transport and the per-rank Comm endpoints.
+type World struct {
+	transport Transport
+	comms     []*Comm
+	closeOnce sync.Once
+}
+
+// NewWorld builds an in-process world of `size` ranks.
+func NewWorld(size int) (*World, error) {
+	t, err := NewChanTransport(size)
+	if err != nil {
+		return nil, err
+	}
+	return NewWorldOver(t)
+}
+
+// NewWorldOver builds a world over an existing transport. For symmetric
+// transports (in-process) all ranks' Comms are usable; for endpoint
+// transports (TCP) only the local rank's Comm is.
+func NewWorldOver(t Transport) (*World, error) {
+	if t == nil {
+		return nil, errors.New("mpi: nil transport")
+	}
+	size := t.Size()
+	w := &World{transport: t, comms: make([]*Comm, size)}
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{rank: r, size: size, transport: t}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Comm returns rank r's endpoint.
+func (w *World) Comm(r int) (*Comm, error) {
+	if r < 0 || r >= len(w.comms) {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", r, len(w.comms))
+	}
+	return w.comms[r], nil
+}
+
+// Comms returns all endpoints in rank order.
+func (w *World) Comms() []*Comm { return append([]*Comm(nil), w.comms...) }
+
+// Close shuts the transport down; pending receives fail with ErrClosed.
+func (w *World) Close() error {
+	var err error
+	w.closeOnce.Do(func() { err = w.transport.Close() })
+	return err
+}
+
+// Run executes body once per rank, each on its own goroutine, and waits
+// for all of them — the moral equivalent of mpirun for in-process worlds.
+// The returned error joins every rank's failure, annotated with its rank.
+func Run(size int, body func(c *Comm) error) error {
+	w, err := NewWorld(size)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Run(body)
+}
+
+// Run executes body on every rank of an existing world and waits.
+func (w *World) Run(body func(c *Comm) error) error {
+	errs := make([]error, len(w.comms))
+	var wg sync.WaitGroup
+	for r := range w.comms {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			if err := body(w.comms[r]); err != nil {
+				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

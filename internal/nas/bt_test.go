@@ -1,0 +1,345 @@
+package nas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+)
+
+// --- 5×5 block kernels ------------------------------------------------
+
+func randMat5(rng *rand.Rand, diagBoost float64) mat5 {
+	var m mat5
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 5; i++ {
+		m[i*5+i] += diagBoost
+	}
+	return m
+}
+
+func mulMatVec(a *mat5, x *vec5) vec5 {
+	var out vec5
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			out[i] += a[i*5+j] * x[j]
+		}
+	}
+	return out
+}
+
+func TestMatvecSub(t *testing.T) {
+	a := identity5(2)
+	x := vec5{1, 2, 3, 4, 5}
+	rhs := vec5{10, 10, 10, 10, 10}
+	matvecSub(&a, &x, &rhs)
+	want := vec5{8, 6, 4, 2, 0}
+	if rhs != want {
+		t.Errorf("got %v, want %v", rhs, want)
+	}
+}
+
+func TestMatmulSub(t *testing.T) {
+	a := identity5(2)
+	b := identity5(3)
+	c := identity5(10)
+	matmulSub(&a, &b, &c)
+	want := identity5(4)
+	if c != want {
+		t.Errorf("got %v, want %v", c, want)
+	}
+}
+
+func TestBinvcrhsSolvesBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		b := randMat5(rng, 6)
+		orig := b
+		var x vec5
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		r := mulMatVec(&orig, &x)
+		var zero mat5
+		if err := binvcrhs(&b, &zero, &r); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if math.Abs(r[i]-x[i]) > 1e-9 {
+				t.Fatalf("trial %d: solution[%d] = %v, want %v", trial, i, r[i], x[i])
+			}
+		}
+	}
+}
+
+func TestBinvcrhsSingular(t *testing.T) {
+	var b mat5 // all zeros
+	var c mat5
+	var r vec5
+	if err := binvcrhs(&b, &c, &r); err == nil {
+		t.Error("singular block should fail")
+	}
+}
+
+func TestBinvcrhsNeedsPivoting(t *testing.T) {
+	// Zero diagonal but nonsingular: requires row pivoting.
+	var b mat5
+	for i := 0; i < 5; i++ {
+		b[i*5+(i+1)%5] = 1 // permutation matrix
+	}
+	orig := b
+	x := vec5{1, 2, 3, 4, 5}
+	r := mulMatVec(&orig, &x)
+	var zero mat5
+	if err := binvcrhs(&b, &zero, &r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(r[i]-x[i]) > 1e-12 {
+			t.Fatalf("pivoted solve wrong: %v vs %v", r, x)
+		}
+	}
+}
+
+// Property: blockTriSolve recovers a planted solution for random
+// diagonally dominant block systems.
+func TestBlockTriSolveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%12) + 2
+		a := make([]mat5, n)
+		b := make([]mat5, n)
+		c := make([]mat5, n)
+		x := make([]vec5, n) // planted solution
+		r := make([]vec5, n)
+		for i := 0; i < n; i++ {
+			a[i] = randMat5(rng, 0)
+			b[i] = randMat5(rng, 12) // dominance keeps the sweep stable
+			c[i] = randMat5(rng, 0)
+			for k := range x[i] {
+				x[i][k] = rng.NormFloat64()
+			}
+		}
+		for i := 0; i < n; i++ {
+			r[i] = mulMatVec(&b[i], &x[i])
+			if i > 0 {
+				ax := mulMatVec(&a[i], &x[i-1])
+				for k := range r[i] {
+					r[i][k] += ax[k]
+				}
+			}
+			if i < n-1 {
+				cx := mulMatVec(&c[i], &x[i+1])
+				for k := range r[i] {
+					r[i][k] += cx[k]
+				}
+			}
+		}
+		if err := blockTriSolve(a, b, c, r); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < 5; k++ {
+				if math.Abs(r[i][k]-x[i][k]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockTriSolveValidation(t *testing.T) {
+	if err := blockTriSolve(make([]mat5, 2), make([]mat5, 3), make([]mat5, 3), make([]vec5, 3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := blockTriSolve(nil, nil, nil, nil); err != nil {
+		t.Errorf("empty system should be a no-op: %v", err)
+	}
+}
+
+// --- BT benchmark -----------------------------------------------------
+
+func newBTCluster(t testing.TB, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes:         nodes,
+		RanksPerNode:  1,
+		Seed:          13,
+		Cost:          FTCost(),
+		Heterogeneous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBTClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		p, err := BTClassParams(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.G < 8 || p.Iterations < 2 {
+			t.Errorf("class %v params %+v", c, p)
+		}
+	}
+	if _, err := BTClassParams(Class('Q')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestRunBTClassS(t *testing.T) {
+	c := newBTCluster(t, 4)
+	results := make([]*BTResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunBT(rc, ClassS)
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+		if len(r.Residuals) != 20 {
+			t.Errorf("rank %d residuals = %d", rank, len(r.Residuals))
+		}
+	}
+	// Residuals identical across ranks (allreduced).
+	for rank := 1; rank < 4; rank++ {
+		for i := range results[0].Residuals {
+			if results[rank].Residuals[i] != results[0].Residuals[i] {
+				t.Errorf("rank %d residual %d differs", rank, i)
+			}
+		}
+	}
+	// Monotone-ish decrease: last < first already verified; also no NaN.
+	for i, v := range results[0].Residuals {
+		if math.IsNaN(v) {
+			t.Errorf("residual %d is NaN", i)
+		}
+	}
+}
+
+func TestBTInvalidConfigs(t *testing.T) {
+	c := newBTCluster(t, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunBTParams(rc, BTParams{G: 10, Iterations: 4}); err == nil {
+			return errMsg("grid not divisible accepted")
+		}
+		if _, err := RunBTParams(rc, BTParams{G: 12, Iterations: 1}); err == nil {
+			return errMsg("single iteration accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTProfileShape(t *testing.T) {
+	// Paper Figure 4 / Table 3 shape: a startup phase, a synchronisation
+	// event ≈1.5 s in, then adi_ dominated by the solves.
+	c := newBTCluster(t, 4)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunBT(rc, ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := parser.Parse(res.Traces[0], parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"main", "initialize_", "exact_rhs_", "adi_", "compute_rhs", "x_solve", "y_solve", "z_solve", "add", "MPI_Barrier"} {
+		if _, ok := np.Function(fn); !ok {
+			t.Errorf("function %s missing from BT profile", fn)
+		}
+	}
+	adi, _ := np.Function("adi_")
+	mainP, _ := np.Function("main")
+	if float64(adi.TotalTime)/float64(mainP.TotalTime) < 0.5 {
+		t.Errorf("adi_ share = %v/%v, want dominant", adi.TotalTime, mainP.TotalTime)
+	}
+	// The startup sync marker sits near 1.5 virtual seconds.
+	foundSync := false
+	for _, e := range res.Traces[0].Events {
+		if e.Kind == 4 { // trace.KindMarker
+			if name, _ := res.Traces[0].Sym.Name(e.FuncID); name == "startup_sync" {
+				foundSync = true
+				if e.TS < 1200*time.Millisecond || e.TS > 2500*time.Millisecond {
+					t.Errorf("sync marker at %v, want ≈1.5 s", e.TS)
+				}
+			}
+		}
+	}
+	if !foundSync {
+		t.Error("startup_sync marker missing")
+	}
+	// BT is compute-bound: communication share well below FT's.
+	if barrier, ok := np.Function("MPI_Barrier"); ok {
+		if float64(barrier.TotalTime)/float64(mainP.TotalTime) > 0.2 {
+			t.Errorf("barrier share too high: %v/%v", barrier.TotalTime, mainP.TotalTime)
+		}
+	}
+}
+
+func TestBTSolveAxisUnknown(t *testing.T) {
+	c := newBTCluster(t, 1)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		st := newBTState(4, 4)
+		if err := btSolveAxis(rc, st, "w_solve"); err == nil {
+			return errMsg("unknown axis accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTStateIndexing(t *testing.T) {
+	st := newBTState(4, 2)
+	st.uAt(1, 2, -1)[0] = 7 // halo plane is addressable
+	st.uAt(3, 3, 2)[4] = 9  // top halo
+	if st.uAt(1, 2, -1)[0] != 7 || st.uAt(3, 3, 2)[4] != 9 {
+		t.Error("halo indexing broken")
+	}
+	st.rhsAt(0, 0, 0)[0] = 1
+	st.rhsAt(3, 3, 1)[4] = 2
+	if st.rhsAt(0, 0, 0)[0] != 1 || st.rhsAt(3, 3, 1)[4] != 2 {
+		t.Error("rhs indexing broken")
+	}
+}
+
+func TestWrapClamps(t *testing.T) {
+	if wrap(-1, 8) != 0 || wrap(8, 8) != 7 || wrap(3, 8) != 3 {
+		t.Error("wrap clamping wrong")
+	}
+}
+
+func BenchmarkBTClassS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := newBTCluster(b, 4)
+		if _, err := c.Run(func(rc *cluster.Rank) error {
+			_, err := RunBT(rc, ClassS)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

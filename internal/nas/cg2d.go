@@ -1,0 +1,228 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"tempest/internal/cluster"
+	"tempest/internal/mpi"
+)
+
+// cg2d.go — CG on a 2-D processor grid, the decomposition the real NPB CG
+// uses: ranks form a √P×√P grid; the matrix is distributed in blocks
+// A_ij, the vectors in column-aligned segments. One matvec is a local
+// block multiply, a row-communicator reduction, and a transpose exchange
+// with the mirror rank — communication confined to rows plus one
+// point-to-point, instead of the 1-D port's full allgather.
+
+// RunCG2DParams executes CG on a 2-D grid. The rank count must be a
+// perfect square and N divisible by √P.
+func RunCG2DParams(rc *cluster.Rank, p CGParams) (*CGResult, error) {
+	P := rc.Size()
+	q := intSqrt(P)
+	if q*q != P {
+		return nil, fmt.Errorf("nas: CG 2-D needs a square rank count, got %d", P)
+	}
+	if p.N < q || p.N%q != 0 {
+		return nil, fmt.Errorf("nas: CG dimension %d not divisible by grid edge %d", p.N, q)
+	}
+	if p.Iterations < 2 {
+		return nil, fmt.Errorf("nas: CG needs ≥2 iterations")
+	}
+	if p.Band < 1 || p.Band >= p.N/2 {
+		return nil, fmt.Errorf("nas: CG band %d invalid for dimension %d", p.Band, p.N)
+	}
+	seg := p.N / q
+	row := rc.Rank() / q // block-row index i
+	col := rc.Rank() % q // block-column index j
+
+	rowComm, err := rc.Split(row, col)
+	if err != nil {
+		return nil, err
+	}
+	if rowComm == nil || rowComm.Size() != q {
+		return nil, fmt.Errorf("nas: row communicator misshapen")
+	}
+
+	// Block A_ij couples rows [row·seg, …) with columns [col·seg, …) of
+	// the same banded SPD operator the 1-D port uses.
+	coup := -1.0
+	var offSum float64
+	for d := 1; d <= p.Band; d++ {
+		offSum += math.Abs(coup) / float64(1+d)
+	}
+	diag := 2*offSum + 1.5
+	rowLo := row * seg
+	colLo := col * seg
+	applyBlock := func(x, y []float64) { // y_i += A_ij · x_j, y len seg
+		for li := 0; li < seg; li++ {
+			gi := rowLo + li
+			s := 0.0
+			for lj := 0; lj < seg; lj++ {
+				gj := colLo + lj
+				switch d := gi - gj; {
+				case d == 0:
+					s += diag * x[lj]
+				case d >= -p.Band && d <= p.Band && d != 0:
+					if d < 0 {
+						s += coup / float64(1-d) * x[lj]
+					} else {
+						s += coup / float64(1+d) * x[lj]
+					}
+				}
+			}
+			y[li] = s
+		}
+	}
+
+	res := &CGResult{}
+	rc.Enter("conj_grad")
+
+	// Vectors live as column-aligned segments: this rank holds segment
+	// `col` of each, replicated down its grid column.
+	x := make([]float64, seg)
+	r := make([]float64, seg)
+	pv := make([]float64, seg)
+	for i := range r {
+		r[i] = 1
+		pv[i] = 1
+	}
+
+	// dot: segments j=0..q−1 appear once per row, so a row-communicator
+	// reduction of local dots yields the global value on every rank.
+	dot := func(a, b []float64) (float64, error) {
+		var local float64
+		if err := instrumentChecked(rc, "cg_dot", cluster.UtilCompute,
+			opsDuration(float64(seg)*2), func() error {
+				for i := range a {
+					local += a[i] * b[i]
+				}
+				return nil
+			}); err != nil {
+			return 0, err
+		}
+		out := make([]float64, 1)
+		if err := rowComm.Allreduce(mpi.OpSum, []float64{local}, out); err != nil {
+			return 0, err
+		}
+		return out[0], nil
+	}
+
+	// matvec q_j = (A·p)_j in three steps: local block multiply,
+	// row-reduce, transpose exchange with the mirror rank (row,col)↔(col,row).
+	wPartial := make([]float64, seg)
+	wRow := make([]float64, seg)
+	matvec := func(in, out []float64) error {
+		if err := instrumentChecked(rc, "cg_matvec", cluster.UtilCompute,
+			opsDuration(float64(seg*seg)*2), func() error {
+				applyBlock(in, wPartial)
+				return nil
+			}); err != nil {
+			return err
+		}
+		if err := rowComm.Allreduce(mpi.OpSum, wPartial, wRow); err != nil {
+			return err
+		}
+		// wRow is (A·p)_row on every rank of this row; the mirror rank
+		// needs it as its column segment.
+		mirror := col*q + row
+		const tagTranspose = 500
+		if mirror == rc.Rank() {
+			copy(out, wRow)
+			return nil
+		}
+		if err := rc.Send(mirror, tagTranspose, wRow); err != nil {
+			return err
+		}
+		data, err := rc.Recv(mirror, tagTranspose)
+		if err != nil {
+			return err
+		}
+		if len(data) != seg {
+			return fmt.Errorf("nas: transpose segment length %d, want %d", len(data), seg)
+		}
+		copy(out, data)
+		return nil
+	}
+
+	rho, err := dot(r, r)
+	if err != nil {
+		_ = rc.Exit()
+		return nil, err
+	}
+	qv := make([]float64, seg)
+	for iter := 0; iter < p.Iterations; iter++ {
+		if err := matvec(pv, qv); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		pq, err := dot(pv, qv)
+		if err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if pq == 0 {
+			break
+		}
+		alpha := rho / pq
+		if err := instrumentChecked(rc, "cg_update", cluster.UtilMemory,
+			opsDuration(float64(seg)*4), func() error {
+				for i := range x {
+					x[i] += alpha * pv[i]
+					r[i] -= alpha * qv[i]
+				}
+				return nil
+			}); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		rhoNew, err := dot(r, r)
+		if err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		res.Residuals = append(res.Residuals, math.Sqrt(rhoNew))
+		beta := rhoNew / rho
+		rho = rhoNew
+		for i := range pv {
+			pv[i] = r[i] + beta*pv[i]
+		}
+	}
+	if err := rc.Exit(); err != nil {
+		return nil, err
+	}
+
+	var localSum float64
+	for _, v := range x {
+		localSum += v
+	}
+	out := make([]float64, 1)
+	if err := rowComm.Allreduce(mpi.OpSum, []float64{localSum}, out); err != nil {
+		return nil, err
+	}
+	if out[0] != 0 {
+		res.Zeta = 10 + 1/out[0]
+	}
+
+	if len(res.Residuals) == 0 {
+		return nil, fmt.Errorf("nas: CG 2-D made no progress")
+	}
+	first, last := res.Residuals[0], res.Residuals[len(res.Residuals)-1]
+	res.Verification = Verification{
+		Passed: last < first*0.5 && !math.IsNaN(last),
+		Detail: fmt.Sprintf("2-D grid %d×%d: residual %0.3e → %0.3e, zeta %.6f", q, q, first, last, res.Zeta),
+	}
+	res.Makespan = rc.Now()
+	return res, nil
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

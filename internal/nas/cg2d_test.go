@@ -1,0 +1,121 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+)
+
+func TestIntSqrt(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 3: 1, 4: 2, 8: 2, 9: 3, 16: 4, 24: 4, 25: 5}
+	for n, want := range cases {
+		if got := intSqrt(n); got != want {
+			t.Errorf("intSqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCG2DConvergesAndMatches1D(t *testing.T) {
+	params := CGParams{N: 512, Iterations: 20, Band: 4}
+
+	run := func(twoD bool) []float64 {
+		c := newKernelCluster(t) // 4 nodes = 2×2 grid
+		var res []float64
+		_, err := c.Run(func(rc *cluster.Rank) error {
+			var r *CGResult
+			var err error
+			if twoD {
+				r, err = RunCG2DParams(rc, params)
+			} else {
+				r, err = RunCGParams(rc, params)
+			}
+			if err != nil {
+				return err
+			}
+			if !r.Verification.Passed {
+				t.Errorf("verification: %s", r.Verification.Detail)
+			}
+			if rc.Rank() == 0 {
+				res = r.Residuals
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	oneD := run(false)
+	twoD := run(true)
+	if len(oneD) != len(twoD) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(oneD), len(twoD))
+	}
+	// Same operator, same CG: residual sequences agree to roundoff
+	// (reduction orders differ between the decompositions).
+	for i := range oneD {
+		rel := math.Abs(oneD[i]-twoD[i]) / (1 + oneD[i])
+		if rel > 1e-9 {
+			t.Errorf("iteration %d: 1-D %v vs 2-D %v", i, oneD[i], twoD[i])
+		}
+	}
+}
+
+func TestCG2DCommunicationShape(t *testing.T) {
+	// The 2-D decomposition's signature: row-communicator reductions and
+	// the transpose's point-to-point sends, with NO world allgather.
+	c := newKernelCluster(t)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunCG2DParams(rc, CGParams{N: 256, Iterations: 10, Band: 4})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 is grid position (0,0), its own transpose mirror; rank 1
+	// exchanges with rank 2, so its trace shows the point-to-point.
+	np, err := parser.Parse(res.Traces[1], parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MPI_Comm_split", "MPI_Allreduce", "MPI_Send", "MPI_Recv", "cg_matvec"} {
+		if _, ok := np.Function(want); !ok {
+			t.Errorf("%s missing from 2-D CG profile", want)
+		}
+	}
+	if _, ok := np.Function("MPI_Allgather"); ok {
+		t.Error("2-D CG must not use a world allgather")
+	}
+}
+
+func TestCG2DInvalid(t *testing.T) {
+	c := newKernelCluster(t) // 4 ranks: square
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunCG2DParams(rc, CGParams{N: 511, Iterations: 5, Band: 3}); err == nil {
+			return errMsg("indivisible N accepted")
+		}
+		if _, err := RunCG2DParams(rc, CGParams{N: 512, Iterations: 1, Band: 3}); err == nil {
+			return errMsg("1 iteration accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-square world.
+	c3, err := cluster.New(cluster.Config{Nodes: 3, RanksPerNode: 1, Seed: 1, Cost: FTCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c3.Run(func(rc *cluster.Rank) error {
+		if _, err := RunCG2DParams(rc, CGParams{N: 512, Iterations: 5, Band: 3}); err == nil {
+			return errMsg("non-square world accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

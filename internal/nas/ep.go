@@ -1,0 +1,171 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/mpi"
+)
+
+// ep.go — the NAS EP ("embarrassingly parallel") benchmark: generate
+// pairs of uniform deviates with a linear congruential generator, accept
+// those inside the unit circle, transform them to Gaussian pairs
+// (Marsaglia polar method, as NPB does) and tally them into ten annuli by
+// max(|X|,|Y|). The only communication is the final reduction — EP runs
+// hot for its entire span, the thermal opposite of FT.
+
+// EPParams sizes one EP run.
+type EPParams struct {
+	// LogPairs: 2^LogPairs pairs are generated globally.
+	LogPairs int
+}
+
+// EPClassParams returns the wired sizes per class (NPB: S=24, W=25, A=28;
+// scaled down to keep real execution laptop-friendly).
+func EPClassParams(c Class) (EPParams, error) {
+	switch c {
+	case ClassS:
+		return EPParams{LogPairs: 18}, nil
+	case ClassW:
+		return EPParams{LogPairs: 20}, nil
+	case ClassA:
+		return EPParams{LogPairs: 22}, nil
+	default:
+		return EPParams{}, fmt.Errorf("nas: EP class %q not wired", c)
+	}
+}
+
+// EPResult reports an EP run's outcome.
+type EPResult struct {
+	// Counts are the global annulus tallies Q[0..9].
+	Counts [10]float64
+	// SumX, SumY are the global Gaussian sums.
+	SumX, SumY float64
+	// Accepted is the global number of accepted pairs.
+	Accepted     float64
+	Verification Verification
+	Makespan     time.Duration
+}
+
+// epLCG is NPB's multiplicative congruential generator modulo 2^46 with
+// multiplier 5^13.
+type epLCG struct{ seed uint64 }
+
+const (
+	epMult = 1220703125 // 5^13
+	epMod  = uint64(1) << 46
+	epMask = epMod - 1
+)
+
+func (g *epLCG) next() float64 {
+	g.seed = (g.seed * epMult) & epMask
+	return float64(g.seed) / float64(epMod)
+}
+
+// skipTo advances the generator to position n·2 (each pair consumes two
+// deviates) using modular exponentiation, so ranks carve disjoint,
+// reproducible streams exactly as NPB EP does.
+func epSeedAt(start uint64, n uint64) uint64 {
+	// seed_n = start · mult^n mod 2^46
+	result := start
+	base := uint64(epMult)
+	e := n
+	for e > 0 {
+		if e&1 == 1 {
+			result = (result * base) & epMask
+		}
+		base = (base * base) & epMask
+		e >>= 1
+	}
+	return result
+}
+
+// RunEP executes the EP benchmark on one rank of a cluster run.
+func RunEP(rc *cluster.Rank, class Class) (*EPResult, error) {
+	p, err := EPClassParams(class)
+	if err != nil {
+		return nil, err
+	}
+	return RunEPParams(rc, p)
+}
+
+// RunEPParams executes EP with explicit parameters.
+func RunEPParams(rc *cluster.Rank, p EPParams) (*EPResult, error) {
+	if p.LogPairs < 4 || p.LogPairs > 40 {
+		return nil, fmt.Errorf("nas: EP LogPairs %d outside [4,40]", p.LogPairs)
+	}
+	P := uint64(rc.Size())
+	total := uint64(1) << p.LogPairs
+	per := total / P
+	if per == 0 {
+		return nil, fmt.Errorf("nas: EP 2^%d pairs cannot be split over %d ranks", p.LogPairs, P)
+	}
+	myStart := per * uint64(rc.Rank())
+
+	var q [10]float64
+	var sx, sy, accepted float64
+	// ~55 flops per pair (two deviates, the acceptance test, the polar
+	// transform on ≈78.5 % of pairs).
+	dur := opsDuration(float64(per) * 55)
+	if err := instrumentChecked(rc, "ep_kernel", cluster.UtilBurn, dur, func() error {
+		g := &epLCG{seed: epSeedAt(271828183, 2*myStart)}
+		for i := uint64(0); i < per; i++ {
+			x := 2*g.next() - 1
+			y := 2*g.next() - 1
+			t := x*x + y*y
+			if t > 1 || t == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(t) / t)
+			gx, gy := x*f, y*f
+			accepted++
+			sx += gx
+			sy += gy
+			l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+			if l > 9 {
+				l = 9
+			}
+			q[l]++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Global reduction (EP's only communication).
+	in := make([]float64, 13)
+	copy(in, q[:])
+	in[10], in[11], in[12] = sx, sy, accepted
+	out := make([]float64, 13)
+	if err := rc.Allreduce(mpi.OpSum, in, out); err != nil {
+		return nil, err
+	}
+	res := &EPResult{SumX: out[10], SumY: out[11], Accepted: out[12], Makespan: rc.Now()}
+	copy(res.Counts[:], out[:10])
+
+	// Verify: annulus counts account for every accepted pair, the
+	// acceptance rate is near π/4, and the Gaussian means are near zero.
+	var qsum float64
+	for _, c := range res.Counts {
+		qsum += c
+	}
+	rate := res.Accepted / float64(total)
+	meanX := res.SumX / res.Accepted
+	meanY := res.SumY / res.Accepted
+	// Statistical tolerances scale with sample size: the acceptance rate
+	// estimator has σ ≈ 0.41/√total, the Gaussian means σ ≈ 1/√accepted;
+	// allow 5σ.
+	rateTol := 5 * 0.41 / math.Sqrt(float64(total))
+	meanTol := 5 / math.Sqrt(res.Accepted)
+	ok := qsum == res.Accepted &&
+		math.Abs(rate-math.Pi/4) < rateTol &&
+		math.Abs(meanX) < meanTol && math.Abs(meanY) < meanTol
+	res.Verification = Verification{
+		Passed: ok,
+		Detail: fmt.Sprintf("accepted %.0f/%d (rate %.4f vs π/4=%.4f), mean (%.2e, %.2e)",
+			res.Accepted, total, rate, math.Pi/4, meanX, meanY),
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// fft.go is the complex-FFT substrate FT is built on: an iterative
+// radix-2 Cooley–Tukey transform with precomputed twiddle tables, plus
+// batched helpers for transforming the lines of a 3-D array.
+
+// FFTPlan holds twiddle factors for a fixed power-of-two length.
+type FFTPlan struct {
+	n       int
+	logN    int
+	forward []complex128 // e^{-2πik/n}
+	inverse []complex128 // e^{+2πik/n}
+	rev     []int        // bit-reversal permutation
+}
+
+// NewFFTPlan builds a plan for length n (a power of two ≥ 1).
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if !isPow2(n) {
+		return nil, fmt.Errorf("nas: FFT length %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	for m := n; m > 1; m >>= 1 {
+		p.logN++
+	}
+	p.forward = make([]complex128, n/2)
+	p.inverse = make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.forward[k] = cmplx.Exp(complex(0, ang))
+		p.inverse[k] = cmplx.Exp(complex(0, -ang))
+	}
+	p.rev = make([]int, n)
+	for i := 1; i < n; i++ { // incremental bit-reversal
+		p.rev[i] = p.rev[i>>1]>>1 | (i&1)<<(p.logN-1)
+	}
+	return p, nil
+}
+
+// Len returns the plan's transform length.
+func (p *FFTPlan) Len() int { return p.n }
+
+// Ops estimates the floating-point operations of one transform: the
+// standard 5·n·log2(n) count used in NPB FT's Mop/s reporting.
+func (p *FFTPlan) Ops() float64 { return 5 * float64(p.n) * float64(p.logN) }
+
+// Transform runs an in-place FFT over x (length must equal the plan's).
+// dir > 0 is the forward transform; dir < 0 the unscaled inverse (callers
+// divide by n once per full round trip, as NPB FT does).
+func (p *FFTPlan) Transform(x []complex128, dir int) error {
+	if len(x) != p.n {
+		return fmt.Errorf("nas: FFT input length %d, plan length %d", len(x), p.n)
+	}
+	tw := p.forward
+	if dir < 0 {
+		tw = p.inverse
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			k := 0
+			for off := start; off < start+half; off++ {
+				w := tw[k]
+				a := x[off]
+				b := x[off+half] * w
+				x[off] = a + b
+				x[off+half] = a - b
+				k += step
+			}
+		}
+	}
+	return nil
+}
+
+// Scale divides every element by s (inverse-transform normalisation).
+func Scale(x []complex128, s float64) {
+	inv := complex(1/s, 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// grid3 is a rank-local 3-D complex field stored x-fastest:
+// index = (z·ny + y)·nx + x.
+type grid3 struct {
+	nx, ny, nz int
+	data       []complex128
+}
+
+func newGrid3(nx, ny, nz int) *grid3 {
+	return &grid3{nx: nx, ny: ny, nz: nz, data: make([]complex128, nx*ny*nz)}
+}
+
+func (g *grid3) at(x, y, z int) complex128     { return g.data[(z*g.ny+y)*g.nx+x] }
+func (g *grid3) set(x, y, z int, v complex128) { g.data[(z*g.ny+y)*g.nx+x] = v }
+
+// fftX transforms every x-line in place.
+func (g *grid3) fftX(p *FFTPlan, dir int) error {
+	if p.Len() != g.nx {
+		return fmt.Errorf("nas: x-plan length %d, grid nx %d", p.Len(), g.nx)
+	}
+	for z := 0; z < g.nz; z++ {
+		for y := 0; y < g.ny; y++ {
+			row := g.data[(z*g.ny+y)*g.nx : (z*g.ny+y+1)*g.nx]
+			if err := p.Transform(row, dir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fftY transforms every y-line in place via a scratch buffer.
+func (g *grid3) fftY(p *FFTPlan, dir int) error {
+	if p.Len() != g.ny {
+		return fmt.Errorf("nas: y-plan length %d, grid ny %d", p.Len(), g.ny)
+	}
+	buf := make([]complex128, g.ny)
+	for z := 0; z < g.nz; z++ {
+		for x := 0; x < g.nx; x++ {
+			for y := 0; y < g.ny; y++ {
+				buf[y] = g.at(x, y, z)
+			}
+			if err := p.Transform(buf, dir); err != nil {
+				return err
+			}
+			for y := 0; y < g.ny; y++ {
+				g.set(x, y, z, buf[y])
+			}
+		}
+	}
+	return nil
+}
+
+// fftZ transforms every z-line in place via a scratch buffer.
+func (g *grid3) fftZ(p *FFTPlan, dir int) error {
+	if p.Len() != g.nz {
+		return fmt.Errorf("nas: z-plan length %d, grid nz %d", p.Len(), g.nz)
+	}
+	buf := make([]complex128, g.nz)
+	for y := 0; y < g.ny; y++ {
+		for x := 0; x < g.nx; x++ {
+			for z := 0; z < g.nz; z++ {
+				buf[z] = g.at(x, y, z)
+			}
+			if err := p.Transform(buf, dir); err != nil {
+				return err
+			}
+			for z := 0; z < g.nz; z++ {
+				g.set(x, y, z, buf[z])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFFTPlanValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		if _, err := NewFFTPlan(n); err == nil {
+			t.Errorf("length %d should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			t.Errorf("length %d: %v", n, err)
+			continue
+		}
+		if p.Len() != n {
+			t.Errorf("Len = %d", p.Len())
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	p, _ := NewFFTPlan(8)
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := p.Transform(x, +1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse DFT[%d] = %v", i, v)
+		}
+	}
+	// DFT of all-ones is n·impulse.
+	for i := range x {
+		x[i] = 1
+	}
+	if err := p.Transform(x, +1); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-8) > 1e-12 {
+		t.Errorf("DC bin = %v", x[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// cos(2π·3k/n) has energy at bins 3 and n−3.
+	const n = 32
+	p, _ := NewFFTPlan(n)
+	x := make([]complex128, n)
+	for k := range x {
+		x[k] = complex(math.Cos(2*math.Pi*3*float64(k)/n), 0)
+	}
+	if err := p.Transform(x, +1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == 3 || i == n-3 {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Errorf("bin %d magnitude = %v, want %v", i, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFTLengthMismatch(t *testing.T) {
+	p, _ := NewFFTPlan(8)
+	if err := p.Transform(make([]complex128, 4), +1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(6)) // 4..128
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			return false
+		}
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := p.Transform(x, +1); err != nil {
+			return false
+		}
+		if err := p.Transform(x, -1); err != nil {
+			return false
+		}
+		Scale(x, float64(n))
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Σ|x|² = (1/n)·Σ|X|².
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		p, _ := NewFFTPlan(n)
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := p.Transform(x, +1); err != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/n-timeE) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 32
+		p, _ := NewFFTPlan(n)
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = a[i] + b[i]
+		}
+		if p.Transform(a, +1) != nil || p.Transform(b, +1) != nil || p.Transform(sum, +1) != nil {
+			return false
+		}
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrid3Axes(t *testing.T) {
+	const n = 8
+	p, _ := NewFFTPlan(n)
+	for _, axis := range []string{"x", "y", "z"} {
+		g := newGrid3(n, n, n)
+		for i := range g.data {
+			g.data[i] = complex(float64(i%13), float64(i%7))
+		}
+		orig := append([]complex128(nil), g.data...)
+		var fwd, inv func(*FFTPlan, int) error
+		switch axis {
+		case "x":
+			fwd, inv = g.fftX, g.fftX
+		case "y":
+			fwd, inv = g.fftY, g.fftY
+		default:
+			fwd, inv = g.fftZ, g.fftZ
+		}
+		if err := fwd(p, +1); err != nil {
+			t.Fatalf("%s: %v", axis, err)
+		}
+		if err := inv(p, -1); err != nil {
+			t.Fatalf("%s: %v", axis, err)
+		}
+		Scale(g.data, n)
+		for i := range g.data {
+			if cmplx.Abs(g.data[i]-orig[i]) > 1e-9 {
+				t.Fatalf("axis %s round trip failed at %d", axis, i)
+			}
+		}
+	}
+}
+
+func TestGrid3AxisLengthMismatch(t *testing.T) {
+	g := newGrid3(4, 8, 16)
+	p, _ := NewFFTPlan(32)
+	if g.fftX(p, 1) == nil || g.fftY(p, 1) == nil || g.fftZ(p, 1) == nil {
+		t.Error("axis length mismatches should fail")
+	}
+}
+
+func TestFFTOpsEstimate(t *testing.T) {
+	p, _ := NewFFTPlan(64)
+	if p.Ops() != 5*64*6 {
+		t.Errorf("Ops = %v", p.Ops())
+	}
+}
+
+func BenchmarkFFT1K(b *testing.B) {
+	p, _ := NewFFTPlan(1024)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Transform(x, +1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

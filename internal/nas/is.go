@@ -1,0 +1,222 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/mpi"
+)
+
+// is.go — the NAS IS benchmark: parallel integer sorting by bucketed key
+// exchange. Each rank generates uniform keys, partitions them into
+// per-destination buckets by key range, exchanges buckets with an
+// all-to-all, and ranks (sorts) what it received; verification confirms
+// global order across rank boundaries. Function names follow NPB:
+// create_seq, rank_, full_verify.
+
+// ISParams sizes one IS run.
+type ISParams struct {
+	// LogKeys: 2^LogKeys keys are generated globally.
+	LogKeys int
+	// MaxKeyLog: keys are uniform in [0, 2^MaxKeyLog).
+	MaxKeyLog int
+	// Repetitions of the ranking loop (NPB runs it 10 times).
+	Repetitions int
+}
+
+// ISClassParams returns the wired sizes per class.
+func ISClassParams(c Class) (ISParams, error) {
+	switch c {
+	case ClassS:
+		return ISParams{LogKeys: 14, MaxKeyLog: 11, Repetitions: 4}, nil
+	case ClassW:
+		return ISParams{LogKeys: 18, MaxKeyLog: 16, Repetitions: 6}, nil
+	case ClassA:
+		return ISParams{LogKeys: 21, MaxKeyLog: 19, Repetitions: 8}, nil
+	default:
+		return ISParams{}, fmt.Errorf("nas: IS class %q not wired", c)
+	}
+}
+
+// ISResult reports an IS run's outcome.
+type ISResult struct {
+	// SortedLocal is the rank's final sorted key block length.
+	SortedLocal int
+	// TotalKeys is the allreduced global key count after exchange.
+	TotalKeys    float64
+	Verification Verification
+	Makespan     time.Duration
+}
+
+// RunIS executes the IS benchmark on one rank of a cluster run.
+func RunIS(rc *cluster.Rank, class Class) (*ISResult, error) {
+	p, err := ISClassParams(class)
+	if err != nil {
+		return nil, err
+	}
+	return RunISParams(rc, p)
+}
+
+// RunISParams executes IS with explicit parameters.
+func RunISParams(rc *cluster.Rank, p ISParams) (*ISResult, error) {
+	if p.LogKeys < 6 || p.LogKeys > 28 {
+		return nil, fmt.Errorf("nas: IS LogKeys %d outside [6,28]", p.LogKeys)
+	}
+	if p.MaxKeyLog < 4 || p.MaxKeyLog > 30 {
+		return nil, fmt.Errorf("nas: IS MaxKeyLog %d outside [4,30]", p.MaxKeyLog)
+	}
+	if p.Repetitions < 1 {
+		return nil, fmt.Errorf("nas: IS needs ≥1 repetition")
+	}
+	P := rc.Size()
+	total := 1 << p.LogKeys
+	per := total / P
+	if per == 0 {
+		return nil, fmt.Errorf("nas: 2^%d keys cannot be split over %d ranks", p.LogKeys, P)
+	}
+	maxKey := 1 << p.MaxKeyLog
+
+	// --- create_seq: deterministic per-rank key stream ------------------
+	var keys []int
+	if err := instrumentChecked(rc, "create_seq", cluster.UtilMemory,
+		opsDuration(float64(per)*12), func() error {
+			keys = make([]int, per)
+			seed := uint64(rc.Rank())*0x9E3779B97F4A7C15 + 0x6C62272E07BB0142
+			for i := range keys {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				keys[i] = int((seed >> 17) % uint64(maxKey))
+			}
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+
+	res := &ISResult{}
+	var sorted []int
+	for rep := 0; rep < p.Repetitions; rep++ {
+		rc.Enter("rank_")
+
+		// Bucket keys by destination range.
+		rangePer := (maxKey + P - 1) / P
+		buckets := make([][]int, P)
+		if err := computeChecked(rc, cluster.UtilCompute, opsDuration(float64(per)*6), func() error {
+			for i := range buckets {
+				buckets[i] = buckets[i][:0]
+			}
+			for _, k := range keys {
+				d := k / rangePer
+				if d >= P {
+					d = P - 1
+				}
+				buckets[d] = append(buckets[d], k)
+			}
+			return nil
+		}); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+
+		// Equal-block all-to-all: blocks padded to the global maximum
+		// bucket size with −1 sentinels (our transport exchanges fixed
+		// blocks; NPB IS uses alltoallv).
+		localMax := 0
+		for _, b := range buckets {
+			if len(b) > localMax {
+				localMax = len(b)
+			}
+		}
+		gmax := make([]float64, 1)
+		if err := rc.Allreduce(mpi.OpMax, []float64{float64(localMax)}, gmax); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		bl := int(gmax[0])
+		send := make([]float64, P*bl)
+		for i := range send {
+			send[i] = -1
+		}
+		for d, b := range buckets {
+			for j, k := range b {
+				send[d*bl+j] = float64(k)
+			}
+		}
+		recv := make([]float64, P*bl)
+		if err := rc.Alltoall(send, recv); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+
+		// Local ranking (counting/comparison sort of received keys).
+		if err := computeChecked(rc, cluster.UtilCompute,
+			opsDuration(float64(P*bl)*math.Log2(float64(P*bl)+2)*3), func() error {
+				sorted = sorted[:0]
+				for _, v := range recv {
+					if v >= 0 {
+						sorted = append(sorted, int(v))
+					}
+				}
+				sort.Ints(sorted)
+				return nil
+			}); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := rc.Exit(); err != nil {
+			return nil, err
+		}
+	}
+	res.SortedLocal = len(sorted)
+
+	// --- full_verify: global order across rank boundaries ---------------
+	rc.Enter("full_verify")
+	okLocal := 1.0
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			okLocal = 0
+			break
+		}
+	}
+	// Boundary check: my max ≤ next rank's min (empty blocks send −1 /
+	// maxKey sentinels that always pass).
+	myMin, myMax := float64(maxKey), -1.0
+	if len(sorted) > 0 {
+		myMin, myMax = float64(sorted[0]), float64(sorted[len(sorted)-1])
+	}
+	const tagBoundary = 300
+	if rc.Rank()+1 < P {
+		if err := rc.Send(rc.Rank()+1, tagBoundary, []float64{myMax}); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+	}
+	if rc.Rank() > 0 {
+		prev, err := rc.Recv(rc.Rank()-1, tagBoundary)
+		if err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if len(prev) == 1 && prev[0] > myMin {
+			okLocal = 0
+		}
+	}
+	// Global conjunction and global count conservation.
+	agg := make([]float64, 2)
+	if err := rc.Allreduce(mpi.OpSum, []float64{okLocal, float64(len(sorted))}, agg); err != nil {
+		_ = rc.Exit()
+		return nil, err
+	}
+	if err := rc.Exit(); err != nil {
+		return nil, err
+	}
+	res.TotalKeys = agg[1]
+	ok := agg[0] == float64(P) && int(agg[1]) == total
+	res.Verification = Verification{
+		Passed: ok,
+		Detail: fmt.Sprintf("%d/%d ranks ordered, %0.f/%d keys conserved", int(agg[0]), P, agg[1], total),
+	}
+	res.Makespan = rc.Now()
+	return res, nil
+}

@@ -1,0 +1,408 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+)
+
+// newKernelCluster builds the standard 4-node test cluster.
+func newKernelCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes: 4, RanksPerNode: 1, Seed: 17, Cost: FTCost(), Heterogeneous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// --- EP -----------------------------------------------------------------
+
+func TestEPClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := EPClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := EPClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestEPSeedSkipAhead(t *testing.T) {
+	// Skipping ahead n steps must equal stepping n times.
+	g := &epLCG{seed: 271828183}
+	for i := 0; i < 1000; i++ {
+		g.next()
+	}
+	if got := epSeedAt(271828183, 1000); got != g.seed {
+		t.Errorf("skip-ahead seed %d, stepped seed %d", got, g.seed)
+	}
+	if epSeedAt(271828183, 0) != 271828183 {
+		t.Error("zero skip should return the start seed")
+	}
+}
+
+func TestEPRunAndVerify(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*EPResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunEPParams(rc, EPParams{LogPairs: 14})
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+	}
+	// Identical reductions everywhere.
+	for rank := 1; rank < 4; rank++ {
+		if results[rank].Counts != results[0].Counts || results[rank].SumX != results[0].SumX {
+			t.Errorf("rank %d reduction differs", rank)
+		}
+	}
+	// Acceptance rate ≈ π/4.
+	rate := results[0].Accepted / float64(1<<14)
+	if math.Abs(rate-math.Pi/4) > 0.02 {
+		t.Errorf("acceptance rate %v", rate)
+	}
+}
+
+func TestEPDisjointStreams(t *testing.T) {
+	// Splitting over 1 vs 4 ranks must produce identical global results
+	// (the skip-ahead gives ranks disjoint slices of one stream).
+	run := func(nodes int) *EPResult {
+		c, err := cluster.New(cluster.Config{Nodes: nodes, RanksPerNode: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out *EPResult
+		if _, err := c.Run(func(rc *cluster.Rank) error {
+			r, err := RunEPParams(rc, EPParams{LogPairs: 12})
+			if rc.Rank() == 0 {
+				out = r
+			}
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(4)
+	if a.Counts != b.Counts || a.Accepted != b.Accepted {
+		t.Errorf("P=1 vs P=4 counts differ:\n%+v\n%+v", a, b)
+	}
+	// Gaussian sums agree up to reduction-order roundoff.
+	if math.Abs(a.SumX-b.SumX) > 1e-9 || math.Abs(a.SumY-b.SumY) > 1e-9 {
+		t.Errorf("P=1 vs P=4 sums differ: (%v,%v) vs (%v,%v)", a.SumX, a.SumY, b.SumX, b.SumY)
+	}
+}
+
+func TestEPInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunEPParams(rc, EPParams{LogPairs: 2}); err == nil {
+			return errMsg("tiny LogPairs accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- CG -----------------------------------------------------------------
+
+func TestCGClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := CGClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := CGClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestCGConverges(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*CGResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunCGParams(rc, CGParams{N: 512, Iterations: 20, Band: 4})
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+	}
+	// CG on SPD: residual decreases monotonically (within roundoff).
+	res := results[0].Residuals
+	for i := 1; i < len(res); i++ {
+		if res[i] > res[i-1]*1.0001 {
+			t.Errorf("residual rose at %d: %v → %v", i, res[i-1], res[i])
+		}
+	}
+	// All ranks agree.
+	for rank := 1; rank < 4; rank++ {
+		if results[rank].Zeta != results[0].Zeta {
+			t.Errorf("rank %d zeta differs", rank)
+		}
+	}
+}
+
+func TestCGInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunCGParams(rc, CGParams{N: 511, Iterations: 5, Band: 3}); err == nil {
+			return errMsg("indivisible N accepted")
+		}
+		if _, err := RunCGParams(rc, CGParams{N: 512, Iterations: 1, Band: 3}); err == nil {
+			return errMsg("1 iteration accepted")
+		}
+		if _, err := RunCGParams(rc, CGParams{N: 512, Iterations: 5, Band: 0}); err == nil {
+			return errMsg("zero band accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- MG -----------------------------------------------------------------
+
+func TestMGClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := MGClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MGClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestMGReducesResidual(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*MGResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunMG(rc, ClassS)
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+	}
+	for rank := 1; rank < 4; rank++ {
+		for i := range results[0].Residuals {
+			if results[rank].Residuals[i] != results[0].Residuals[i] {
+				t.Errorf("rank %d residual %d differs", rank, i)
+			}
+		}
+	}
+}
+
+func TestMGInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunMGParams(rc, MGParams{N: 12, Cycles: 3}); err == nil {
+			return errMsg("non-pow2 accepted")
+		}
+		if _, err := RunMGParams(rc, MGParams{N: 4, Cycles: 3}); err == nil {
+			return errMsg("odd local depth accepted") // 4/4 ranks = 1 plane
+		}
+		if _, err := RunMGParams(rc, MGParams{N: 16, Cycles: 1}); err == nil {
+			return errMsg("1 cycle accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- IS -----------------------------------------------------------------
+
+func TestISClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := ISClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ISClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestISSortsGlobally(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*ISResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunISParams(rc, ISParams{LogKeys: 12, MaxKeyLog: 10, Repetitions: 2})
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSorted := 0
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+		totalSorted += r.SortedLocal
+	}
+	if totalSorted != 1<<12 {
+		t.Errorf("keys conserved: %d, want %d", totalSorted, 1<<12)
+	}
+}
+
+func TestISInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunISParams(rc, ISParams{LogKeys: 2, MaxKeyLog: 10, Repetitions: 1}); err == nil {
+			return errMsg("tiny LogKeys accepted")
+		}
+		if _, err := RunISParams(rc, ISParams{LogKeys: 12, MaxKeyLog: 2, Repetitions: 1}); err == nil {
+			return errMsg("tiny MaxKeyLog accepted")
+		}
+		if _, err := RunISParams(rc, ISParams{LogKeys: 12, MaxKeyLog: 10, Repetitions: 0}); err == nil {
+			return errMsg("0 repetitions accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- cross-kernel thermal contrast ---------------------------------------
+
+func TestEPRunsHotterThanFT(t *testing.T) {
+	// §4.3: FT (half its time in all-to-all) was expected to run cool; EP
+	// burns end to end. On identical hardware EP's average CPU temperature
+	// must exceed FT's.
+	avgTemp := func(body func(rc *cluster.Rank) error) float64 {
+		c, err := cluster.New(cluster.Config{Nodes: 1, RanksPerNode: 1, Seed: 23, Cost: FTCost()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := parser.ParseAll(res.Traces, parser.Options{Unit: parser.Celsius})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mainP, ok := p.Nodes[0].Function("main")
+		if !ok {
+			t.Fatal("main missing")
+		}
+		return mainP.Sensors[0].Max
+	}
+	// Comparable virtual spans: FT ≈5 s mixed compute/comm vs EP ≈7 s of
+	// pure burn.
+	ftTemp := avgTemp(func(rc *cluster.Rank) error {
+		_, err := RunFTParams(rc, FTParams{N: 32, Iterations: 3, Alpha: 1e-6})
+		return err
+	})
+	epTemp := avgTemp(func(rc *cluster.Rank) error {
+		_, err := RunEPParams(rc, EPParams{LogPairs: 19})
+		return err
+	})
+	if epTemp <= ftTemp {
+		t.Errorf("EP peak %0.2f °C not hotter than FT peak %0.2f °C", epTemp, ftTemp)
+	}
+}
+
+func BenchmarkEPClassS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := newKernelCluster(b)
+		if _, err := c.Run(func(rc *cluster.Rank) error {
+			_, err := RunEP(rc, ClassS)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestClassWShapes scales FT and BT to class W and re-checks the headline
+// shape claims — phase structure must survive the 8× working-set growth.
+func TestClassWShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W takes a few seconds")
+	}
+	// FT class W: comm share stays all-to-all dominated.
+	cFT := newKernelCluster(t)
+	resFT, err := cFT.Run(func(rc *cluster.Rank) error {
+		r, err := RunFT(rc, ClassW)
+		if err != nil {
+			return err
+		}
+		if !r.Verification.Passed {
+			t.Errorf("FT W: %s", r.Verification.Detail)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFT, err := parser.ParseAll(resFT.Traces, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainP, _ := pFT.Nodes[0].Function("main")
+	a2a, ok := pFT.Nodes[0].Function("MPI_Alltoall")
+	if !ok {
+		t.Fatal("FT W: no all-to-all")
+	}
+	share := float64(a2a.TotalTime) / float64(mainP.TotalTime)
+	if share < 0.25 || share > 0.8 {
+		t.Errorf("FT W alltoall share %.2f", share)
+	}
+
+	// BT class W: still compute-dominated, residual falls.
+	cBT := newKernelCluster(t)
+	resBT, err := cBT.Run(func(rc *cluster.Rank) error {
+		r, err := RunBT(rc, ClassW)
+		if err != nil {
+			return err
+		}
+		if !r.Verification.Passed {
+			t.Errorf("BT W: %s", r.Verification.Detail)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBT, err := parser.ParseAll(resBT.Traces, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adi, _ := pBT.Nodes[0].Function("adi_")
+	mainB, _ := pBT.Nodes[0].Function("main")
+	if float64(adi.TotalTime)/float64(mainB.TotalTime) < 0.5 {
+		t.Errorf("BT W adi_ share %.2f", float64(adi.TotalTime)/float64(mainB.TotalTime))
+	}
+}

@@ -1,0 +1,147 @@
+package nas
+
+import "fmt"
+
+// linalg5.go — the 5×5 block kernels at the heart of NAS BT. The names
+// follow the NPB source (and the paper's Table 3): matvec_sub multiplies
+// a 5×5 block into a 5-vector and subtracts, matmul_sub multiplies two
+// blocks and subtracts, binvcrhs eliminates a diagonal block against its
+// right neighbour and right-hand side.
+
+// mat5 is a dense 5×5 block, row-major.
+type mat5 [25]float64
+
+// vec5 is one cell's 5-component state.
+type vec5 [5]float64
+
+// matvecSub computes rhs ← rhs − A·x (NPB's matvec_sub).
+func matvecSub(a *mat5, x, rhs *vec5) {
+	for i := 0; i < 5; i++ {
+		s := 0.0
+		row := a[i*5 : i*5+5]
+		for j := 0; j < 5; j++ {
+			s += row[j] * x[j]
+		}
+		rhs[i] -= s
+	}
+}
+
+// matmulSub computes C ← C − A·B (NPB's matmul_sub).
+func matmulSub(a, b, c *mat5) {
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			s := 0.0
+			for k := 0; k < 5; k++ {
+				s += a[i*5+k] * b[k*5+j]
+			}
+			c[i*5+j] -= s
+		}
+	}
+}
+
+// binvcrhs performs in-place Gaussian elimination of the diagonal block:
+// B ← I (conceptually), C ← B⁻¹·C, r ← B⁻¹·r (NPB's binvcrhs). It returns
+// an error on a (numerically) singular block.
+func binvcrhs(b, c *mat5, r *vec5) error {
+	for p := 0; p < 5; p++ {
+		// Partial pivoting within the block.
+		piv := p
+		maxAbs := abs(b[p*5+p])
+		for q := p + 1; q < 5; q++ {
+			if a := abs(b[q*5+p]); a > maxAbs {
+				piv, maxAbs = q, a
+			}
+		}
+		if maxAbs < 1e-300 {
+			return fmt.Errorf("nas: singular 5×5 block at pivot %d", p)
+		}
+		if piv != p {
+			for j := 0; j < 5; j++ {
+				b[p*5+j], b[piv*5+j] = b[piv*5+j], b[p*5+j]
+				c[p*5+j], c[piv*5+j] = c[piv*5+j], c[p*5+j]
+			}
+			r[p], r[piv] = r[piv], r[p]
+		}
+		inv := 1 / b[p*5+p]
+		for j := 0; j < 5; j++ {
+			b[p*5+j] *= inv
+			c[p*5+j] *= inv
+		}
+		r[p] *= inv
+		for q := 0; q < 5; q++ {
+			if q == p {
+				continue
+			}
+			f := b[q*5+p]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 5; j++ {
+				b[q*5+j] -= f * b[p*5+j]
+				c[q*5+j] -= f * c[p*5+j]
+			}
+			r[q] -= f * r[p]
+		}
+	}
+	return nil
+}
+
+// binvrhs solves B·x = r in place for the last cell of a line (no right
+// neighbour), NPB's binvrhs.
+func binvrhs(b *mat5, r *vec5) error {
+	var zero mat5
+	return binvcrhs(b, &zero, r)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// identity5 returns the 5×5 identity scaled by s.
+func identity5(s float64) mat5 {
+	var m mat5
+	for i := 0; i < 5; i++ {
+		m[i*5+i] = s
+	}
+	return m
+}
+
+// blockTriSolve solves a block-tridiagonal system in place along a line of
+// n cells: A[i]·x[i−1] + B[i]·x[i] + C[i]·x[i+1] = r[i]. A[0] and C[n−1]
+// are ignored. On return r holds the solution. This is the forward
+// elimination / back substitution of NPB BT's {x,y,z}_solve, composed from
+// binvcrhs, matvec_sub and matmul_sub exactly as the Fortran code is.
+func blockTriSolve(a, b, c []mat5, r []vec5) error {
+	n := len(r)
+	if len(a) != n || len(b) != n || len(c) != n {
+		return fmt.Errorf("nas: block system arrays disagree: %d/%d/%d/%d", len(a), len(b), len(c), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Forward sweep.
+	if err := binvcrhs(&b[0], &c[0], &r[0]); err != nil {
+		return err
+	}
+	for i := 1; i < n; i++ {
+		// r[i] ← r[i] − A[i]·r[i−1]
+		matvecSub(&a[i], &r[i-1], &r[i])
+		// B[i] ← B[i] − A[i]·C[i−1]
+		matmulSub(&a[i], &c[i-1], &b[i])
+		if i == n-1 {
+			if err := binvrhs(&b[i], &r[i]); err != nil {
+				return err
+			}
+		} else if err := binvcrhs(&b[i], &c[i], &r[i]); err != nil {
+			return err
+		}
+	}
+	// Back substitution: x[i] ← r[i] − C[i]·x[i+1].
+	for i := n - 2; i >= 0; i-- {
+		matvecSub(&c[i], &r[i+1], &r[i])
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tempest/internal/cluster"
+)
+
+// lu.go — the NAS LU benchmark: an SSOR (symmetric successive
+// over-relaxation) solver. Each iteration performs a lower-triangular
+// sweep (blts) ascending through the grid and an upper-triangular sweep
+// (buts) descending, with 5×5 block Jacobians (jacld/jacu) — reusing the
+// mat5 kernels BT is built on.
+//
+// The z-slab decomposition makes the sweeps *pipelined*: rank r's lower
+// sweep cannot start until rank r−1's top plane arrives, and the upper
+// sweep flows the other way — LU's signature wavefront communication,
+// which shows up in profiles as staggered MPI_Recv time on interior
+// ranks. Function names follow NPB: ssor, rhs_, jacld, blts, jacu, buts.
+
+// LUParams sizes one LU run.
+type LUParams struct {
+	// G is the cubic grid edge; must be divisible by the rank count.
+	G int
+	// Iterations is the SSOR step count.
+	Iterations int
+	// Omega is the over-relaxation factor in (0, 2).
+	Omega float64
+}
+
+// LUClassParams returns the wired sizes per class.
+func LUClassParams(c Class) (LUParams, error) {
+	switch c {
+	case ClassS:
+		return LUParams{G: 12, Iterations: 12, Omega: 1.2}, nil
+	case ClassW:
+		return LUParams{G: 24, Iterations: 12, Omega: 1.2}, nil
+	case ClassA:
+		return LUParams{G: 36, Iterations: 16, Omega: 1.2}, nil
+	default:
+		return LUParams{}, fmt.Errorf("nas: LU class %q not wired", c)
+	}
+}
+
+// LUResult reports an LU run's outcome.
+type LUResult struct {
+	Residuals    []float64
+	Verification Verification
+	Makespan     time.Duration
+}
+
+// RunLU executes the LU benchmark on one rank of a cluster run.
+func RunLU(rc *cluster.Rank, class Class) (*LUResult, error) {
+	p, err := LUClassParams(class)
+	if err != nil {
+		return nil, err
+	}
+	return RunLUParams(rc, p)
+}
+
+// RunLUParams executes LU with explicit parameters.
+func RunLUParams(rc *cluster.Rank, p LUParams) (*LUResult, error) {
+	P := rc.Size()
+	if p.G < 3 || p.G%P != 0 {
+		return nil, fmt.Errorf("nas: LU grid %d not divisible by %d ranks (or too small)", p.G, P)
+	}
+	if p.Iterations < 2 {
+		return nil, fmt.Errorf("nas: LU needs ≥2 iterations")
+	}
+	if p.Omega <= 0 || p.Omega >= 2 {
+		return nil, fmt.Errorf("nas: LU omega %v outside (0,2)", p.Omega)
+	}
+	g := p.G
+	nzl := g / P
+	st := newBTState(g, nzl)
+
+	if err := instrumentChecked(rc, "setbv", cluster.UtilMemory,
+		opsDuration(float64(g*g*nzl)*15), func() error {
+			z0 := rc.Rank() * nzl
+			for z := 0; z < nzl; z++ {
+				for y := 0; y < g; y++ {
+					for x := 0; x < g; x++ {
+						u := st.uAt(x, y, z)
+						fx := float64(x) / float64(g-1)
+						fy := float64(y) / float64(g-1)
+						fz := float64(z0+z) / float64(g-1)
+						u[0] = 1 + 0.6*math.Sin(math.Pi*fx)*math.Sin(math.Pi*fy)*math.Sin(math.Pi*fz)
+						u[1] = 0.2 * math.Sin(2*math.Pi*fx)
+						u[2] = 0.2 * math.Sin(2*math.Pi*fy)
+						u[3] = 0.2 * math.Sin(2*math.Pi*fz)
+						u[4] = 2 + 0.15*u[0]
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+	if err := rc.Barrier(); err != nil {
+		return nil, err
+	}
+
+	res := &LUResult{}
+	for iter := 0; iter < p.Iterations; iter++ {
+		rc.Enter("ssor")
+		if err := btComputeRHS(rc, st); err != nil { // rhs_ has BT's shape
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := luLowerSweep(rc, st, p.Omega); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := luUpperSweep(rc, st, p.Omega); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := btAdd(rc, st, 1.0); err != nil { // SSOR applies the full update
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := rc.Exit(); err != nil {
+			return nil, err
+		}
+		norm, err := btResidualNorm(rc, st)
+		if err != nil {
+			return nil, err
+		}
+		res.Residuals = append(res.Residuals, norm)
+	}
+
+	first, last := res.Residuals[0], res.Residuals[len(res.Residuals)-1]
+	res.Verification = Verification{
+		Passed: last < first && !math.IsNaN(last),
+		Detail: fmt.Sprintf("residual %0.6e → %0.6e over %d iterations", first, last, p.Iterations),
+	}
+	res.Makespan = rc.Now()
+	return res, nil
+}
+
+const (
+	luTagLower = 400
+	luTagUpper = 401
+)
+
+// luPackPlane serialises rhs plane z (the sweep carries rhs values, not u).
+func luPackPlane(st *btState, z int) []float64 {
+	out := make([]float64, 0, st.g*st.g*5)
+	for y := 0; y < st.g; y++ {
+		for x := 0; x < st.g; x++ {
+			r := st.rhsAt(x, y, z)
+			out = append(out, r[0], r[1], r[2], r[3], r[4])
+		}
+	}
+	return out
+}
+
+// luPlaneBuf holds a received neighbour plane for the sweeps.
+type luPlaneBuf struct {
+	ok   bool
+	vals []float64
+}
+
+func (b *luPlaneBuf) at(g, x, y, comp int) float64 {
+	if !b.ok {
+		return 0
+	}
+	return b.vals[(y*g+x)*5+comp]
+}
+
+// luLowerSweep performs the ascending blts sweep: wait for the plane from
+// rank r−1, apply jacld/blts through the local slab bottom-up, send the
+// top plane to rank r+1 — the NPB LU pipeline.
+func luLowerSweep(rc *cluster.Rank, st *btState, omega float64) error {
+	g, nzl := st.g, st.nzl
+	var below luPlaneBuf
+	if rc.Rank() > 0 {
+		data, err := rc.Recv(rc.Rank()-1, luTagLower)
+		if err != nil {
+			return err
+		}
+		below = luPlaneBuf{ok: true, vals: data}
+	}
+	// jacld + blts: ≈1200 flops per cell (Jacobian assembly + block solve).
+	rc.Enter("blts")
+	if err := computeChecked(rc, cluster.UtilCompute,
+		opsDuration(float64(g*g*nzl)*1200), func() error {
+			for z := 0; z < nzl; z++ {
+				for y := 0; y < g; y++ {
+					for x := 0; x < g; x++ {
+						r := st.rhsAt(x, y, z)
+						u := st.uAt(x, y, z)
+						// jacld: lower Jacobian contributions from the
+						// already-updated west/south/below neighbours.
+						var acc vec5
+						if x > 0 {
+							w := st.rhsAt(x-1, y, z)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += w[c5]
+							}
+						}
+						if y > 0 {
+							s := st.rhsAt(x, y-1, z)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += s[c5]
+							}
+						}
+						if z > 0 {
+							bl := st.rhsAt(x, y, z-1)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += bl[c5]
+							}
+						} else if below.ok {
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += below.at(g, x, y, c5)
+							}
+						}
+						// blts: solve the diagonal 5×5 block against the
+						// accumulated lower terms.
+						d := identity5(3.0 + 0.1*math.Abs(u[0]))
+						rhs := *r
+						for c5 := 0; c5 < 5; c5++ {
+							rhs[c5] += omega * 0.3 * acc[c5]
+						}
+						if err := binvrhs(&d, &rhs); err != nil {
+							return err
+						}
+						*r = rhs
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+		_ = rc.Exit()
+		return err
+	}
+	if err := rc.Exit(); err != nil {
+		return err
+	}
+	if rc.Rank()+1 < rc.Size() {
+		return rc.Send(rc.Rank()+1, luTagLower, luPackPlane(st, nzl-1))
+	}
+	return nil
+}
+
+// luUpperSweep performs the descending buts sweep, pipelined the other way.
+func luUpperSweep(rc *cluster.Rank, st *btState, omega float64) error {
+	g, nzl := st.g, st.nzl
+	var above luPlaneBuf
+	if rc.Rank()+1 < rc.Size() {
+		data, err := rc.Recv(rc.Rank()+1, luTagUpper)
+		if err != nil {
+			return err
+		}
+		above = luPlaneBuf{ok: true, vals: data}
+	}
+	rc.Enter("buts")
+	if err := computeChecked(rc, cluster.UtilCompute,
+		opsDuration(float64(g*g*nzl)*1200), func() error {
+			for z := nzl - 1; z >= 0; z-- {
+				for y := g - 1; y >= 0; y-- {
+					for x := g - 1; x >= 0; x-- {
+						r := st.rhsAt(x, y, z)
+						u := st.uAt(x, y, z)
+						var acc vec5
+						if x < g-1 {
+							e := st.rhsAt(x+1, y, z)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += e[c5]
+							}
+						}
+						if y < g-1 {
+							n := st.rhsAt(x, y+1, z)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += n[c5]
+							}
+						}
+						if z < nzl-1 {
+							ab := st.rhsAt(x, y, z+1)
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += ab[c5]
+							}
+						} else if above.ok {
+							for c5 := 0; c5 < 5; c5++ {
+								acc[c5] += above.at(g, x, y, c5)
+							}
+						}
+						d := identity5(3.0 + 0.1*math.Abs(u[0]))
+						rhs := *r
+						for c5 := 0; c5 < 5; c5++ {
+							rhs[c5] += omega * 0.3 * acc[c5]
+						}
+						if err := binvrhs(&d, &rhs); err != nil {
+							return err
+						}
+						*r = rhs
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+		_ = rc.Exit()
+		return err
+	}
+	if err := rc.Exit(); err != nil {
+		return err
+	}
+	if rc.Rank() > 0 {
+		return rc.Send(rc.Rank()-1, luTagUpper, luPackPlane(st, 0))
+	}
+	return nil
+}

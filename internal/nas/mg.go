@@ -1,0 +1,344 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/mpi"
+)
+
+// mg.go — the NAS MG benchmark: multigrid relaxation of a 3-D Poisson
+// problem. This port runs a two-grid V-cycle (pre-smooth, restrict,
+// coarse smooth, prolongate, correct, post-smooth) on z-slab subdomains
+// with halo exchange before every stencil sweep. Function names follow
+// NPB: mg3P, psinv (smoother), resid, rprj3 (restriction), interp
+// (prolongation), comm3 (halo exchange).
+
+// MGParams sizes one MG run.
+type MGParams struct {
+	// N is the cubic fine-grid edge; N and N/2 must be divisible by the
+	// rank count.
+	N int
+	// Cycles is the number of V-cycles.
+	Cycles int
+}
+
+// MGClassParams returns the wired sizes per class.
+func MGClassParams(c Class) (MGParams, error) {
+	switch c {
+	case ClassS:
+		return MGParams{N: 16, Cycles: 4}, nil
+	case ClassW:
+		return MGParams{N: 32, Cycles: 6}, nil
+	case ClassA:
+		return MGParams{N: 64, Cycles: 8}, nil
+	default:
+		return MGParams{}, fmt.Errorf("nas: MG class %q not wired", c)
+	}
+}
+
+// MGResult reports an MG run's outcome.
+type MGResult struct {
+	// Residuals holds the global residual L2 norm after each V-cycle.
+	Residuals    []float64
+	Verification Verification
+	Makespan     time.Duration
+}
+
+// mgField is a z-slab scalar field with one halo plane per side.
+type mgField struct {
+	n, nzl int
+	v      []float64 // ((z+1)·n + y)·n + x
+}
+
+func newMGField(n, nzl int) *mgField {
+	return &mgField{n: n, nzl: nzl, v: make([]float64, n*n*(nzl+2))}
+}
+
+func (f *mgField) at(x, y, z int) float64     { return f.v[((z+1)*f.n+y)*f.n+x] }
+func (f *mgField) set(x, y, z int, u float64) { f.v[((z+1)*f.n+y)*f.n+x] = u }
+
+// comm3 exchanges halo planes with z-neighbours (clamped at the ends).
+func mgComm3(rc *cluster.Rank, f *mgField) error {
+	rc.Enter("comm3")
+	defer func() { _ = rc.Exit() }()
+	P := rc.Size()
+	r := rc.Rank()
+	plane := f.n * f.n
+	pack := func(z int) []float64 {
+		out := make([]float64, 0, plane)
+		for y := 0; y < f.n; y++ {
+			for x := 0; x < f.n; x++ {
+				out = append(out, f.at(x, y, z))
+			}
+		}
+		return out
+	}
+	unpack := func(z int, data []float64) error {
+		if len(data) != plane {
+			return fmt.Errorf("nas: comm3 plane %d floats, want %d", len(data), plane)
+		}
+		k := 0
+		for y := 0; y < f.n; y++ {
+			for x := 0; x < f.n; x++ {
+				f.set(x, y, z, data[k])
+				k++
+			}
+		}
+		return nil
+	}
+	const tagUp, tagDown = 200, 201
+	if r+1 < P {
+		if err := rc.Send(r+1, tagUp, pack(f.nzl-1)); err != nil {
+			return err
+		}
+	}
+	if r > 0 {
+		data, err := rc.Recv(r-1, tagUp)
+		if err != nil {
+			return err
+		}
+		if err := unpack(-1, data); err != nil {
+			return err
+		}
+	}
+	if r > 0 {
+		if err := rc.Send(r-1, tagDown, pack(0)); err != nil {
+			return err
+		}
+	}
+	if r+1 < P {
+		data, err := rc.Recv(r+1, tagDown)
+		if err != nil {
+			return err
+		}
+		if err := unpack(f.nzl, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mgResid computes r = rhs − A·u with the 7-point Laplacian (A = −∇²).
+func mgResid(rc *cluster.Rank, u, rhs, r *mgField) error {
+	if err := mgComm3(rc, u); err != nil {
+		return err
+	}
+	n, nzl := u.n, u.nzl
+	return instrumentChecked(rc, "resid", cluster.UtilCompute,
+		opsDuration(float64(n*n*nzl)*9), func() error {
+			for z := 0; z < nzl; z++ {
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						au := 6*u.at(x, y, z) -
+							u.at(wrap(x-1, n), y, z) - u.at(wrap(x+1, n), y, z) -
+							u.at(x, wrap(y-1, n), z) - u.at(x, wrap(y+1, n), z) -
+							u.at(x, y, z-1) - u.at(x, y, z+1)
+						r.set(x, y, z, rhs.at(x, y, z)-au)
+					}
+				}
+			}
+			return nil
+		})
+}
+
+// mgPsinv applies the damped-Jacobi smoother u ← u + ω·r/6.
+func mgPsinv(rc *cluster.Rank, u, r *mgField, sweeps int) error {
+	n, nzl := u.n, u.nzl
+	const omega = 0.8
+	for s := 0; s < sweeps; s++ {
+		if err := mgComm3(rc, u); err != nil {
+			return err
+		}
+		if err := instrumentChecked(rc, "psinv", cluster.UtilCompute,
+			opsDuration(float64(n*n*nzl)*11), func() error {
+				for z := 0; z < nzl; z++ {
+					for y := 0; y < n; y++ {
+						for x := 0; x < n; x++ {
+							au := 6*u.at(x, y, z) -
+								u.at(wrap(x-1, n), y, z) - u.at(wrap(x+1, n), y, z) -
+								u.at(x, wrap(y-1, n), z) - u.at(x, wrap(y+1, n), z) -
+								u.at(x, y, z-1) - u.at(x, y, z+1)
+							u.set(x, y, z, u.at(x, y, z)+omega*(r.at(x, y, z)-au)/6)
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mgRprj3 restricts a fine field to the half-resolution coarse grid by
+// 2×2×2 averaging.
+func mgRprj3(rc *cluster.Rank, fine *mgField) (*mgField, error) {
+	cn, cnzl := fine.n/2, fine.nzl/2
+	coarse := newMGField(cn, cnzl)
+	err := instrumentChecked(rc, "rprj3", cluster.UtilMemory,
+		opsDuration(float64(cn*cn*cnzl)*9), func() error {
+			for z := 0; z < cnzl; z++ {
+				for y := 0; y < cn; y++ {
+					for x := 0; x < cn; x++ {
+						var s float64
+						for dz := 0; dz < 2; dz++ {
+							for dy := 0; dy < 2; dy++ {
+								for dx := 0; dx < 2; dx++ {
+									s += fine.at(2*x+dx, 2*y+dy, 2*z+dz)
+								}
+							}
+						}
+						coarse.set(x, y, z, s/8)
+					}
+				}
+			}
+			return nil
+		})
+	return coarse, err
+}
+
+// mgInterp prolongates a coarse correction onto the fine grid (injection
+// to the 8 children) and adds it to u.
+func mgInterp(rc *cluster.Rank, u, coarse *mgField) error {
+	cn, cnzl := coarse.n, coarse.nzl
+	return instrumentChecked(rc, "interp", cluster.UtilMemory,
+		opsDuration(float64(cn*cn*cnzl)*9), func() error {
+			for z := 0; z < cnzl; z++ {
+				for y := 0; y < cn; y++ {
+					for x := 0; x < cn; x++ {
+						c := coarse.at(x, y, z)
+						for dz := 0; dz < 2; dz++ {
+							for dy := 0; dy < 2; dy++ {
+								for dx := 0; dx < 2; dx++ {
+									fx, fy, fz := 2*x+dx, 2*y+dy, 2*z+dz
+									u.set(fx, fy, fz, u.at(fx, fy, fz)+c)
+								}
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+}
+
+// RunMG executes the MG benchmark on one rank of a cluster run.
+func RunMG(rc *cluster.Rank, class Class) (*MGResult, error) {
+	p, err := MGClassParams(class)
+	if err != nil {
+		return nil, err
+	}
+	return RunMGParams(rc, p)
+}
+
+// RunMGParams executes MG with explicit parameters.
+func RunMGParams(rc *cluster.Rank, p MGParams) (*MGResult, error) {
+	P := rc.Size()
+	if p.N < 4 || !isPow2(p.N) {
+		return nil, fmt.Errorf("nas: MG grid %d must be a power of two ≥4", p.N)
+	}
+	nzl := p.N / P
+	if nzl*P != p.N || nzl%2 != 0 {
+		return nil, fmt.Errorf("nas: MG grid %d/%d ranks leaves local depth %d (need even ≥2)", p.N, P, nzl)
+	}
+	if p.Cycles < 2 {
+		return nil, fmt.Errorf("nas: MG needs ≥2 cycles")
+	}
+	n := p.N
+
+	u := newMGField(n, nzl)
+	rhs := newMGField(n, nzl)
+	r := newMGField(n, nzl)
+	if err := instrumentChecked(rc, "zero3", cluster.UtilMemory,
+		opsDuration(float64(n*n*nzl)*3), func() error {
+			z0 := rc.Rank() * nzl
+			for z := 0; z < nzl; z++ {
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						fx := float64(x) / float64(n)
+						fy := float64(y) / float64(n)
+						fz := float64(z0+z) / float64(n)
+						rhs.set(x, y, z, math.Sin(2*math.Pi*fx)*math.Sin(2*math.Pi*fy)*math.Sin(2*math.Pi*fz))
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+	if err := rc.Barrier(); err != nil {
+		return nil, err
+	}
+
+	res := &MGResult{}
+	norm := func() (float64, error) {
+		var local float64
+		for z := 0; z < nzl; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					v := r.at(x, y, z)
+					local += v * v
+				}
+			}
+		}
+		out := make([]float64, 1)
+		if err := rc.Allreduce(mpi.OpSum, []float64{local}, out); err != nil {
+			return 0, err
+		}
+		return math.Sqrt(out[0]), nil
+	}
+
+	for cyc := 0; cyc < p.Cycles; cyc++ {
+		rc.Enter("mg3P")
+		if err := mgPsinv(rc, u, rhs, 2); err != nil { // pre-smooth
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := mgResid(rc, u, rhs, r); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		coarse, err := mgRprj3(rc, r)
+		if err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		eCoarse := newMGField(coarse.n, coarse.nzl)
+		if err := mgPsinv(rc, eCoarse, coarse, 4); err != nil { // coarse solve
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := mgInterp(rc, u, eCoarse); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := mgPsinv(rc, u, rhs, 2); err != nil { // post-smooth
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := mgResid(rc, u, rhs, r); err != nil {
+			_ = rc.Exit()
+			return nil, err
+		}
+		if err := rc.Exit(); err != nil {
+			return nil, err
+		}
+		nv, err := norm()
+		if err != nil {
+			return nil, err
+		}
+		res.Residuals = append(res.Residuals, nv)
+	}
+
+	first, last := res.Residuals[0], res.Residuals[len(res.Residuals)-1]
+	ok := last < first && !math.IsNaN(last)
+	res.Verification = Verification{
+		Passed: ok,
+		Detail: fmt.Sprintf("residual %0.3e → %0.3e over %d cycles", first, last, p.Cycles),
+	}
+	res.Makespan = rc.Now()
+	return res, nil
+}

@@ -1,0 +1,296 @@
+package nas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempest/internal/cluster"
+	"tempest/internal/parser"
+)
+
+// --- pentadiagonal solver ------------------------------------------------
+
+// pentaApply computes y = M·x for the banded system (pre-factorisation).
+func pentaApply(a, b, c, d, e, x []float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = c[i] * x[i]
+		if i >= 1 {
+			y[i] += b[i] * x[i-1]
+		}
+		if i >= 2 {
+			y[i] += a[i] * x[i-2]
+		}
+		if i < n-1 {
+			y[i] += d[i] * x[i+1]
+		}
+		if i < n-2 {
+			y[i] += e[i] * x[i+2]
+		}
+	}
+	return y
+}
+
+func TestPentaSolveKnown(t *testing.T) {
+	// Tridiagonal special case (a=e=0): -x[i-1] + 4x[i] - x[i+1] = r.
+	n := 6
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	e := make([]float64, n)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = 4
+		if i > 0 {
+			b[i] = -1
+		}
+		if i < n-1 {
+			d[i] = -1
+		}
+		want[i] = float64(i + 1)
+	}
+	r := pentaApply(a, b, c, d, e, want)
+	if err := pentaSolve(a, b, c, d, e, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+// Property: pentaSolve recovers planted solutions of random diagonally
+// dominant pentadiagonal systems.
+func TestPentaSolveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 3
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		e := make([]float64, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i >= 2 {
+				a[i] = rng.NormFloat64()
+			}
+			if i >= 1 {
+				b[i] = rng.NormFloat64()
+			}
+			if i < n-1 {
+				d[i] = rng.NormFloat64()
+			}
+			if i < n-2 {
+				e[i] = rng.NormFloat64()
+			}
+			c[i] = 10 + math.Abs(a[i]) + math.Abs(b[i]) + math.Abs(d[i]) + math.Abs(e[i])
+			x[i] = rng.NormFloat64()
+		}
+		r := pentaApply(a, b, c, d, e, x)
+		if err := pentaSolve(a, b, c, d, e, r); err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(r[i]-x[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPentaSolveValidation(t *testing.T) {
+	if err := pentaSolve(make([]float64, 2), make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := pentaSolve(nil, nil, nil, nil, nil, nil); err != nil {
+		t.Errorf("empty system: %v", err)
+	}
+	n := 3
+	zero := make([]float64, n)
+	if err := pentaSolve(make([]float64, n), make([]float64, n), zero, make([]float64, n), make([]float64, n), make([]float64, n)); err == nil {
+		t.Error("singular system should fail")
+	}
+}
+
+// --- SP ------------------------------------------------------------------
+
+func TestSPClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := SPClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SPClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestRunSPClassS(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*SPResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunSP(rc, ClassS)
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+	}
+	for rank := 1; rank < 4; rank++ {
+		for i := range results[0].Residuals {
+			if results[rank].Residuals[i] != results[0].Residuals[i] {
+				t.Errorf("rank %d residual %d differs", rank, i)
+			}
+		}
+	}
+}
+
+func TestSPLighterThanBT(t *testing.T) {
+	// SP's scalar factorisation is far cheaper per iteration than BT's
+	// block solves: with equal grids and iterations, SP must finish in
+	// well under half BT's virtual time.
+	makespan := func(body func(rc *cluster.Rank) error) float64 {
+		c := newKernelCluster(t)
+		res, err := c.Run(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration.Seconds()
+	}
+	bt := makespan(func(rc *cluster.Rank) error {
+		_, err := RunBTParams(rc, BTParams{G: 12, Iterations: 10, Dt: 0.4})
+		return err
+	})
+	sp := makespan(func(rc *cluster.Rank) error {
+		_, err := RunSPParams(rc, SPParams{G: 12, Iterations: 10, Dt: 0.4})
+		return err
+	})
+	if sp >= bt/2 {
+		t.Errorf("SP %0.1fs not much lighter than BT %0.1fs", sp, bt)
+	}
+}
+
+func TestSPInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunSPParams(rc, SPParams{G: 10, Iterations: 4}); err == nil {
+			return errMsg("indivisible grid accepted")
+		}
+		if _, err := RunSPParams(rc, SPParams{G: 12, Iterations: 1}); err == nil {
+			return errMsg("1 iteration accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- LU ------------------------------------------------------------------
+
+func TestLUClassParams(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if _, err := LUClassParams(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LUClassParams(Class('X')); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestRunLUClassS(t *testing.T) {
+	c := newKernelCluster(t)
+	results := make([]*LUResult, 4)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		r, err := RunLU(rc, ClassS)
+		results[rc.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		if !r.Verification.Passed {
+			t.Errorf("rank %d: %s", rank, r.Verification.Detail)
+		}
+	}
+	for rank := 1; rank < 4; rank++ {
+		for i := range results[0].Residuals {
+			if results[rank].Residuals[i] != results[0].Residuals[i] {
+				t.Errorf("rank %d residual %d differs", rank, i)
+			}
+		}
+	}
+}
+
+func TestLUPipelineStagger(t *testing.T) {
+	// The wavefront pipeline staggers ranks: rank r's lower sweep (blts)
+	// cannot start until rank r−1's boundary plane arrives, so the first
+	// blts of each successive rank begins strictly later — LU's
+	// signature profile shape. Every rank also blocks in MPI_Recv.
+	c := newKernelCluster(t)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunLU(rc, ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBlts := func(node int) float64 {
+		np, err := parser.Parse(res.Traces[node], parser.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, ok := np.Function("blts")
+		if !ok {
+			t.Fatalf("node %d has no blts", node)
+		}
+		if recv, ok := np.Function("MPI_Recv"); !ok || recv.TotalTime <= 0 {
+			t.Errorf("node %d shows no MPI_Recv wait", node)
+		}
+		return fp.Intervals[0].Start.Seconds()
+	}
+	prev := firstBlts(0)
+	for node := 1; node < 4; node++ {
+		cur := firstBlts(node)
+		if cur <= prev {
+			t.Errorf("node %d first blts at %0.3fs, not after node %d's %0.3fs", node, cur, node-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLUInvalid(t *testing.T) {
+	c := newKernelCluster(t)
+	_, err := c.Run(func(rc *cluster.Rank) error {
+		if _, err := RunLUParams(rc, LUParams{G: 10, Iterations: 4, Omega: 1.2}); err == nil {
+			return errMsg("indivisible grid accepted")
+		}
+		if _, err := RunLUParams(rc, LUParams{G: 12, Iterations: 1, Omega: 1.2}); err == nil {
+			return errMsg("1 iteration accepted")
+		}
+		if _, err := RunLUParams(rc, LUParams{G: 12, Iterations: 4, Omega: 2.5}); err == nil {
+			return errMsg("omega ≥2 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

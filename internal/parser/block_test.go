@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"testing"
+	"time"
+
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+func TestBlocksGrouping(t *testing.T) {
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := tr.NewLane()
+	fn := tr.RegisterFunc("kernel")
+	other := tr.RegisterFunc("other")
+
+	lane.Enter(fn)
+	// Blocks recorded out of id order; Blocks() must sort them.
+	for _, b := range []int{2, 0, 1} {
+		fid := lane.EnterBlock("kernel", b)
+		clk.Advance(time.Duration(b+1) * time.Second)
+		if err := lane.ExitBlock(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = lane.Exit(fn)
+	lane.Enter(other)
+	clk.Advance(time.Second)
+	_ = lane.Exit(other)
+	// A block of a different function must not leak into kernel's list.
+	fid := lane.EnterBlock("other", 0)
+	clk.Advance(time.Second)
+	_ = lane.ExitBlock(fid)
+
+	np, err := Parse(tr.Finish(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := np.Blocks("kernel")
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	wantDur := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i, b := range blocks {
+		if b.TotalTime != wantDur[i] {
+			t.Errorf("block %d duration = %v, want %v", i, b.TotalTime, wantDur[i])
+		}
+	}
+	if len(np.Blocks("other")) != 1 {
+		t.Error("other's block list wrong")
+	}
+	if len(np.Blocks("ghost")) != 0 {
+		t.Error("ghost should have no blocks")
+	}
+	// Blocks count toward the regular function list too (they are
+	// functions to the parser).
+	if _, ok := np.Function("kernel#bb0"); !ok {
+		t.Error("block missing from flat function list")
+	}
+}

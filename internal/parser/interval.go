@@ -1,0 +1,68 @@
+// Package parser implements the Tempest parser: it merges a node's
+// function-event timeline with its temperature samples and produces the
+// per-function, per-sensor statistical profile the paper's Figure 2a and
+// Tables 2–3 print (§3.2).
+package parser
+
+import (
+	"sort"
+	"time"
+)
+
+// Interval is a closed time span [Start, End].
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Duration returns the interval's length.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Contains reports whether t lies within the closed interval.
+func (iv Interval) Contains(t time.Duration) bool {
+	return t >= iv.Start && t <= iv.End
+}
+
+// MergeIntervals unions possibly overlapping intervals into a minimal
+// sorted set. Zero-length intervals are preserved (a function can enter
+// and exit at the same virtual instant) unless covered by another span.
+// The input is not modified.
+func MergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// TotalDuration sums the lengths of a merged interval set.
+func TotalDuration(ivs []Interval) time.Duration {
+	var sum time.Duration
+	for _, iv := range ivs {
+		sum += iv.Duration()
+	}
+	return sum
+}
+
+// CoversAny reports whether t falls into any interval of a merged, sorted
+// set (binary search).
+func CoversAny(ivs []Interval, t time.Duration) bool {
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].End >= t })
+	return i < len(ivs) && ivs[i].Contains(t)
+}

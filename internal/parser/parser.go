@@ -1,0 +1,361 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tempest/internal/stats"
+	"tempest/internal/thermal"
+	"tempest/internal/trace"
+)
+
+// Unit selects the temperature unit of reported statistics. The paper's
+// figures and tables use Fahrenheit.
+type Unit int
+
+// Temperature units.
+const (
+	Fahrenheit Unit = iota
+	Celsius
+)
+
+func (u Unit) convert(c float64) float64 {
+	if u == Fahrenheit {
+		return thermal.CToF(c)
+	}
+	return c
+}
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	if u == Fahrenheit {
+		return "°F"
+	}
+	return "°C"
+}
+
+// Options configures parsing.
+type Options struct {
+	// Unit of reported statistics; default Fahrenheit.
+	Unit Unit
+	// SampleInterval is the tempd sampling period used for the
+	// significance rule; 0 auto-detects from sample spacing.
+	SampleInterval time.Duration
+}
+
+// Sample is one temperature reading on one sensor.
+type Sample struct {
+	TS    time.Duration
+	Value float64 // in the profile's Unit
+}
+
+// FuncProfile is one function's row in the Tempest report.
+type FuncProfile struct {
+	Name string
+	// TotalTime is the union of the function's inclusive intervals —
+	// "the amount of time spent in that particular function" (Fig 2a);
+	// concurrent lanes and recursion are not double-counted.
+	TotalTime time.Duration
+	// Calls counts entries.
+	Calls int64
+	// Intervals is the merged inclusive on-stack time of the function.
+	Intervals []Interval
+	// Sensors holds one Summary per sensor over samples falling inside
+	// the function's intervals; entries with N==0 had no samples.
+	Sensors []stats.Summary
+	// Significant is false when TotalTime is small relative to the
+	// sampling interval (the foo2 rule of Figure 2a) or no samples fell
+	// inside the function's execution.
+	Significant bool
+}
+
+// NodeProfile is the parsed result for one node's trace.
+type NodeProfile struct {
+	NodeID      uint32
+	SensorNames []string
+	// Functions sorted by TotalTime descending (the paper's listing order).
+	Functions []FuncProfile
+	// Samples per sensor id, time-ordered, in the profile's Unit.
+	Samples [][]Sample
+	// Duration is the time of the last event in the trace.
+	Duration time.Duration
+	// DroppedEvents totals KindDrop annotations (buffer pressure, §3.3).
+	DroppedEvents  uint64
+	Unit           Unit
+	SampleInterval time.Duration
+}
+
+// Profile is the full parse result across nodes.
+type Profile struct {
+	Nodes []NodeProfile
+	Unit  Unit
+}
+
+// sensorMarkerPrefix matches tempd's announcement markers.
+const sensorMarkerPrefix = "sensor:"
+
+// Parse merges one trace into a NodeProfile.
+func Parse(tr *trace.Trace, opts Options) (*NodeProfile, error) {
+	if tr == nil {
+		return nil, errors.New("parser: nil trace")
+	}
+	np := &NodeProfile{NodeID: tr.NodeID, Unit: opts.Unit}
+
+	// Pass 1: sensors, samples, duration, drops.
+	sensorNames := map[int]string{}
+	maxSensor := -1
+	for _, e := range tr.Events {
+		if e.TS > np.Duration {
+			np.Duration = e.TS
+		}
+		switch e.Kind {
+		case trace.KindMarker:
+			name, err := tr.Sym.Name(e.FuncID)
+			if err != nil {
+				return nil, fmt.Errorf("parser: marker symbol: %w", err)
+			}
+			if id, label, ok := parseSensorMarker(name); ok {
+				sensorNames[id] = label
+				if id > maxSensor {
+					maxSensor = id
+				}
+			}
+		case trace.KindSample:
+			if int(e.SensorID) > maxSensor {
+				maxSensor = int(e.SensorID)
+			}
+		case trace.KindDrop:
+			np.DroppedEvents += e.Aux
+		}
+	}
+	np.SensorNames = make([]string, maxSensor+1)
+	for i := range np.SensorNames {
+		if label, ok := sensorNames[i]; ok {
+			np.SensorNames[i] = label
+		} else {
+			np.SensorNames[i] = fmt.Sprintf("sensor%d", i+1)
+		}
+	}
+	np.Samples = make([][]Sample, maxSensor+1)
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindSample {
+			np.Samples[e.SensorID] = append(np.Samples[e.SensorID], Sample{
+				TS:    e.TS,
+				Value: opts.Unit.convert(e.ValueC),
+			})
+		}
+	}
+	for _, s := range np.Samples {
+		sort.Slice(s, func(i, j int) bool { return s[i].TS < s[j].TS })
+	}
+
+	// Sampling interval for the significance rule.
+	np.SampleInterval = opts.SampleInterval
+	if np.SampleInterval == 0 {
+		np.SampleInterval = detectInterval(np.Samples)
+	}
+
+	// Pass 2: per-lane stack walk → per-function raw intervals + calls.
+	type frame struct {
+		fid   uint32
+		enter time.Duration
+	}
+	stacks := map[uint32][]frame{}
+	rawIntervals := map[uint32][]Interval{}
+	calls := map[uint32]int64{}
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindEnter:
+			stacks[e.Lane] = append(stacks[e.Lane], frame{fid: e.FuncID, enter: e.TS})
+			calls[e.FuncID]++
+		case trace.KindExit:
+			st := stacks[e.Lane]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("parser: event %d: exit with empty stack on lane %d", i, e.Lane)
+			}
+			top := st[len(st)-1]
+			if top.fid != e.FuncID {
+				return nil, fmt.Errorf("parser: event %d: exit of function %d while %d is open", i, e.FuncID, top.fid)
+			}
+			stacks[e.Lane] = st[:len(st)-1]
+			rawIntervals[top.fid] = append(rawIntervals[top.fid], Interval{Start: top.enter, End: e.TS})
+		}
+	}
+	// Close dangling frames at trace end (abnormal termination).
+	for _, st := range stacks {
+		for _, f := range st {
+			rawIntervals[f.fid] = append(rawIntervals[f.fid], Interval{Start: f.enter, End: np.Duration})
+		}
+	}
+
+	// Pass 3: merge intervals, attribute samples, summarise.
+	for fid, ivs := range rawIntervals {
+		name, err := tr.Sym.Name(fid)
+		if err != nil {
+			return nil, err
+		}
+		merged := MergeIntervals(ivs)
+		fp := FuncProfile{
+			Name:      name,
+			TotalTime: TotalDuration(merged),
+			Calls:     calls[fid],
+			Intervals: merged,
+			Sensors:   make([]stats.Summary, maxSensor+1),
+		}
+		anySamples := false
+		for sid, samples := range np.Samples {
+			var vals []float64
+			for _, s := range samples {
+				if CoversAny(merged, s.TS) {
+					vals = append(vals, s.Value)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			sum, err := stats.Summarize(vals)
+			if err != nil {
+				return nil, err
+			}
+			fp.Sensors[sid] = sum
+			anySamples = true
+		}
+		fp.Significant = anySamples && fp.TotalTime >= np.SampleInterval
+		np.Functions = append(np.Functions, fp)
+	}
+	sort.Slice(np.Functions, func(i, j int) bool {
+		if np.Functions[i].TotalTime != np.Functions[j].TotalTime {
+			return np.Functions[i].TotalTime > np.Functions[j].TotalTime
+		}
+		return np.Functions[i].Name < np.Functions[j].Name
+	})
+	return np, nil
+}
+
+// ParseAll parses one trace per node into a combined profile.
+func ParseAll(traces []*trace.Trace, opts Options) (*Profile, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("parser: no traces")
+	}
+	p := &Profile{Unit: opts.Unit}
+	for i, tr := range traces {
+		np, err := Parse(tr, opts)
+		if err != nil {
+			return nil, fmt.Errorf("parser: trace %d: %w", i, err)
+		}
+		p.Nodes = append(p.Nodes, *np)
+	}
+	return p, nil
+}
+
+// parseSensorMarker decodes "sensor:<id>:<label>".
+func parseSensorMarker(name string) (id int, label string, ok bool) {
+	if !strings.HasPrefix(name, sensorMarkerPrefix) {
+		return 0, "", false
+	}
+	rest := name[len(sensorMarkerPrefix):]
+	k := strings.IndexByte(rest, ':')
+	if k < 0 {
+		return 0, "", false
+	}
+	id, err := strconv.Atoi(rest[:k])
+	if err != nil || id < 0 {
+		return 0, "", false
+	}
+	return id, rest[k+1:], true
+}
+
+// detectInterval estimates the sampling period as the median gap between
+// consecutive samples of the densest sensor; falls back to 250 ms.
+func detectInterval(samples [][]Sample) time.Duration {
+	const fallback = 250 * time.Millisecond
+	var best []Sample
+	for _, s := range samples {
+		if len(s) > len(best) {
+			best = s
+		}
+	}
+	if len(best) < 2 {
+		return fallback
+	}
+	gaps := make([]time.Duration, 0, len(best)-1)
+	for i := 1; i < len(best); i++ {
+		gaps = append(gaps, best[i].TS-best[i-1].TS)
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	med := gaps[(len(gaps)-1)/2]
+	if med <= 0 {
+		return fallback
+	}
+	return med
+}
+
+// Function looks a parsed function up by name.
+func (np *NodeProfile) Function(name string) (*FuncProfile, bool) {
+	for i := range np.Functions {
+		if np.Functions[i].Name == name {
+			return &np.Functions[i], true
+		}
+	}
+	return nil, false
+}
+
+// Blocks returns the basic-block profiles of a function (symbols named
+// "<fn>#bb<id>" by the explicit block API), ordered by block id. Empty if
+// the function was not block-instrumented.
+func (np *NodeProfile) Blocks(fn string) []FuncProfile {
+	type blk struct {
+		id int
+		fp FuncProfile
+	}
+	var blocks []blk
+	for _, f := range np.Functions {
+		owner, id, ok := trace.SplitBlockName(f.Name)
+		if ok && owner == fn {
+			blocks = append(blocks, blk{id: id, fp: f})
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].id < blocks[j].id })
+	out := make([]FuncProfile, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.fp
+	}
+	return out
+}
+
+// Series returns the (times, values) of one sensor's full timeline — the
+// data behind the temperature-profile plots (Figures 2b, 3, 4).
+func (np *NodeProfile) Series(sensor int) ([]time.Duration, []float64, error) {
+	if sensor < 0 || sensor >= len(np.Samples) {
+		return nil, nil, fmt.Errorf("parser: sensor %d out of range [0,%d)", sensor, len(np.Samples))
+	}
+	ts := make([]time.Duration, len(np.Samples[sensor]))
+	vs := make([]float64, len(np.Samples[sensor]))
+	for i, s := range np.Samples[sensor] {
+		ts[i] = s.TS
+		vs[i] = s.Value
+	}
+	return ts, vs, nil
+}
+
+// Trend fits a line to a sensor's series and returns °/second — positive
+// slopes are the "steadily warming" nodes of Figure 3.
+func (np *NodeProfile) Trend(sensor int) (float64, error) {
+	ts, vs, err := np.Series(sensor)
+	if err != nil {
+		return 0, err
+	}
+	if len(ts) < 2 {
+		return 0, errors.New("parser: not enough samples for a trend")
+	}
+	xs := make([]float64, len(ts))
+	for i, t := range ts {
+		xs[i] = t.Seconds()
+	}
+	slope, _, err := stats.LinearFit(xs, vs)
+	return slope, err
+}

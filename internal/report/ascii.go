@@ -1,0 +1,204 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"tempest/internal/parser"
+)
+
+// PlotOptions controls ASCII timeline plots.
+type PlotOptions struct {
+	// Width is the plot width in character cells (default 72).
+	Width int
+	// Height is the plot height in rows (default 12).
+	Height int
+	// Sensor selects the sensor to plot (default 0: first CPU sensor).
+	Sensor int
+	// FunctionBand draws the dominant function name per time column above
+	// the plot, like the duration band across the top of Figure 2b.
+	FunctionBand bool
+}
+
+func (o PlotOptions) withDefaults() PlotOptions {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 12
+	}
+	return o
+}
+
+// PlotNode renders one node's temperature series as an ASCII chart —
+// the textual analogue of the paper's Figure 2b.
+func PlotNode(w io.Writer, np *parser.NodeProfile, opts PlotOptions) error {
+	opts = opts.withDefaults()
+	ts, vs, err := np.Series(opts.Sensor)
+	if err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		_, err := fmt.Fprintf(w, "(node %d sensor %d: no samples)\n", np.NodeID, opts.Sensor+1)
+		return err
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	total := np.Duration
+	if total == 0 {
+		total = ts[len(ts)-1]
+	}
+	if total == 0 {
+		total = 1
+	}
+
+	// Downsample into columns: mean of samples per column.
+	colSum := make([]float64, opts.Width)
+	colN := make([]int, opts.Width)
+	for i, t := range ts {
+		col := int(float64(t) / float64(total) * float64(opts.Width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= opts.Width {
+			col = opts.Width - 1
+		}
+		colSum[col] += vs[i]
+		colN[col]++
+	}
+
+	if opts.FunctionBand {
+		if err := writeFunctionBand(w, np, opts.Width, total); err != nil {
+			return err
+		}
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for c := 0; c < opts.Width; c++ {
+		if colN[c] == 0 {
+			continue
+		}
+		v := colSum[c] / float64(colN[c])
+		frac := (v - lo) / (hi - lo)
+		row := int(math.Round(frac * float64(opts.Height-1)))
+		grid[opts.Height-1-row][c] = '*'
+	}
+
+	if _, err := fmt.Fprintf(w, "node %d — %s (%s)\n", np.NodeID, sensorTitle(np, opts.Sensor), np.Unit); err != nil {
+		return err
+	}
+	for r := 0; r < opts.Height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f", hi)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%7.1f", lo)
+		default:
+			label = strings.Repeat(" ", 7)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 7), strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	right := fmt.Sprintf("%.1fs", total.Seconds())
+	pad := opts.Width - 2 - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	_, err = fmt.Fprintf(w, "%s  0s%s%s\n", strings.Repeat(" ", 7), strings.Repeat(" ", pad), right)
+	return err
+}
+
+func sensorTitle(np *parser.NodeProfile, sensor int) string {
+	if sensor >= 0 && sensor < len(np.SensorNames) {
+		return fmt.Sprintf("sensor%d (%s)", sensor+1, np.SensorNames[sensor])
+	}
+	return fmt.Sprintf("sensor%d", sensor+1)
+}
+
+// writeFunctionBand prints, per time column, a letter keyed to the
+// innermost long-running function active there, plus a legend — the
+// function-duration strip across the top of Figure 2b.
+func writeFunctionBand(w io.Writer, np *parser.NodeProfile, width int, _ time.Duration) error {
+	type cand struct {
+		name string
+		ivs  []parser.Interval
+	}
+	// Use the up-to-six longest significant functions, skipping the
+	// outermost catch-all "main" if anything else exists.
+	var cands []cand
+	for _, f := range np.Functions {
+		if len(cands) >= 6 {
+			break
+		}
+		if f.Name == "main" && len(np.Functions) > 1 {
+			continue
+		}
+		cands = append(cands, cand{name: f.Name, ivs: f.Intervals})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	totalD := np.Duration
+	if totalD <= 0 {
+		totalD = 1
+	}
+	band := []byte(strings.Repeat(".", width))
+	for c := 0; c < width; c++ {
+		t := time.Duration(float64(totalD) * float64(c) / float64(width-1))
+		for k := len(cands) - 1; k >= 0; k-- { // shortest (innermost) wins
+			if parser.CoversAny(cands[k].ivs, t) {
+				band[c] = byte('A' + k)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s |%s\n", strings.Repeat(" ", 7), string(band)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(cands))
+	for k, c := range cands {
+		legend = append(legend, fmt.Sprintf("%c=%s", 'A'+k, c.name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 7), strings.Join(legend, " "))
+	return err
+}
+
+// PlotCluster renders every node's series stacked vertically, the layout
+// of Figures 3 and 4 ("vertically aligned so as to aid identification of
+// phase trends").
+func PlotCluster(w io.Writer, p *parser.Profile, opts PlotOptions) error {
+	if p == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	for i := range p.Nodes {
+		if err := PlotNode(w, &p.Nodes[i], opts); err != nil {
+			return err
+		}
+		if i < len(p.Nodes)-1 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tempest/internal/hotspot"
+)
+
+// WriteComparison renders a before/after optimisation comparison (the
+// paper's question 4) as a table: global makespan and peak change, then
+// the per-function deltas, largest temperature drop first.
+func WriteComparison(w io.Writer, cmp *hotspot.Comparison, unit string) error {
+	if cmp == nil {
+		return fmt.Errorf("report: nil comparison")
+	}
+	if _, err := fmt.Fprintf(w, "Thermal optimisation effect\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  makespan: %.2fs → %.2fs (%+.1f%%)\n",
+		cmp.MakespanBeforeS, cmp.MakespanAfterS, cmp.SlowdownPct()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  peak temperature: %.2f → %.2f %s (drop %.2f)\n\n",
+		cmp.PeakBefore, cmp.PeakAfter, unit, cmp.PeakDrop()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %-22s %10s %10s %9s %9s %9s\n",
+		"node", "function", "time_before", "time_after", "max_bef", "max_aft", "slowdown"); err != nil {
+		return err
+	}
+	deltas := append([]hotspot.Delta(nil), cmp.Functions...)
+	sort.SliceStable(deltas, func(i, j int) bool {
+		di := deltas[i].MaxBefore - deltas[i].MaxAfter
+		dj := deltas[j].MaxBefore - deltas[j].MaxAfter
+		if di != dj {
+			return di > dj
+		}
+		if deltas[i].Node != deltas[j].Node {
+			return deltas[i].Node < deltas[j].Node
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	for _, d := range deltas {
+		if _, err := fmt.Fprintf(w, "%-6d %-22s %10.2fs %10.2fs %9.2f %9.2f %+8.1f%%\n",
+			d.Node, d.Name, d.TimeBeforeS, d.TimeAfterS, d.MaxBefore, d.MaxAfter, d.SlowdownPct()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tempest/internal/parser"
+)
+
+func TestWriteGnuplot(t *testing.T) {
+	p := microProfile(t)
+	p.Nodes = append(p.Nodes, p.Nodes[0])
+	p.Nodes[1].NodeID = 4
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"set multiplot layout 2,1",
+		"CPU 0 Core",
+		"node 3", "node 4",
+		"set xrange [0:10.000]",
+		"plot '-'",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gnuplot script missing %q", want)
+		}
+	}
+	// Two inline data blocks, each terminated by 'e'.
+	if got := strings.Count(out, "\ne\n"); got != 2 {
+		t.Errorf("data terminators = %d, want 2", got)
+	}
+	// 41 samples per node: count lines shaped like "<t> <v>".
+	data := 0
+	for _, line := range strings.Split(out, "\n") {
+		var a, b float64
+		if _, err := fmt.Sscanf(line, "%f %f", &a, &b); err == nil {
+			data++
+		}
+	}
+	if data != 82 {
+		t.Errorf("data lines = %d, want 82", data)
+	}
+}
+
+func TestWriteGnuplotErrors(t *testing.T) {
+	if err := WriteGnuplot(&bytes.Buffer{}, nil, 0); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if err := WriteGnuplot(&bytes.Buffer{}, &parser.Profile{}, 0); err == nil {
+		t.Error("empty profile should fail")
+	}
+}
+
+func TestWriteGnuplotBadSensorDegradesGracefully(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, p, 9); err != nil {
+		t.Fatalf("out-of-range sensor should emit empty panels, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "plot '-'") {
+		t.Error("panel missing")
+	}
+}

@@ -1,0 +1,238 @@
+// Package report renders parsed Tempest profiles in the formats the paper
+// shows: the per-function standard-output listing of Figure 2a and Tables
+// 2–3, temperature-profile time series (Figures 2b, 3, 4) as ASCII plots
+// or CSV, and JSON for downstream tooling.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tempest/internal/parser"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Labels prints the discovered sensor label next to each sensorN row.
+	Labels bool
+	// OnlySignificant suppresses sensor rows for functions whose thermal
+	// data is "not considered significant" (Fig 2a's foo2 rule) — the
+	// rows are replaced by a note, matching the paper's output.
+	OnlySignificant bool
+	// TopN limits the listing to the N longest-running functions (0 = all).
+	TopN int
+}
+
+// WriteNode renders one node's profile in the paper's standard-output
+// format.
+func WriteNode(w io.Writer, np *parser.NodeProfile, opts Options) error {
+	if np == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	if _, err := fmt.Fprintf(w, "Tempest profile — node %d, %d functions, %d sensors, duration %.3fs (unit %s)\n",
+		np.NodeID, len(np.Functions), len(np.SensorNames), np.Duration.Seconds(), np.Unit); err != nil {
+		return err
+	}
+	if np.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "WARNING: %d trace events dropped (buffer pressure)\n", np.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	funcs := np.Functions
+	if opts.TopN > 0 && len(funcs) > opts.TopN {
+		funcs = funcs[:opts.TopN]
+	}
+	for i := range funcs {
+		if err := writeFunc(w, np, &funcs[i], opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFunc(w io.Writer, np *parser.NodeProfile, fp *parser.FuncProfile, opts Options) error {
+	if _, err := fmt.Fprintf(w, "\nFunction: %-20s Total Time(sec): %f\n", fp.Name, fp.TotalTime.Seconds()); err != nil {
+		return err
+	}
+	if opts.OnlySignificant && !fp.Significant {
+		_, err := fmt.Fprintf(w, "  (thermal data not significant: total time below sampling interval)\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s %8s %8s\n",
+		"", "Min", "Avg", "Max", "Sdv", "Var", "Med", "Mod"); err != nil {
+		return err
+	}
+	for sid, s := range fp.Sensors {
+		if s.N == 0 {
+			continue
+		}
+		name := fmt.Sprintf("sensor%d", sid+1)
+		if opts.Labels && sid < len(np.SensorNames) {
+			name = fmt.Sprintf("sensor%d (%s)", sid+1, np.SensorNames[sid])
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			name, s.Min, s.Avg, s.Max, s.Sdv, s.Var, s.Med, s.Mod); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProfile renders every node of a cluster profile.
+func WriteProfile(w io.Writer, p *parser.Profile, opts Options) error {
+	if p == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	for i := range p.Nodes {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w, "\n"+divider); err != nil {
+				return err
+			}
+		}
+		if err := WriteNode(w, &p.Nodes[i], opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const divider = "================================================================"
+
+// WriteSeriesCSV emits "time_s,node,sensor,label,value" rows for every
+// sample of every node — the raw data behind Figures 2b/3/4.
+func WriteSeriesCSV(w io.Writer, p *parser.Profile) error {
+	if p == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	if _, err := fmt.Fprintln(w, "time_s,node,sensor,label,value"); err != nil {
+		return err
+	}
+	for ni := range p.Nodes {
+		np := &p.Nodes[ni]
+		for sid := range np.Samples {
+			for _, s := range np.Samples[sid] {
+				if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%s,%.2f\n",
+					s.TS.Seconds(), np.NodeID, sid+1, csvEscape(np.SensorNames[sid]), s.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	needsQuote := false
+	for _, r := range s {
+		if r == ',' || r == '"' || r == '\n' {
+			needsQuote = true
+			break
+		}
+	}
+	if !needsQuote {
+		return s
+	}
+	out := "\""
+	for _, r := range s {
+		if r == '"' {
+			out += "\"\""
+		} else {
+			out += string(r)
+		}
+	}
+	return out + "\""
+}
+
+// jsonProfile is the stable JSON shape (times in seconds, not Durations).
+type jsonProfile struct {
+	Unit  string     `json:"unit"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	NodeID        uint32       `json:"node_id"`
+	DurationS     float64      `json:"duration_s"`
+	SensorNames   []string     `json:"sensor_names"`
+	DroppedEvents uint64       `json:"dropped_events,omitempty"`
+	Functions     []jsonFunc   `json:"functions"`
+	Series        []jsonSeries `json:"series"`
+}
+
+type jsonFunc struct {
+	Name        string       `json:"name"`
+	TotalTimeS  float64      `json:"total_time_s"`
+	Calls       int64        `json:"calls"`
+	Significant bool         `json:"significant"`
+	Sensors     []jsonSensor `json:"sensors"`
+}
+
+type jsonSensor struct {
+	Sensor int     `json:"sensor"`
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Avg    float64 `json:"avg"`
+	Max    float64 `json:"max"`
+	Sdv    float64 `json:"sdv"`
+	Var    float64 `json:"var"`
+	Med    float64 `json:"med"`
+	Mod    float64 `json:"mod"`
+}
+
+type jsonSeries struct {
+	Sensor int       `json:"sensor"`
+	TimesS []float64 `json:"times_s"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON emits the profile as JSON.
+func WriteJSON(w io.Writer, p *parser.Profile) error {
+	if p == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	out := jsonProfile{Unit: p.Unit.String()}
+	for ni := range p.Nodes {
+		np := &p.Nodes[ni]
+		jn := jsonNode{
+			NodeID:        np.NodeID,
+			DurationS:     np.Duration.Seconds(),
+			SensorNames:   np.SensorNames,
+			DroppedEvents: np.DroppedEvents,
+		}
+		for _, f := range np.Functions {
+			jf := jsonFunc{
+				Name:        f.Name,
+				TotalTimeS:  f.TotalTime.Seconds(),
+				Calls:       f.Calls,
+				Significant: f.Significant,
+			}
+			for sid, s := range f.Sensors {
+				if s.N == 0 {
+					continue
+				}
+				jf.Sensors = append(jf.Sensors, jsonSensor{
+					Sensor: sid + 1, N: s.N,
+					Min: s.Min, Avg: s.Avg, Max: s.Max,
+					Sdv: s.Sdv, Var: s.Var, Med: s.Med, Mod: s.Mod,
+				})
+			}
+			jn.Functions = append(jn.Functions, jf)
+		}
+		for sid := range np.Samples {
+			js := jsonSeries{Sensor: sid + 1}
+			for _, s := range np.Samples[sid] {
+				js.TimesS = append(js.TimesS, s.TS.Seconds())
+				js.Values = append(js.Values, s.Value)
+			}
+			jn.Series = append(jn.Series, js)
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// durSeconds formats a duration as the paper prints total times.
+func durSeconds(d time.Duration) string { return fmt.Sprintf("%f", d.Seconds()) }

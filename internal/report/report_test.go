@@ -1,0 +1,334 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/hotspot"
+	"tempest/internal/parser"
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+// microProfile builds a two-function, two-sensor profile for rendering.
+func microProfile(t *testing.T) *parser.Profile {
+	t.Helper()
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk, NodeID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkerAt("sensor:0:CPU 0 Core", 0)
+	tr.MarkerAt("sensor:1:M/B Temp", 0)
+	lane := tr.NewLane()
+	mainF := tr.RegisterFunc("main")
+	foo1 := tr.RegisterFunc("foo1")
+	foo2 := tr.RegisterFunc("foo2")
+	lane.EnterAt(mainF, 0)
+	lane.EnterAt(foo1, 0)
+	_ = lane.ExitAt(foo1, 8*time.Second)
+	lane.EnterAt(foo2, 8*time.Second)
+	_ = lane.ExitAt(foo2, 8*time.Second+time.Millisecond)
+	_ = lane.ExitAt(mainF, 10*time.Second)
+	for i := 0; i <= 40; i++ {
+		ts := time.Duration(i) * 250 * time.Millisecond
+		tr.SampleAt(0, 34+float64(i)*0.25, ts)
+		tr.SampleAt(1, 34, ts)
+	}
+	p, err := parser.ParseAll([]*trace.Trace{tr.Finish()}, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWriteNodePaperFormat(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteNode(&buf, &p.Nodes[0], Options{OnlySignificant: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Function: main",
+		"Function: foo1",
+		"Function: foo2",
+		"Total Time(sec): 10.000000",
+		"Total Time(sec): 8.000000",
+		"Min", "Avg", "Max", "Sdv", "Var", "Med", "Mod",
+		"sensor1", "sensor2",
+		"not significant",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Functions listed by total time: main before foo1 before foo2.
+	if strings.Index(out, "Function: main") > strings.Index(out, "Function: foo1") {
+		t.Error("main should list before foo1")
+	}
+	if strings.Index(out, "Function: foo1") > strings.Index(out, "Function: foo2") {
+		t.Error("foo1 should list before foo2")
+	}
+}
+
+func TestWriteNodeLabels(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteNode(&buf, &p.Nodes[0], Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sensor1 (CPU 0 Core)") {
+		t.Errorf("labels missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteNodeTopN(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteNode(&buf, &p.Nodes[0], Options{TopN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Function: main") || strings.Contains(out, "Function: foo1") {
+		t.Errorf("TopN=1 output wrong:\n%s", out)
+	}
+}
+
+func TestWriteNodeNil(t *testing.T) {
+	if err := WriteNode(&bytes.Buffer{}, nil, Options{}); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if err := WriteProfile(&bytes.Buffer{}, nil, Options{}); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if err := WriteSeriesCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if err := WriteJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if err := PlotCluster(&bytes.Buffer{}, nil, PlotOptions{}); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "time_s,node,sensor,label,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// 41 instants × 2 sensors + header.
+	if len(lines) != 1+41*2 {
+		t.Errorf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], ",3,1,CPU 0 Core,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        "\"a,b\"",
+		"say \"hi\"": "\"say \"\"hi\"\"\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["unit"] != "°F" {
+		t.Errorf("unit = %v", decoded["unit"])
+	}
+	nodes := decoded["nodes"].([]any)
+	if len(nodes) != 1 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	n0 := nodes[0].(map[string]any)
+	if n0["node_id"].(float64) != 3 {
+		t.Errorf("node_id = %v", n0["node_id"])
+	}
+	funcs := n0["functions"].([]any)
+	if len(funcs) != 3 {
+		t.Errorf("functions = %d", len(funcs))
+	}
+}
+
+func TestPlotNodeShape(t *testing.T) {
+	p := microProfile(t)
+	var buf bytes.Buffer
+	err := PlotNode(&buf, &p.Nodes[0], PlotOptions{Width: 40, Height: 8, FunctionBand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Error("plot has no data points")
+	}
+	if !strings.Contains(out, "node 3") || !strings.Contains(out, "sensor1") {
+		t.Errorf("title wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "A=") {
+		t.Errorf("function band legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "10.0s") {
+		t.Errorf("x axis missing:\n%s", out)
+	}
+	// Rising series: first column's star should be on a lower row than
+	// the last column's star.
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow, firstCol, lastCol = -1, -1, 1 << 30, -1
+	for r, line := range lines {
+		if k := strings.IndexByte(line, '|'); k >= 0 {
+			for c := k + 1; c < len(line); c++ {
+				if line[c] == '*' {
+					if c < firstCol {
+						firstCol, firstRow = c, r
+					}
+					if c > lastCol {
+						lastCol, lastRow = c, r
+					}
+				}
+			}
+		}
+	}
+	if firstRow < 0 || lastRow < 0 {
+		t.Fatal("no stars found")
+	}
+	if !(lastRow < firstRow) {
+		t.Errorf("series should rise: first star row %d, last star row %d", firstRow, lastRow)
+	}
+}
+
+func TestPlotNodeBadSensor(t *testing.T) {
+	p := microProfile(t)
+	if err := PlotNode(&bytes.Buffer{}, &p.Nodes[0], PlotOptions{Sensor: 9}); err == nil {
+		t.Error("bad sensor should fail")
+	}
+}
+
+func TestPlotNodeEmptySeries(t *testing.T) {
+	tr := &trace.Trace{Sym: trace.NewSymTab(), Events: []trace.Event{
+		{Kind: trace.KindSample, SensorID: 1, ValueC: 40},
+	}}
+	p, err := parser.ParseAll([]*trace.Trace{tr}, parser.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor 0 exists but has no samples.
+	var buf bytes.Buffer
+	if err := PlotNode(&buf, &p.Nodes[0], PlotOptions{Sensor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Errorf("empty-series message missing: %q", buf.String())
+	}
+}
+
+func TestPlotClusterStacks(t *testing.T) {
+	p := microProfile(t)
+	p.Nodes = append(p.Nodes, p.Nodes[0]) // fake second node
+	p.Nodes[1].NodeID = 4
+	var buf bytes.Buffer
+	if err := PlotCluster(&buf, p, PlotOptions{Width: 30, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node 3") || !strings.Contains(out, "node 4") {
+		t.Errorf("stacked plot:\n%s", out)
+	}
+	if strings.Index(out, "node 3") > strings.Index(out, "node 4") {
+		t.Error("nodes out of order")
+	}
+}
+
+func TestWriteProfileDivider(t *testing.T) {
+	p := microProfile(t)
+	p.Nodes = append(p.Nodes, p.Nodes[0])
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), divider) {
+		t.Error("divider missing between nodes")
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	cmp := &hotspot.Comparison{
+		MakespanBeforeS: 60, MakespanAfterS: 84,
+		PeakBefore: 125.6, PeakAfter: 114.8,
+		Functions: []hotspot.Delta{
+			{Node: 0, Name: "cool_fn", TimeBeforeS: 10, TimeAfterS: 10, MaxBefore: 100, MaxAfter: 99},
+			{Node: 0, Name: "hot_fn", TimeBeforeS: 50, TimeAfterS: 74, MaxBefore: 125.6, MaxAfter: 114.8},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, cmp, "°F"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+40.0%", "drop 10.80", "hot_fn", "cool_fn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	// Largest temperature drop listed first.
+	if strings.Index(out, "hot_fn") > strings.Index(out, "cool_fn") {
+		t.Error("hot_fn should sort first")
+	}
+	if err := WriteComparison(&buf, nil, "°F"); err == nil {
+		t.Error("nil comparison should fail")
+	}
+}
+
+func BenchmarkWriteNode(b *testing.B) {
+	// Rendering cost of a realistic profile.
+	clk := vclock.NewVirtualClock()
+	tr, _ := trace.NewTracer(trace.Config{Clock: clk, LaneBufferCap: 1 << 20})
+	tr.MarkerAt("sensor:0:CPU 0 Core", 0)
+	lane := tr.NewLane()
+	for fn := 0; fn < 20; fn++ {
+		f := tr.RegisterFunc(fmt.Sprintf("fn%02d", fn))
+		ts := time.Duration(fn) * time.Second
+		lane.EnterAt(f, ts)
+		_ = lane.ExitAt(f, ts+900*time.Millisecond)
+	}
+	for i := 0; i <= 80; i++ {
+		tr.SampleAt(0, 35+float64(i%7), time.Duration(i)*250*time.Millisecond)
+	}
+	p, err := parser.ParseAll([]*trace.Trace{tr.Finish()}, parser.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteNode(&buf, &p.Nodes[0], Options{Labels: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sensors
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Config is a parsed sensors.conf-style configuration. Tempest supports a
+// small dialect of the LM-sensors format the paper's deployments relied on
+// to give raw chip channels meaningful names and corrections:
+//
+//	# comment
+//	chip "sim/*"
+//	    label   temp1 "CPU 0 Core"
+//	    compute temp2 1.02 -0.5     # reported = raw·1.02 − 0.5
+//	    ignore  temp4
+//	    quantize temp1 0.5          # reporting step, °C
+//
+// Directives apply to sensors whose Name matches "<chip-glob>"; the sensor
+// id is the part of the name after the final '/'.
+type Config struct {
+	blocks []chipBlock
+}
+
+type chipBlock struct {
+	glob     string
+	labels   map[string]string
+	computes map[string][2]float64 // scale, offset
+	ignores  map[string]bool
+	quants   map[string]float64
+}
+
+// ParseConfig reads the configuration dialect from r.
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{}
+	var cur *chipBlock
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("sensors: config line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "chip":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sensors: config line %d: chip wants 1 argument", lineNo)
+			}
+			cfg.blocks = append(cfg.blocks, chipBlock{
+				glob:     fields[1],
+				labels:   map[string]string{},
+				computes: map[string][2]float64{},
+				ignores:  map[string]bool{},
+				quants:   map[string]float64{},
+			})
+			cur = &cfg.blocks[len(cfg.blocks)-1]
+		case "label":
+			if cur == nil {
+				return nil, fmt.Errorf("sensors: config line %d: label outside chip block", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sensors: config line %d: label wants 2 arguments", lineNo)
+			}
+			cur.labels[fields[1]] = fields[2]
+		case "compute":
+			if cur == nil {
+				return nil, fmt.Errorf("sensors: config line %d: compute outside chip block", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("sensors: config line %d: compute wants 3 arguments", lineNo)
+			}
+			scale, err1 := strconv.ParseFloat(fields[2], 64)
+			offset, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("sensors: config line %d: compute arguments must be numbers", lineNo)
+			}
+			cur.computes[fields[1]] = [2]float64{scale, offset}
+		case "ignore":
+			if cur == nil {
+				return nil, fmt.Errorf("sensors: config line %d: ignore outside chip block", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sensors: config line %d: ignore wants 1 argument", lineNo)
+			}
+			cur.ignores[fields[1]] = true
+		case "quantize":
+			if cur == nil {
+				return nil, fmt.Errorf("sensors: config line %d: quantize outside chip block", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sensors: config line %d: quantize wants 2 arguments", lineNo)
+			}
+			step, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("sensors: config line %d: quantize step must be a non-negative number", lineNo)
+			}
+			cur.quants[fields[1]] = step
+		default:
+			return nil, fmt.Errorf("sensors: config line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sensors: reading config: %w", err)
+	}
+	return cfg, nil
+}
+
+// splitQuoted splits on whitespace, honouring double-quoted strings.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '#' {
+			break // trailing comment
+		}
+		if line[i] == '"' {
+			j := strings.IndexByte(line[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			out = append(out, line[i+1:i+1+j])
+			i += j + 2
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty directive")
+	}
+	return out, nil
+}
+
+// Apply transforms a sensor list according to the configuration: ignored
+// sensors are dropped; labels, affine corrections and quantisation steps
+// are wrapped around matching sensors. The first matching chip block wins
+// for each directive kind.
+func (c *Config) Apply(in []Sensor) []Sensor {
+	var out []Sensor
+	for _, s := range in {
+		chipGlobTarget, id := splitSensorName(s.Name())
+		ignored := false
+		var wrapped Sensor = s
+		labelled := false
+		computed := false
+		quantized := false
+		for i := range c.blocks {
+			b := &c.blocks[i]
+			// A block matches if its glob matches the chip part
+			// ("hwmon0") or the full sensor name ("sim/temp1").
+			ok, err := path.Match(b.glob, chipGlobTarget)
+			if err != nil {
+				continue
+			}
+			if !ok {
+				if ok2, err2 := path.Match(b.glob, s.Name()); err2 != nil || !ok2 {
+					continue
+				}
+			}
+			if b.ignores[id] {
+				ignored = true
+				break
+			}
+			if v, has := b.computes[id]; has && !computed {
+				wrapped = &Scaled{Sensor: wrapped, Scale: v[0], Offset: v[1]}
+				computed = true
+			}
+			if step, has := b.quants[id]; has && !quantized {
+				wrapped = &Quantized{Sensor: wrapped, StepC: step}
+				quantized = true
+			}
+			if l, has := b.labels[id]; has && !labelled {
+				wrapped = &Relabeled{Sensor: wrapped, NewLabel: l}
+				labelled = true
+			}
+		}
+		if !ignored {
+			out = append(out, wrapped)
+		}
+	}
+	return out
+}
+
+// splitSensorName splits "hwmon0/temp1" into ("hwmon0", "temp1"); a name
+// without '/' is all chip, empty id.
+func splitSensorName(name string) (chip, id string) {
+	if k := strings.LastIndexByte(name, '/'); k >= 0 {
+		return name[:k], name[k+1:]
+	}
+	return name, ""
+}

@@ -1,0 +1,154 @@
+package sensors
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleConf = `
+# Tempest sensors.conf dialect
+chip "hwmon0"
+    label   temp1 "CPU 0 Core"     # trailing comment
+    compute temp2 1.02 -0.5
+    ignore  temp3
+    quantize temp1 0.5
+
+chip "sim/*"
+    label temp1 "Simulated CPU"
+`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(cfg.blocks))
+	}
+	b := cfg.blocks[0]
+	if b.glob != "hwmon0" || b.labels["temp1"] != "CPU 0 Core" {
+		t.Errorf("block 0 parsed wrong: %+v", b)
+	}
+	if b.computes["temp2"] != [2]float64{1.02, -0.5} {
+		t.Errorf("compute parsed wrong: %v", b.computes["temp2"])
+	}
+	if !b.ignores["temp3"] || b.quants["temp1"] != 0.5 {
+		t.Error("ignore/quantize parsed wrong")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		`label temp1 "x"`,                    // directive before chip
+		`chip`,                               // missing arg
+		`chip "a" "b"`,                       // extra arg
+		"chip \"a\"\nlabel temp1",            // label missing text
+		"chip \"a\"\ncompute t 1",            // compute missing offset
+		"chip \"a\"\ncompute t a b",          // non-numeric
+		"chip \"a\"\nignore",                 // missing arg
+		"chip \"a\"\nquantize t -1",          // negative step
+		"chip \"a\"\nquantize t x",           // non-numeric step
+		"chip \"a\"\nfrobnicate t",           // unknown directive
+		"chip \"a\"\nlabel t \"unterminated", // quote
+	}
+	for i, s := range bad {
+		if _, err := ParseConfig(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d (%q): expected error", i, s)
+		}
+	}
+}
+
+func TestParseConfigEmptyAndComments(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader("\n# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.blocks) != 0 {
+		t.Error("comment-only config should have no blocks")
+	}
+}
+
+func TestApplyTransforms(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Sensor{
+		constSensor("hwmon0/temp1", 40.3),
+		constSensor("hwmon0/temp2", 40.0),
+		constSensor("hwmon0/temp3", 99),
+		constSensor("hwmon1/temp1", 33),
+		constSensor("sim/temp1", 50),
+	}
+	out := cfg.Apply(in)
+	if len(out) != 4 {
+		t.Fatalf("Apply kept %d sensors, want 4 (temp3 ignored)", len(out))
+	}
+	byName := map[string]Sensor{}
+	for _, s := range out {
+		byName[s.Name()] = s
+	}
+	if _, exists := byName["hwmon0/temp3"]; exists {
+		t.Error("ignored sensor survived")
+	}
+	t1 := byName["hwmon0/temp1"]
+	if t1.Label() != "CPU 0 Core" {
+		t.Errorf("label = %q", t1.Label())
+	}
+	v, _ := t1.ReadC()
+	if v != 40.5 { // 40.3 quantised to 0.5 steps
+		t.Errorf("temp1 = %v, want 40.5", v)
+	}
+	t2 := byName["hwmon0/temp2"]
+	v, _ = t2.ReadC()
+	if v != 40.0*1.02-0.5 {
+		t.Errorf("computed temp2 = %v", v)
+	}
+	// Untouched sensor passes through unchanged.
+	u := byName["hwmon1/temp1"]
+	if u.Label() != "hwmon1/temp1 label" {
+		t.Errorf("untouched label changed: %q", u.Label())
+	}
+	// Glob block matches the sim sensor.
+	if byName["sim/temp1"].Label() != "Simulated CPU" {
+		t.Errorf("glob label = %q", byName["sim/temp1"].Label())
+	}
+}
+
+func TestApplyFirstBlockWins(t *testing.T) {
+	conf := `
+chip "a"
+    label temp1 "first"
+chip "a"
+    label temp1 "second"
+    compute temp1 2 0
+`
+	cfg, err := ParseConfig(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cfg.Apply([]Sensor{constSensor("a/temp1", 10)})
+	if out[0].Label() != "first" {
+		t.Errorf("label = %q, want first block's", out[0].Label())
+	}
+	// compute only present in second block still applies.
+	v, _ := out[0].ReadC()
+	if v != 20 {
+		t.Errorf("compute from later block = %v, want 20", v)
+	}
+}
+
+func TestSplitSensorName(t *testing.T) {
+	chip, id := splitSensorName("hwmon0/temp1")
+	if chip != "hwmon0" || id != "temp1" {
+		t.Errorf("split = %q,%q", chip, id)
+	}
+	chip, id = splitSensorName("noslash")
+	if chip != "noslash" || id != "" {
+		t.Errorf("split = %q,%q", chip, id)
+	}
+	chip, id = splitSensorName("a/b/temp2")
+	if chip != "a/b" || id != "temp2" {
+		t.Errorf("split = %q,%q", chip, id)
+	}
+}

@@ -1,0 +1,111 @@
+package sensors
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HwmonProvider reads Linux hwmon sysfs temperature sensors — the same
+// kernel interface the LM-sensors package (the paper's portability
+// requirement, §4.1) is built on. Each hwmonN directory exposes
+// tempM_input files holding millidegrees Celsius, with optional
+// tempM_label siblings and a chip `name` file.
+type HwmonProvider struct {
+	// Root is the sysfs directory to scan; defaults to /sys/class/hwmon.
+	Root string
+}
+
+// DefaultHwmonRoot is the standard sysfs mount point for hwmon chips.
+const DefaultHwmonRoot = "/sys/class/hwmon"
+
+// NewHwmonProvider returns a provider scanning root (or the default when
+// root is empty).
+func NewHwmonProvider(root string) *HwmonProvider {
+	if root == "" {
+		root = DefaultHwmonRoot
+	}
+	return &HwmonProvider{Root: root}
+}
+
+// Sensors implements Provider by scanning Root. A missing Root directory
+// reports ErrNoSensors (the host simply has no hwmon support), as does an
+// empty one; unreadable chip directories are skipped.
+func (h *HwmonProvider) Sensors() ([]Sensor, error) {
+	chips, err := os.ReadDir(h.Root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoSensors
+		}
+		return nil, fmt.Errorf("sensors: reading %s: %w", h.Root, err)
+	}
+	var out []Sensor
+	for _, chip := range chips {
+		chipDir := filepath.Join(h.Root, chip.Name())
+		entries, err := os.ReadDir(chipDir)
+		if err != nil {
+			continue // chip vanished or unreadable; not fatal
+		}
+		chipName := readTrimmed(filepath.Join(chipDir, "name"))
+		if chipName == "" {
+			chipName = chip.Name()
+		}
+		var inputs []string
+		for _, e := range entries {
+			n := e.Name()
+			if strings.HasPrefix(n, "temp") && strings.HasSuffix(n, "_input") {
+				inputs = append(inputs, n)
+			}
+		}
+		sort.Strings(inputs)
+		for _, in := range inputs {
+			idx := strings.TrimSuffix(strings.TrimPrefix(in, "temp"), "_input")
+			label := readTrimmed(filepath.Join(chipDir, "temp"+idx+"_label"))
+			if label == "" {
+				label = fmt.Sprintf("%s temp%s", chipName, idx)
+			}
+			out = append(out, &hwmonSensor{
+				name:  chip.Name() + "/temp" + idx,
+				label: label,
+				path:  filepath.Join(chipDir, in),
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNoSensors
+	}
+	return out, nil
+}
+
+type hwmonSensor struct {
+	name  string
+	label string
+	path  string
+}
+
+func (s *hwmonSensor) Name() string  { return s.name }
+func (s *hwmonSensor) Label() string { return s.label }
+
+// ReadC reads the sysfs file, which holds an integer in millidegrees C.
+func (s *hwmonSensor) ReadC() (float64, error) {
+	b, err := os.ReadFile(s.path)
+	if err != nil {
+		return 0, fmt.Errorf("sensors: reading %s: %w", s.path, err)
+	}
+	milli, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sensors: %s holds %q, not millidegrees: %w", s.path, strings.TrimSpace(string(b)), err)
+	}
+	return float64(milli) / 1000, nil
+}
+
+func readTrimmed(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}

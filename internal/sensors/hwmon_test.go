@@ -1,0 +1,149 @@
+package sensors
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFakeHwmon builds a sysfs-shaped tree:
+//
+//	root/hwmon0/name           "k8temp"
+//	root/hwmon0/temp1_input    "40250"
+//	root/hwmon0/temp1_label    "Core0 Temp"
+//	root/hwmon0/temp2_input    "38000"
+//	root/hwmon1/name           "w83627"
+//	root/hwmon1/temp1_input    "33500"
+func writeFakeHwmon(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	mk := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("hwmon0/name", "k8temp")
+	mk("hwmon0/temp1_input", "40250")
+	mk("hwmon0/temp1_label", "Core0 Temp")
+	mk("hwmon0/temp2_input", "38000")
+	mk("hwmon1/name", "w83627")
+	mk("hwmon1/temp1_input", "33500")
+	return root
+}
+
+func TestHwmonDiscovery(t *testing.T) {
+	root := writeFakeHwmon(t)
+	p := NewHwmonProvider(root)
+	ss, err := p.Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("found %d sensors, want 3", len(ss))
+	}
+	byName := map[string]Sensor{}
+	for _, s := range ss {
+		byName[s.Name()] = s
+	}
+	s1, ok := byName["hwmon0/temp1"]
+	if !ok {
+		t.Fatalf("missing hwmon0/temp1 in %v", byName)
+	}
+	if s1.Label() != "Core0 Temp" {
+		t.Errorf("label = %q, want from temp1_label", s1.Label())
+	}
+	v, err := s1.ReadC()
+	if err != nil || v != 40.25 {
+		t.Errorf("ReadC = %v, %v; want 40.25", v, err)
+	}
+	s2 := byName["hwmon0/temp2"]
+	if s2.Label() != "k8temp temp2" {
+		t.Errorf("fallback label = %q", s2.Label())
+	}
+	if v, _ := byName["hwmon1/temp1"].ReadC(); v != 33.5 {
+		t.Errorf("hwmon1 read = %v", v)
+	}
+}
+
+func TestHwmonMissingRoot(t *testing.T) {
+	p := NewHwmonProvider(filepath.Join(t.TempDir(), "nope"))
+	if _, err := p.Sensors(); !errors.Is(err, ErrNoSensors) {
+		t.Errorf("missing root err = %v, want ErrNoSensors", err)
+	}
+}
+
+func TestHwmonEmptyRoot(t *testing.T) {
+	p := NewHwmonProvider(t.TempDir())
+	if _, err := p.Sensors(); !errors.Is(err, ErrNoSensors) {
+		t.Errorf("empty root err = %v, want ErrNoSensors", err)
+	}
+}
+
+func TestHwmonDefaultRoot(t *testing.T) {
+	if NewHwmonProvider("").Root != DefaultHwmonRoot {
+		t.Error("empty root should default")
+	}
+}
+
+func TestHwmonGarbageValue(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("toasty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewHwmonProvider(root)
+	ss, err := p.Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss[0].ReadC(); err == nil {
+		t.Error("non-numeric sysfs value should error on read")
+	}
+}
+
+func TestHwmonSensorVanishes(t *testing.T) {
+	root := writeFakeHwmon(t)
+	p := NewHwmonProvider(root)
+	ss, err := p.Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(root, "hwmon0")); err != nil {
+		t.Fatal(err)
+	}
+	var gone Sensor
+	for _, s := range ss {
+		if s.Name() == "hwmon0/temp1" {
+			gone = s
+		}
+	}
+	if _, err := gone.ReadC(); err == nil {
+		t.Error("reading a removed sensor should error")
+	}
+}
+
+func TestHwmonWithRegistryAndQuantization(t *testing.T) {
+	root := writeFakeHwmon(t)
+	r := NewRegistry(NewHwmonProvider(root))
+	if err := r.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	vals, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 40.25 {
+		t.Errorf("first sorted sensor = %v, want hwmon0/temp1=40.25", vals[0])
+	}
+}

@@ -1,0 +1,106 @@
+package sensors
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tempest/internal/thermal"
+)
+
+// TestG5SevenSensors reproduces §3.4's sensor-count observation: a G5
+// node with exhaust sensing exposes 7 sensors.
+func TestG5SevenSensors(t *testing.T) {
+	p := thermal.DefaultG5Params()
+	p.NoiseAmpC = 0
+	cpu, err := thermal.NewCPU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	prov := NewSimProvider(cpu, &mu, "g5")
+	prov.IncludeExhaust = true
+	ss, err := prov.Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 die + 2 sink + mobo + ambient + exhaust = 7 (paper: "up to 7
+	// sensors on PowerPC G5 systems").
+	if len(ss) != 7 {
+		t.Fatalf("G5 sensors = %d, want 7", len(ss))
+	}
+	last := ss[len(ss)-1]
+	if last.Label() != "Exhaust" {
+		t.Errorf("seventh sensor = %q", last.Label())
+	}
+	// The exhaust reads between ambient and the hottest sink.
+	mu.Lock()
+	_ = cpu.SetCoreUtilization(0, 1)
+	for i := 0; i < 200; i++ {
+		_ = cpu.Step(250 * time.Millisecond)
+	}
+	mu.Unlock()
+	ex, err := last.ReadC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := cpu.AmbientTempC()
+	sink, _ := cpu.SinkTempC(0)
+	if !(ex > amb && ex < sink+1) {
+		t.Errorf("exhaust %v outside (ambient %v, sink %v]", ex, amb, sink)
+	}
+}
+
+// TestCompactThreeSensors reproduces the "as few as 3 sensors" x86 boards:
+// single socket, compact layout = die + mobo + ambient.
+func TestCompactThreeSensors(t *testing.T) {
+	p := thermal.DefaultOpteronParams()
+	p.Sockets = 1
+	p.CoresPerSocket = 2
+	p.NoiseAmpC = 0
+	cpu, err := thermal.NewCPU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	prov := NewSimProvider(cpu, &mu, "x86")
+	prov.Compact = true
+	ss, err := prov.Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("compact sensors = %d, want 3", len(ss))
+	}
+	labels := []string{ss[0].Label(), ss[1].Label(), ss[2].Label()}
+	want := []string{"CPU 0 Core", "M/B Temp", "Ambient"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("sensor %d = %q, want %q", i, labels[i], want[i])
+		}
+	}
+}
+
+func TestG5ParamsValidAndDistinct(t *testing.T) {
+	g5 := thermal.DefaultG5Params()
+	if err := g5.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g5.NumCores() != 2 || g5.FreqHz != 2.3e9 {
+		t.Errorf("G5 shape: %d cores at %v Hz", g5.NumCores(), g5.FreqHz)
+	}
+	// A G5 burn must still land in a plausible temperature band.
+	g5.NoiseAmpC = 0
+	cpu, err := thermal.NewCPU(g5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cpu.SetCoreUtilization(0, 1)
+	for i := 0; i < 400; i++ {
+		_ = cpu.Step(250 * time.Millisecond)
+	}
+	die, _ := cpu.DieTempC(0)
+	if die < 40 || die > 75 {
+		t.Errorf("G5 burn die = %v °C, implausible", die)
+	}
+}

@@ -1,0 +1,337 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval [Lo, Hi].
+// Tempest uses it to summarise long temperature series compactly: sensor
+// readings are quantised (hardware reports whole degrees), so a histogram
+// with 1-degree bins is a lossless representation from which every Summary
+// column — including median and mode — can be recovered without retaining
+// raw samples.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	counts   []int64
+	under    int64 // samples below lo
+	over     int64 // samples above hi
+	n        int64
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi]. It returns an error if bins < 1 or hi ≤ lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs ≥1 bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v] is empty", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int64, bins),
+	}, nil
+}
+
+// Add records one sample. Samples outside [lo, hi] are tallied in
+// underflow/overflow counters and still contribute to moment statistics.
+func (h *Histogram) Add(v float64) {
+	if h.n == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.n++
+	h.sum += v
+	h.sumSq += v * v
+	switch {
+	case v < h.lo:
+		h.under++
+	case v > h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i == len(h.counts) { // v == hi lands in the last bin
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// N reports the total number of samples added, including out-of-range ones.
+func (h *Histogram) N() int64 { return h.n }
+
+// Underflow and Overflow report out-of-range sample counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+func (h *Histogram) Overflow() int64  { return h.over }
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []int64 { return append([]int64(nil), h.counts...) }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Mean reports the running mean (0 for no samples).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Variance reports the running population variance computed from moments.
+func (h *Histogram) Variance() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.n) - m*m
+	if v < 0 { // numeric cancellation guard
+		return 0
+	}
+	return v
+}
+
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) from binned, in-range
+// samples, returning the centre of the bin containing the q-th in-range
+// sample. Out-of-range samples are ignored. Returns ErrEmpty if no
+// in-range samples were recorded.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	in := h.n - h.under - h.over
+	if in == 0 {
+		return 0, ErrEmpty
+	}
+	target := int64(math.Ceil(q * float64(in)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.BinCenter(i), nil
+		}
+	}
+	return h.BinCenter(len(h.counts) - 1), nil
+}
+
+// ModeBin returns the centre of the most-populated bin (smallest bin wins
+// ties), or ErrEmpty if no in-range samples were recorded.
+func (h *Histogram) ModeBin() (float64, error) {
+	best, bestCount := -1, int64(0)
+	for i, c := range h.counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return 0, ErrEmpty
+	}
+	return h.BinCenter(best), nil
+}
+
+// Merge folds other into h. Both histograms must have identical geometry.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.lo != other.lo || h.hi != other.hi || len(h.counts) != len(other.counts) {
+		return errors.New("stats: cannot merge histograms with different geometry")
+	}
+	if other.n == 0 {
+		return nil
+	}
+	if h.n == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	h.under += other.under
+	h.over += other.over
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	return nil
+}
+
+// ASCII renders a horizontal bar chart of the histogram, one row per
+// non-empty bin, scaled so the fullest bin spans width characters. It is
+// used by the report package's --ascii output mode.
+func (h *Histogram) ASCII(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var maxC int64
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(no in-range samples)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%8.2f | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Quantize rounds each sample to the nearest multiple of step, mimicking
+// the coarse quantisation of motherboard thermal sensors (the paper's
+// tables show readings such as 102.20 and 113.00 repeating exactly). A
+// step of 0 or less returns a copy of the input.
+func Quantize(samples []float64, step float64) []float64 {
+	out := make([]float64, len(samples))
+	if step <= 0 {
+		copy(out, samples)
+		return out
+	}
+	for i, v := range samples {
+		out[i] = math.Round(v/step) * step
+	}
+	return out
+}
+
+// WeightedMean returns the duration-weighted mean of values, used when
+// averaging temperatures across unevenly spaced samples. It returns
+// ErrEmpty for no values and an error for mismatched or non-positive
+// weights.
+func WeightedMean(values, weights []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	var sum, wsum float64
+	for i, v := range values {
+		w := weights[i]
+		if w < 0 {
+			return 0, fmt.Errorf("stats: negative weight %v at index %d", w, i)
+		}
+		sum += v * w
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0, errors.New("stats: all weights are zero")
+	}
+	return sum / wsum, nil
+}
+
+// CoefficientOfVariation returns Sdv/|Avg| for samples — the paper reports
+// run-to-run variance of about 5 %, which we verify with this metric.
+func CoefficientOfVariation(samples []float64) (float64, error) {
+	s, err := Summarize(samples)
+	if err != nil {
+		return 0, err
+	}
+	if s.Avg == 0 {
+		return 0, errors.New("stats: mean is zero; CoV undefined")
+	}
+	return s.Sdv / math.Abs(s.Avg), nil
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys. Bellosa-style thermal models regress temperature on event counts;
+// the hotspot package uses this to correlate per-function activity with
+// temperature trends.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: %d xs but %d ys", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance; correlation undefined")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// LinearFit returns slope and intercept of the least-squares line y = a*x+b.
+// The parser uses it to detect warming/cooling trends in per-node series
+// (Figure 3's "steadily warming" nodes have positive slope).
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: %d xs but %d ys", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: x has zero variance; fit undefined")
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, nil
+}
+
+// RankDescending returns the indices of values sorted from largest to
+// smallest value (stable: equal values keep their original order).
+func RankDescending(values []float64) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	return idx
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins should fail")
+	}
+	if _, err := NewHistogram(10, 10, 5); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewHistogram(10, 5, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0)    // bin 0
+	h.Add(0.5)  // bin 0
+	h.Add(9.99) // bin 9
+	h.Add(10)   // hi edge lands in last bin
+	h.Add(-1)   // underflow
+	h.Add(11)   // overflow
+	bins := h.Bins()
+	if bins[0] != 2 {
+		t.Errorf("bin0 = %d, want 2", bins[0])
+	}
+	if bins[9] != 2 {
+		t.Errorf("bin9 = %d, want 2", bins[9])
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d, want 6", h.N())
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h, _ := NewHistogram(0, 200, 200)
+	in := []float64{90, 100, 110}
+	for _, v := range in {
+		h.Add(v)
+	}
+	if !almostEqual(h.Mean(), 100, 1e-9) {
+		t.Errorf("Mean = %v, want 100", h.Mean())
+	}
+	want, _ := Summarize(in)
+	if !almostEqual(h.Variance(), want.Var, 1e-6) {
+		t.Errorf("Variance = %v, want %v", h.Variance(), want.Var)
+	}
+}
+
+func TestHistogramQuantileAndMode(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(2.5) // bin 2
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(7.5) // bin 7
+	}
+	med, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != h.BinCenter(2) {
+		t.Errorf("median = %v, want %v", med, h.BinCenter(2))
+	}
+	mode, err := h.ModeBin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != h.BinCenter(2) {
+		t.Errorf("mode = %v, want %v", mode, h.BinCenter(2))
+	}
+	if _, err := h.Quantile(1.5); err == nil {
+		t.Error("quantile > 1 should fail")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	if _, err := h.Quantile(0.5); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := h.ModeBin(); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	h.Add(-5) // out of range only
+	if _, err := h.Quantile(0.5); err != ErrEmpty {
+		t.Errorf("out-of-range-only err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 100, 50)
+	b, _ := NewHistogram(0, 100, 50)
+	rng := rand.New(rand.NewSource(3))
+	var all []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 100
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 200 {
+		t.Errorf("merged N = %d, want 200", a.N())
+	}
+	want, _ := Summarize(all)
+	if !almostEqual(a.Mean(), want.Avg, 1e-9) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), want.Avg)
+	}
+	c, _ := NewHistogram(0, 50, 50)
+	if err := a.Merge(c); err == nil {
+		t.Error("geometry mismatch should fail")
+	}
+}
+
+func TestHistogramMergeEmptyCases(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 10)
+	b, _ := NewHistogram(0, 10, 10)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 0 {
+		t.Error("merging two empties should stay empty")
+	}
+	b.Add(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge into empty: N=%d Mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h, _ := NewHistogram(90, 120, 30)
+	for i := 0; i < 10; i++ {
+		h.Add(95.5)
+	}
+	h.Add(110.5)
+	out := h.ASCII(20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("ASCII output missing bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("ASCII lines = %d, want 2 (non-empty bins only)", lines)
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if !strings.Contains(empty.ASCII(10), "no in-range samples") {
+		t.Error("empty histogram ASCII should say so")
+	}
+}
+
+// Property: histogram moments agree with batch stats for in-range data,
+// and the quantile is monotone in q.
+func TestHistogramProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, _ := NewHistogram(0, 1000, 100)
+		in := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Abs(math.Mod(v, 1000))
+			in = append(in, v)
+			h.Add(v)
+		}
+		if len(in) == 0 {
+			return true
+		}
+		want, _ := Summarize(in)
+		if !almostEqual(h.Mean(), want.Avg, 1e-6*(1+math.Abs(want.Avg))) {
+			return false
+		}
+		q25, err1 := h.Quantile(0.25)
+		q75, err2 := h.Quantile(0.75)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q25 <= q75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	acc := NewAccumulator(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc.Add(float64(i % 100))
+	}
+}
+
+func BenchmarkSummarize1k(b *testing.B) {
+	in := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range in {
+		in[i] = rng.Float64() * 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h, _ := NewHistogram(0, 200, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i % 200))
+	}
+}

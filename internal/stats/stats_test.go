@@ -1,0 +1,445 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]float64{
+		"Min": s.Min, "Avg": s.Avg, "Max": s.Max, "Med": s.Med, "Mod": s.Mod,
+	} {
+		if got != 42 {
+			t.Errorf("%s = %v, want 42", name, got)
+		}
+	}
+	if s.Sdv != 0 || s.Var != 0 {
+		t.Errorf("Sdv,Var = %v,%v, want 0,0", s.Sdv, s.Var)
+	}
+	if s.N != 1 {
+		t.Errorf("N = %d, want 1", s.N)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// Paper-style quantised sensor readings.
+	in := []float64{94, 95, 95, 95, 96, 97, 94, 95}
+	s, err := Summarize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 94 || s.Max != 97 {
+		t.Errorf("Min,Max = %v,%v, want 94,97", s.Min, s.Max)
+	}
+	wantAvg := (94 + 95 + 95 + 95 + 96 + 97 + 94 + 95) / 8.0
+	if !almostEqual(s.Avg, wantAvg, 1e-12) {
+		t.Errorf("Avg = %v, want %v", s.Avg, wantAvg)
+	}
+	if s.Mod != 95 {
+		t.Errorf("Mod = %v, want 95", s.Mod)
+	}
+	if s.Med != 95 {
+		t.Errorf("Med = %v, want 95", s.Med)
+	}
+	if !almostEqual(s.Var, s.Sdv*s.Sdv, 1e-9) {
+		t.Errorf("Var = %v, want Sdv² = %v", s.Var, s.Sdv*s.Sdv)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestModeTieBreaksLow(t *testing.T) {
+	m, err := Mode([]float64{2, 2, 1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Errorf("Mode = %v, want 1 (smallest among most frequent)", m)
+	}
+}
+
+func TestMedianEvenPicksLowerMiddle(t *testing.T) {
+	m, err := Median([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Errorf("Median = %v, want 2 (lower middle)", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	in := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100},
+	}
+	for _, c := range cases {
+		got, err := Percentile(in, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(in, -1); err == nil {
+		t.Error("Percentile(-1) should fail")
+	}
+	if _, err := Percentile(in, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = 90 + rng.Float64()*30
+	}
+	acc := NewAccumulator(true)
+	acc.AddAll(in)
+	got, err := acc.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Summarize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("N/Min/Max mismatch: got %+v want %+v", got, want)
+	}
+	if !almostEqual(got.Avg, want.Avg, 1e-9) {
+		t.Errorf("Avg = %v, want %v", got.Avg, want.Avg)
+	}
+	if !almostEqual(got.Var, want.Var, 1e-6) {
+		t.Errorf("Var = %v, want %v", got.Var, want.Var)
+	}
+	if got.Med != want.Med || got.Mod != want.Mod {
+		t.Errorf("Med/Mod mismatch: got %v/%v want %v/%v", got.Med, got.Mod, want.Med, want.Mod)
+	}
+}
+
+func TestAccumulatorNoRetain(t *testing.T) {
+	acc := NewAccumulator(false)
+	acc.AddAll([]float64{1, 2, 3})
+	s, err := acc.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Med) || !math.IsNaN(s.Mod) {
+		t.Errorf("Med/Mod = %v/%v, want NaN/NaN without retention", s.Med, s.Mod)
+	}
+	if acc.Samples() != nil {
+		t.Error("Samples() should be nil without retention")
+	}
+	if s.Avg != 2 {
+		t.Errorf("Avg = %v, want 2", s.Avg)
+	}
+}
+
+func TestAccumulatorEmptySummary(t *testing.T) {
+	if _, err := NewAccumulator(true).Summary(); err != ErrEmpty {
+		t.Fatalf("empty Summary err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := make([]float64, 500)
+	for i := range all {
+		all[i] = rng.NormFloat64()*5 + 100
+	}
+	a := NewAccumulator(true)
+	b := NewAccumulator(true)
+	a.AddAll(all[:200])
+	b.AddAll(all[200:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Summary()
+	want, _ := Summarize(all)
+	if got.N != want.N {
+		t.Fatalf("merged N = %d, want %d", got.N, want.N)
+	}
+	if !almostEqual(got.Avg, want.Avg, 1e-9) || !almostEqual(got.Var, want.Var, 1e-6) {
+		t.Errorf("merged Avg/Var = %v/%v, want %v/%v", got.Avg, got.Var, want.Avg, want.Var)
+	}
+	if got.Min != want.Min || got.Max != want.Max || got.Med != want.Med {
+		t.Errorf("merged Min/Max/Med mismatch")
+	}
+}
+
+func TestAccumulatorMergeIntoEmpty(t *testing.T) {
+	a := NewAccumulator(true)
+	b := NewAccumulator(true)
+	b.AddAll([]float64{5, 6, 7})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 3 || a.Mean() != 6 {
+		t.Errorf("merge into empty: N=%d Mean=%v", a.N(), a.Mean())
+	}
+	// Mutating b afterwards must not affect a (deep copy of samples).
+	b.Add(100)
+	if a.N() != 3 {
+		t.Error("merge aliased the source accumulator")
+	}
+}
+
+func TestAccumulatorMergeModeMismatch(t *testing.T) {
+	a := NewAccumulator(true)
+	b := NewAccumulator(false)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different retention modes should fail")
+	}
+}
+
+// Property: for any non-empty input, Min ≤ Med ≤ Max, Min ≤ Avg ≤ Max,
+// Var = Sdv², and Mod is an element of the input.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := make([]float64, 0, len(raw)+1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in sumSq.
+			in = append(in, math.Mod(v, 1e6))
+		}
+		if len(in) == 0 {
+			in = append(in, 1)
+		}
+		s, err := Summarize(in)
+		if err != nil {
+			return false
+		}
+		if s.Min > s.Med || s.Med > s.Max {
+			return false
+		}
+		if s.Min > s.Avg+1e-9 || s.Avg > s.Max+1e-9 {
+			return false
+		}
+		if !almostEqual(s.Var, s.Sdv*s.Sdv, 1e-6*(1+math.Abs(s.Var))) {
+			return false
+		}
+		found := false
+		for _, v := range in {
+			if v == s.Mod {
+				found = true
+				break
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: streaming accumulator agrees with batch summarisation on
+// moments for arbitrary input.
+func TestAccumulatorAgreesWithBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := make([]float64, 0, len(raw)+1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			in = append(in, math.Mod(v, 1e4))
+		}
+		if len(in) == 0 {
+			return true
+		}
+		acc := NewAccumulator(false)
+		acc.AddAll(in)
+		want, err := Summarize(in)
+		if err != nil {
+			return false
+		}
+		scale := 1 + math.Abs(want.Var)
+		return almostEqual(acc.Mean(), want.Avg, 1e-6) &&
+			almostEqual(acc.Variance(), want.Var, 1e-5*scale) &&
+			acc.Min() == want.Min && acc.Max() == want.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge(a,b) is equivalent to accumulating the concatenation.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	f := func(x, y []float64) bool {
+		clean := func(raw []float64) []float64 {
+			out := make([]float64, 0, len(raw))
+			for _, v := range raw {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					out = append(out, math.Mod(v, 1e4))
+				}
+			}
+			return out
+		}
+		xs, ys := clean(x), clean(y)
+		a := NewAccumulator(false)
+		b := NewAccumulator(false)
+		a.AddAll(xs)
+		b.AddAll(ys)
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		c := NewAccumulator(false)
+		c.AddAll(append(append([]float64(nil), xs...), ys...))
+		if a.N() != c.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(c.Variance())
+		return almostEqual(a.Mean(), c.Mean(), 1e-6) &&
+			almostEqual(a.Variance(), c.Variance(), 1e-5*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	in := []float64{94.3, 94.6, 95.01, 102.2}
+	got := Quantize(in, 1)
+	want := []float64{94, 95, 95, 102}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// step ≤ 0 copies
+	got = Quantize(in, 0)
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("Quantize step=0 changed value at %d", i)
+		}
+	}
+	got[0] = -1
+	if in[0] == -1 {
+		t.Error("Quantize step=0 aliased its input")
+	}
+}
+
+func TestQuantizeHalfDegreeSteps(t *testing.T) {
+	got := Quantize([]float64{102.31, 113.06}, 0.2)
+	if !almostEqual(got[0], 102.4, 1e-9) || !almostEqual(got[1], 113.0, 1e-9) {
+		t.Errorf("Quantize 0.2 = %v", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{100, 110}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 102.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 102.5", got)
+	}
+	if _, err := WeightedMean(nil, nil); err != ErrEmpty {
+		t.Error("empty WeightedMean should return ErrEmpty")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cov, err := CoefficientOfVariation([]float64{95, 100, 105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov <= 0 || cov > 0.1 {
+		t.Errorf("CoV = %v, want small positive", cov)
+	}
+	if _, err := CoefficientOfVariation([]float64{0, 0}); err == nil {
+		t.Error("zero-mean CoV should fail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ysUp := []float64{2, 4, 6, 8, 10}
+	ysDown := []float64{10, 8, 6, 4, 2}
+	if r, _ := Correlation(xs, ysUp); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", r)
+	}
+	if r, _ := Correlation(xs, ysDown); !almostEqual(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", r)
+	}
+	if _, err := Correlation(xs, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("zero-variance correlation should fail")
+	}
+	if _, err := Correlation(nil, nil); err != ErrEmpty {
+		t.Error("empty correlation should return ErrEmpty")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 5, 1e-12) {
+		t.Errorf("fit = %v,%v, want 2,5", slope, intercept)
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero x-variance fit should fail")
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	got := RankDescending([]float64{3, 1, 4, 1, 5})
+	want := []int{4, 2, 0, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankDescending = %v, want %v", got, want)
+		}
+	}
+	if out := RankDescending(nil); len(out) != 0 {
+		t.Error("RankDescending(nil) should be empty")
+	}
+}

@@ -1,0 +1,202 @@
+// Package tempd implements Tempest's temperature-sampling daemon.
+//
+// The paper launches a lightweight process, tempd, before the profiled
+// application's main, samples every available thermal sensor four times
+// per second, and stops it with a signal from the shared library's
+// destructor (§3.2). It verifies tempd itself uses under 1 % CPU and has
+// no measurable thermal impact (§4.1).
+//
+// This package reproduces that component with two drive modes:
+//
+//   - Start/Stop runs a background goroutine on the OS clock, for
+//     profiling real executions against real (hwmon) sensors; and
+//   - SampleOnce lets a simulation engine invoke sampling at exact
+//     virtual-time boundaries, keeping simulated runs deterministic.
+//
+// Samples are recorded as KindSample events in the run's trace, so the
+// parser sees one merged timeline. Sensor identities are published into
+// the trace's symbol table as "sensor:<id>:<label>" markers at startup,
+// letting the parser restore names without extending the trace format.
+package tempd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempest/internal/sensors"
+	"tempest/internal/trace"
+)
+
+// DefaultRateHz is the paper's sampling rate: four samples per second.
+const DefaultRateHz = 4
+
+// Config configures a Daemon.
+type Config struct {
+	// Registry supplies the sensors to sample; required, and must have
+	// been Discover()ed.
+	Registry *sensors.Registry
+	// Tracer receives sample events; required.
+	Tracer *trace.Tracer
+	// RateHz is the sampling frequency; 0 defaults to DefaultRateHz.
+	RateHz float64
+}
+
+// Daemon samples sensors into a trace.
+type Daemon struct {
+	reg      *sensors.Registry
+	tracer   *trace.Tracer
+	interval time.Duration
+
+	samples  atomic.Uint64
+	failures atomic.Uint64
+	busyNS   atomic.Int64 // cumulative time spent inside SampleOnce
+
+	mu       sync.Mutex
+	started  time.Time
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	running  bool
+	wallNS   int64 // accumulated run time across Start/Stop cycles
+	announce sync.Once
+}
+
+// New validates the configuration and builds a daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("tempd: Config.Registry is required")
+	}
+	if cfg.Tracer == nil {
+		return nil, errors.New("tempd: Config.Tracer is required")
+	}
+	if cfg.RateHz < 0 {
+		return nil, fmt.Errorf("tempd: negative sample rate %v", cfg.RateHz)
+	}
+	rate := cfg.RateHz
+	if rate == 0 {
+		rate = DefaultRateHz
+	}
+	if cfg.Registry.Len() == 0 {
+		return nil, errors.New("tempd: registry has no sensors (run Discover first)")
+	}
+	return &Daemon{
+		reg:      cfg.Registry,
+		tracer:   cfg.Tracer,
+		interval: time.Duration(float64(time.Second) / rate),
+	}, nil
+}
+
+// Interval returns the sampling period (250 ms at the default 4 Hz).
+func (d *Daemon) Interval() time.Duration { return d.interval }
+
+// announceSensors publishes sensor identities into the trace once.
+func (d *Daemon) announceSensors() {
+	d.announce.Do(func() {
+		for i, s := range d.reg.Sensors() {
+			d.tracer.Marker(fmt.Sprintf("sensor:%d:%s", i, s.Label()))
+		}
+	})
+}
+
+// SampleOnce reads every sensor and records one sample event per healthy
+// sensor. Failing sensors are skipped and counted; the first call also
+// announces sensor identities. The returned error aggregates per-sensor
+// failures (sampling continues past them).
+func (d *Daemon) SampleOnce() error {
+	start := time.Now()
+	d.announceSensors()
+	vals, err := d.reg.ReadAll()
+	for i, v := range vals {
+		if v != v { // NaN: sensor failed this round
+			d.failures.Add(1)
+			continue
+		}
+		d.tracer.Sample(uint32(i), v)
+		d.samples.Add(1)
+	}
+	d.busyNS.Add(int64(time.Since(start)))
+	return err
+}
+
+// Start launches real-time sampling. It is an error to start a running
+// daemon.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return errors.New("tempd: already running")
+	}
+	d.running = true
+	d.started = time.Now()
+	d.stopCh = make(chan struct{})
+	d.doneCh = make(chan struct{})
+	go d.loop(d.stopCh, d.doneCh)
+	return nil
+}
+
+func (d *Daemon) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	_ = d.SampleOnce() // sample immediately at t=0, like the paper's tempd
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			_ = d.SampleOnce()
+		}
+	}
+}
+
+// Stop terminates real-time sampling — the in-process equivalent of the
+// destructor's signal to the tempd process. Stopping a stopped daemon is
+// an error.
+func (d *Daemon) Stop() error {
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return errors.New("tempd: not running")
+	}
+	close(d.stopCh)
+	done := d.doneCh
+	d.running = false
+	d.wallNS += int64(time.Since(d.started))
+	d.mu.Unlock()
+	<-done
+	return nil
+}
+
+// Running reports whether the real-time loop is active.
+func (d *Daemon) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running
+}
+
+// Samples reports successfully recorded sample events.
+func (d *Daemon) Samples() uint64 { return d.samples.Load() }
+
+// Failures reports sensor read failures encountered.
+func (d *Daemon) Failures() uint64 { return d.failures.Load() }
+
+// BusyFraction reports the fraction of wall time spent actually sampling
+// — the quantity the paper bounds below 1 % CPU (§4.1). It is only
+// meaningful for real-time runs; virtual runs should use BusyTime.
+func (d *Daemon) BusyFraction() float64 {
+	d.mu.Lock()
+	wall := d.wallNS
+	if d.running {
+		wall += int64(time.Since(d.started))
+	}
+	d.mu.Unlock()
+	if wall == 0 {
+		return 0
+	}
+	return float64(d.busyNS.Load()) / float64(wall)
+}
+
+// BusyTime reports cumulative time spent inside SampleOnce.
+func (d *Daemon) BusyTime() time.Duration { return time.Duration(d.busyNS.Load()) }

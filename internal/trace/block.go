@@ -1,0 +1,66 @@
+package trace
+
+import "fmt"
+
+// Basic-block granularity (§3.2: "Tempest also supports measurement at
+// basic block granularity using libtempestperblk.so. Basic block
+// measurement is non-transparent and requires explicit API calls.")
+//
+// A block is traced like a function whose symbol is "<func>#bb<id>"; the
+// parser groups blocks under their owning function by that naming
+// convention, so block profiles appear alongside (not instead of) the
+// function profile.
+
+// BlockName builds the canonical symbol for block id of function fn.
+func BlockName(fn string, id int) string { return fmt.Sprintf("%s#bb%d", fn, id) }
+
+// SplitBlockName decomposes a block symbol; ok is false for plain
+// function names.
+func SplitBlockName(name string) (fn string, id int, ok bool) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '#' {
+			if i+3 >= len(name) || name[i+1] != 'b' || name[i+2] != 'b' {
+				return "", 0, false
+			}
+			n := 0
+			for _, c := range name[i+3:] {
+				if c < '0' || c > '9' {
+					return "", 0, false
+				}
+				n = n*10 + int(c-'0')
+			}
+			return name[:i], n, true
+		}
+	}
+	return "", 0, false
+}
+
+// RegisterBlock interns the block symbol and returns its id for
+// EnterBlock/ExitBlock (or plain Enter/Exit).
+func (t *Tracer) RegisterBlock(fn string, block int) uint32 {
+	return t.symtab.Register(BlockName(fn, block))
+}
+
+// EnterBlock records entry into a basic block (explicit API, per the
+// paper's non-transparent block library).
+func (l *Lane) EnterBlock(fn string, block int) uint32 {
+	fid := l.tracer.RegisterBlock(fn, block)
+	l.Enter(fid)
+	return fid
+}
+
+// ExitBlock records exit from the block id returned by EnterBlock.
+func (l *Lane) ExitBlock(fid uint32) error { return l.Exit(fid) }
+
+// InstrumentBlock wraps fn in a block-granular enter/exit pair.
+func (l *Lane) InstrumentBlock(fnName string, block int, fn func()) error {
+	fid := l.EnterBlock(fnName, block)
+	defer func() {
+		if r := recover(); r != nil {
+			_ = l.Exit(fid)
+			panic(r)
+		}
+	}()
+	fn()
+	return l.Exit(fid)
+}

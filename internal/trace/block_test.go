@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"tempest/internal/vclock"
+)
+
+func TestBlockNameRoundTrip(t *testing.T) {
+	cases := []struct {
+		fn string
+		id int
+	}{
+		{"solve", 0}, {"foo1", 3}, {"a#b", 12}, {"x", 120},
+	}
+	for _, c := range cases {
+		name := BlockName(c.fn, c.id)
+		fn, id, ok := SplitBlockName(name)
+		if !ok || fn != c.fn || id != c.id {
+			t.Errorf("round trip %q: got %q,%d,%v", name, fn, id, ok)
+		}
+	}
+}
+
+func TestSplitBlockNameRejectsPlain(t *testing.T) {
+	for _, name := range []string{"plain", "with#hash", "f#bb", "f#bbx", "f#bb1x", ""} {
+		if _, _, ok := SplitBlockName(name); ok {
+			t.Errorf("%q parsed as a block name", name)
+		}
+	}
+}
+
+func TestBlockInstrumentation(t *testing.T) {
+	clk := vclock.NewVirtualClock()
+	tr, err := NewTracer(Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := tr.NewLane()
+	fn := tr.RegisterFunc("kernel")
+	lane.Enter(fn)
+	for b := 0; b < 3; b++ {
+		fid := lane.EnterBlock("kernel", b)
+		clk.Advance(time.Duration(b+1) * time.Second)
+		if err := lane.ExitBlock(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lane.Exit(fn); err != nil {
+		t.Fatal(err)
+	}
+	evs, sym := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("events = %d, want 8", len(evs))
+	}
+	if name, _ := sym.Name(evs[1].FuncID); name != "kernel#bb0" {
+		t.Errorf("first block symbol = %q", name)
+	}
+}
+
+func TestInstrumentBlock(t *testing.T) {
+	clk := vclock.NewVirtualClock()
+	tr, _ := NewTracer(Config{Clock: clk})
+	lane := tr.NewLane()
+	ran := false
+	if err := lane.InstrumentBlock("f", 2, func() { ran = true; clk.Advance(time.Second) }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("block body did not run")
+	}
+	evs, sym := tr.Snapshot()
+	if name, _ := sym.Name(evs[0].FuncID); name != "f#bb2" {
+		t.Errorf("symbol = %q", name)
+	}
+	if evs[1].TS-evs[0].TS != time.Second {
+		t.Errorf("block duration = %v", evs[1].TS-evs[0].TS)
+	}
+}
+
+func TestInstrumentBlockPanicRecordsExit(t *testing.T) {
+	tr, _ := NewTracer(Config{Clock: vclock.NewVirtualClock()})
+	lane := tr.NewLane()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic should propagate")
+			}
+		}()
+		_ = lane.InstrumentBlock("f", 0, func() { panic("x") })
+	}()
+	evs, _ := tr.Snapshot()
+	if len(evs) != 2 || evs[1].Kind != KindExit {
+		t.Errorf("panic path events: %+v", evs)
+	}
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Binary trace format ("TPST"), little-endian, varint-packed:
+//
+//	magic   uint32  'T','P','S','T'
+//	version uint16
+//	nodeID  uvarint
+//	rank    uvarint
+//	nsyms   uvarint
+//	  per symbol: addr uvarint, name (uvarint len + bytes)
+//	nevents uvarint
+//	  per event:  kind byte, lane uvarint, Δts uvarint (ns since previous
+//	              event), then kind-specific payload:
+//	                enter/exit/marker: funcID uvarint
+//	                sample: sensorID uvarint, milli-°C zigzag varint
+//	                drop:   count uvarint
+//
+// Timestamps are delta-encoded against the previous event in stream order
+// (snapshots are already time-sorted), keeping typical events ≤6 bytes.
+
+const (
+	formatMagic   = 0x54535054 // "TPST" little-endian
+	formatVersion = 1
+)
+
+// ErrBadFormat reports a malformed or foreign trace stream.
+var ErrBadFormat = errors.New("trace: bad trace format")
+
+// Write serialises the trace to w in the TPST format.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	if err := binary.Write(bw, binary.LittleEndian, uint32(formatMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(formatVersion)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(tr.NodeID)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(tr.Rank)); err != nil {
+		return err
+	}
+
+	sym := tr.Sym
+	if sym == nil {
+		sym = NewSymTab()
+	}
+	names := sym.Names()
+	if err := putUvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for id, name := range names {
+		addr, err := sym.Addr(uint32(id))
+		if err != nil {
+			return err
+		}
+		if err := putUvarint(addr); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+
+	if err := putUvarint(uint64(len(tr.Events))); err != nil {
+		return err
+	}
+	var prevTS int64
+	for i, e := range tr.Events {
+		if err := e.Valid(); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		ts := int64(e.TS)
+		if ts < prevTS {
+			return fmt.Errorf("trace: event %d timestamp %v regresses (events must be time-sorted)", i, e.TS)
+		}
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.Lane)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ts - prevTS)); err != nil {
+			return err
+		}
+		prevTS = ts
+		switch e.Kind {
+		case KindEnter, KindExit, KindMarker:
+			if err := putUvarint(uint64(e.FuncID)); err != nil {
+				return err
+			}
+		case KindSample:
+			if err := putUvarint(uint64(e.SensorID)); err != nil {
+				return err
+			}
+			milli := int64(math.Round(e.ValueC * 1000))
+			if err := putVarint(milli); err != nil {
+				return err
+			}
+		case KindDrop:
+			if err := putUvarint(e.Aux); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a TPST stream back into a Trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if magic != formatMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+
+	nodeID, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: node id: %v", ErrBadFormat, err)
+	}
+	rank, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rank: %v", ErrBadFormat, err)
+	}
+
+	nsyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: symbol count: %v", ErrBadFormat, err)
+	}
+	if nsyms > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible symbol count %d", ErrBadFormat, nsyms)
+	}
+	sym := NewSymTab()
+	for i := uint64(0); i < nsyms; i++ {
+		if _, err := binary.ReadUvarint(br); err != nil { // addr: regenerated on Register
+			return nil, fmt.Errorf("%w: symbol %d addr: %v", ErrBadFormat, i, err)
+		}
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: symbol %d name length: %v", ErrBadFormat, i, err)
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("%w: symbol %d name length %d", ErrBadFormat, i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: symbol %d name: %v", ErrBadFormat, i, err)
+		}
+		if got := sym.Register(string(name)); got != uint32(i) {
+			return nil, fmt.Errorf("%w: duplicate symbol %q", ErrBadFormat, name)
+		}
+	}
+
+	nev, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: event count: %v", ErrBadFormat, err)
+	}
+	if nev > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrBadFormat, nev)
+	}
+	events := make([]Event, 0, min64(nev, 1<<20))
+	var prevTS int64
+	for i := uint64(0); i < nev; i++ {
+		kindB, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d kind: %v", ErrBadFormat, i, err)
+		}
+		e := Event{Kind: EventKind(kindB)}
+		lane, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d lane: %v", ErrBadFormat, i, err)
+		}
+		e.Lane = uint32(lane)
+		dts, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d Δts: %v", ErrBadFormat, i, err)
+		}
+		prevTS += int64(dts)
+		e.TS = time.Duration(prevTS)
+		switch e.Kind {
+		case KindEnter, KindExit, KindMarker:
+			fid, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d func id: %v", ErrBadFormat, i, err)
+			}
+			if fid >= nsyms {
+				return nil, fmt.Errorf("%w: event %d func id %d ≥ %d symbols", ErrBadFormat, i, fid, nsyms)
+			}
+			e.FuncID = uint32(fid)
+		case KindSample:
+			sid, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d sensor id: %v", ErrBadFormat, i, err)
+			}
+			e.SensorID = uint32(sid)
+			milli, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d sample value: %v", ErrBadFormat, i, err)
+			}
+			e.ValueC = float64(milli) / 1000
+		case KindDrop:
+			aux, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d drop count: %v", ErrBadFormat, i, err)
+			}
+			e.Aux = aux
+		default:
+			return nil, fmt.Errorf("%w: event %d unknown kind %d", ErrBadFormat, i, kindB)
+		}
+		events = append(events, e)
+	}
+	return &Trace{NodeID: uint32(nodeID), Rank: uint32(rank), Events: events, Sym: sym}, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

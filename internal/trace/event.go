@@ -1,0 +1,87 @@
+// Package trace implements Tempest's function-level execution tracing.
+//
+// The paper hooks gcc's -finstrument-functions to observe every function
+// entry and exit, timestamps them with rdtsc, and writes a per-node trace
+// file that the parser later merges with temperature samples (§3.2). Go
+// has no compiler hook, but the paper itself also ships a "non-transparent
+// profiling library independent of the compiler" — this package is that
+// library: an explicit Enter/Exit API with per-goroutine shadow stacks,
+// bounded ring buffers, and a compact binary trace format.
+//
+// Unlike gprof's time buckets, the trace preserves the full timeline:
+// *when* each function ran, not just for how long — the property §3.1
+// identifies as essential for correlating real-time temperature to code.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// KindEnter marks a function entry.
+	KindEnter EventKind = iota + 1
+	// KindExit marks a function exit.
+	KindExit
+	// KindSample carries one temperature reading from one sensor.
+	KindSample
+	// KindMarker carries a user annotation (phase boundaries, MPI
+	// operations); its FuncID indexes the symbol table like a function.
+	KindMarker
+	// KindDrop records that the ring buffer overflowed; Aux holds the
+	// number of events lost since the previous successfully recorded one.
+	KindDrop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindEnter:
+		return "enter"
+	case KindExit:
+		return "exit"
+	case KindSample:
+		return "sample"
+	case KindMarker:
+		return "marker"
+	case KindDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record. The in-memory form is uniform across kinds;
+// the binary codec stores only the fields each kind uses.
+type Event struct {
+	// TS is the event time relative to the trace origin.
+	TS time.Duration
+	// Lane identifies the execution lane (goroutine / simulated thread)
+	// the event occurred on. Samples use lane 0 by convention.
+	Lane uint32
+	// FuncID indexes the symbol table for enter/exit/marker events.
+	FuncID uint32
+	// SensorID indexes the sensor list for sample events.
+	SensorID uint32
+	// ValueC is the temperature in °C for sample events.
+	ValueC float64
+	// Aux carries kind-specific extra data (drop counts).
+	Aux  uint64
+	Kind EventKind
+}
+
+// Valid performs structural validation of a single event.
+func (e Event) Valid() error {
+	switch e.Kind {
+	case KindEnter, KindExit, KindMarker, KindSample, KindDrop:
+	default:
+		return fmt.Errorf("trace: invalid event kind %d", e.Kind)
+	}
+	if e.TS < 0 {
+		return fmt.Errorf("trace: negative timestamp %v", e.TS)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package trace
+
+// Explicit-timestamp recording.
+//
+// Live profiling stamps events with the tracer's clock at call time. The
+// simulated cluster instead executes ranks in *virtual* time: each rank
+// advances its own logical clock as its workload's cost model dictates,
+// so events must carry caller-supplied timestamps. These variants bypass
+// the clock; within a lane, timestamps are clamped to be monotonic (a
+// regression indicates a simulation bug upstream, but the trace must stay
+// well-formed for the codec).
+
+import "time"
+
+// lastTS returns the timestamp of the lane's most recent event (0 if none).
+func (l *Lane) lastTS() time.Duration {
+	if len(l.buf) == 0 {
+		return 0
+	}
+	return l.buf[len(l.buf)-1].TS
+}
+
+// clampTS enforces per-lane monotonicity. Callers hold l.mu via record; we
+// clamp before record acquires it, so take the lock briefly here instead.
+func (l *Lane) clampTS(ts time.Duration) time.Duration {
+	l.mu.Lock()
+	if last := l.lastTS(); ts < last {
+		ts = last
+	}
+	l.mu.Unlock()
+	return ts
+}
+
+// EnterAt records a function entry at an explicit timestamp.
+func (l *Lane) EnterAt(fid uint32, ts time.Duration) {
+	l.stack = append(l.stack, fid)
+	l.record(Event{TS: l.clampTS(ts), Lane: l.id, Kind: KindEnter, FuncID: fid})
+}
+
+// ExitAt records a function exit at an explicit timestamp; same stack
+// validation as Exit.
+func (l *Lane) ExitAt(fid uint32, ts time.Duration) error {
+	l.record(Event{TS: l.clampTS(ts), Lane: l.id, Kind: KindExit, FuncID: fid})
+	if len(l.stack) == 0 {
+		return ErrStackEmpty
+	}
+	top := l.stack[len(l.stack)-1]
+	l.stack = l.stack[:len(l.stack)-1]
+	if top != fid {
+		return ErrStackMismatch
+	}
+	return nil
+}
+
+// MarkerAt records an annotation at an explicit timestamp.
+func (l *Lane) MarkerAt(name string, ts time.Duration) {
+	fid := l.tracer.RegisterFunc(name)
+	l.record(Event{TS: l.clampTS(ts), Lane: l.id, Kind: KindMarker, FuncID: fid})
+}
+
+// SampleAt records a temperature sample at an explicit timestamp on lane 0.
+func (t *Tracer) SampleAt(sid uint32, tempC float64, ts time.Duration) {
+	l := t.lane0
+	l.record(Event{TS: l.clampTS(ts), Lane: 0, Kind: KindSample, SensorID: sid, ValueC: tempC})
+}
+
+// MarkerAt records an annotation at an explicit timestamp on lane 0.
+func (t *Tracer) MarkerAt(name string, ts time.Duration) {
+	fid := t.RegisterFunc(name)
+	l := t.lane0
+	l.record(Event{TS: l.clampTS(ts), Lane: 0, Kind: KindMarker, FuncID: fid})
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tempest/internal/vclock"
+)
+
+// FuzzReadTrace hardens the codec against hostile or corrupted trace
+// files: any byte string must either parse into a structurally valid
+// trace or fail with an error — never panic, never hang, never allocate
+// unboundedly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace and a few mutations.
+	clk := vclock.NewVirtualClock()
+	tr, err := NewTracer(Config{Clock: clk, NodeID: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	lane := tr.NewLane()
+	fid := tr.RegisterFunc("fuzzed")
+	lane.Enter(fid)
+	clk.Advance(time.Second)
+	tr.Sample(0, 39.5)
+	_ = lane.Exit(fid)
+	var buf bytes.Buffer
+	if err := tr.Finish().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("TPST"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	corrupted := append([]byte(nil), valid...)
+	if len(corrupted) > 10 {
+		corrupted[8] ^= 0xFF
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is always acceptable
+		}
+		// Accepted traces must be structurally sound.
+		for i, e := range got.Events {
+			if e.Valid() != nil {
+				t.Fatalf("event %d invalid after successful parse: %+v", i, e)
+			}
+			switch e.Kind {
+			case KindEnter, KindExit, KindMarker:
+				if _, err := got.Sym.Name(e.FuncID); err != nil {
+					t.Fatalf("event %d references unknown symbol", i)
+				}
+			}
+		}
+		// And must round-trip.
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Errorf("real clock went backward: %v then %v", a, b)
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	if c.Now() != 0 {
+		t.Fatalf("new virtual clock at %v, want 0", c.Now())
+	}
+	got := c.Advance(250 * time.Millisecond)
+	if got != 250*time.Millisecond || c.Now() != 250*time.Millisecond {
+		t.Errorf("after advance: %v / %v", got, c.Now())
+	}
+	c.Set(time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("after Set: %v", c.Now())
+	}
+}
+
+func TestVirtualClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	NewVirtualClock().Advance(-1)
+}
+
+func TestVirtualClockBackwardSetPanics(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("backward Set should panic")
+		}
+	}()
+	c.Set(time.Millisecond)
+}
+
+func TestVirtualClockConcurrentAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 8*1000*time.Microsecond {
+		t.Errorf("concurrent advance total = %v, want 8ms", got)
+	}
+}
+
+func TestOffsetClock(t *testing.T) {
+	base := NewVirtualClock()
+	base.Advance(time.Second)
+	oc := &OffsetClock{Base: base, Offset: 3 * time.Second}
+	if oc.Now() != 4*time.Second {
+		t.Errorf("offset clock = %v, want 4s", oc.Now())
+	}
+}
+
+func TestScaledClock(t *testing.T) {
+	base := NewVirtualClock()
+	sc, err := NewScaledClock(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Advance(100 * time.Millisecond)
+	if got := sc.Now(); got != time.Second {
+		t.Errorf("scaled = %v, want 1s", got)
+	}
+	base.Advance(50 * time.Millisecond)
+	if got := sc.Now(); got != 1500*time.Millisecond {
+		t.Errorf("scaled = %v, want 1.5s", got)
+	}
+	if _, err := NewScaledClock(base, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewScaledClock(base, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestNewTSCValidation(t *testing.T) {
+	c := NewVirtualClock()
+	if _, err := NewTSC(c, nil); err == nil {
+		t.Error("no cores should fail")
+	}
+	if _, err := NewTSC(c, []CoreSpec{{FreqHz: 0}}); err == nil {
+		t.Error("zero frequency should fail")
+	}
+}
+
+func TestTSCReadAdvances(t *testing.T) {
+	c := NewVirtualClock()
+	tsc, err := NewTSC(c, UniformCores(2, 1.8e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tsc.Read(0); got != 0 {
+		t.Errorf("t=0 read = %d, want 0", got)
+	}
+	c.Advance(time.Second)
+	if got := tsc.Read(0); got != 1_800_000_000 {
+		t.Errorf("1s read = %d, want 1.8e9 cycles", got)
+	}
+	if d := tsc.CyclesToDuration(0, 1_800_000_000); d != time.Second {
+		t.Errorf("CyclesToDuration = %v, want 1s", d)
+	}
+}
+
+func TestTSCSkewVisibleAcrossCores(t *testing.T) {
+	c := NewVirtualClock()
+	cores := []CoreSpec{
+		{FreqHz: 1.8e9},
+		{FreqHz: 1.8e9, SkewCycles: 5_000_000}, // ~2.8 ms ahead
+	}
+	tsc, _ := NewTSC(c, cores)
+	c.Advance(time.Second)
+	skew := tsc.MeasureSkew()
+	if skew[0] != 0 {
+		t.Errorf("core0 self-skew = %d, want 0", skew[0])
+	}
+	if skew[1] != 5_000_000 {
+		t.Errorf("core1 skew = %d, want 5e6", skew[1])
+	}
+}
+
+func TestTSCDrift(t *testing.T) {
+	c := NewVirtualClock()
+	cores := []CoreSpec{
+		{FreqHz: 1e9},
+		{FreqHz: 1e9, DriftPPM: 100}, // +100 ppm
+	}
+	tsc, _ := NewTSC(c, cores)
+	c.Advance(10 * time.Second)
+	d := tsc.Read(1) - tsc.Read(0)
+	// 100 ppm over 10 s at 1 GHz = 1e6 cycles.
+	if d < 900_000 || d > 1_100_000 {
+		t.Errorf("drift delta = %d cycles, want ≈1e6", d)
+	}
+}
+
+func TestBoundReaderConsistency(t *testing.T) {
+	// Paper §3.3: binding to one core gives monotonic, skew-free deltas.
+	c := NewVirtualClock()
+	tsc, _ := NewTSC(c, SkewedCores(4, 1.8e9, 10_000_000, 50, 42))
+	r, err := NewBoundReader(tsc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound() != 2 {
+		t.Errorf("Bound() = %d, want 2", r.Bound())
+	}
+	prev, core := r.Read()
+	if core != 2 {
+		t.Errorf("read on core %d, want 2", core)
+	}
+	for i := 0; i < 100; i++ {
+		c.Advance(time.Millisecond)
+		cur, core := r.Read()
+		if core != 2 {
+			t.Fatalf("bound reader migrated to core %d", core)
+		}
+		if cur <= prev {
+			t.Fatalf("bound reader not monotonic: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestNewBoundReaderRange(t *testing.T) {
+	c := NewVirtualClock()
+	tsc, _ := NewTSC(c, UniformCores(2, 1e9))
+	if _, err := NewBoundReader(tsc, -1); err == nil {
+		t.Error("negative core should fail")
+	}
+	if _, err := NewBoundReader(tsc, 2); err == nil {
+		t.Error("out-of-range core should fail")
+	}
+}
+
+func TestUnboundReaderSeesSkew(t *testing.T) {
+	// An unbound reader can observe time going "backward" when it
+	// migrates from a skew-ahead core to a skew-behind core — the error
+	// the paper binds cores to avoid.
+	c := NewVirtualClock()
+	tsc, _ := NewTSC(c, SkewedCores(4, 1.8e9, 50_000_000, 0, 7))
+	r := NewUnboundReader(tsc, 99)
+	backward := false
+	prev, _ := r.Read()
+	for i := 0; i < 500; i++ {
+		c.Advance(time.Microsecond) // skew (≈28 ms max) dominates 1 µs steps
+		cur, _ := r.Read()
+		if cur < prev {
+			backward = true
+			break
+		}
+		prev = cur
+	}
+	if !backward {
+		t.Error("unbound reader on heavily skewed cores never observed backward time")
+	}
+}
+
+func TestCalibrationCompensatesSkew(t *testing.T) {
+	c := NewVirtualClock()
+	tsc, _ := NewTSC(c, SkewedCores(4, 1.8e9, 50_000_000, 0, 7))
+	r := NewUnboundReader(tsc, 99)
+	r.Calibrate()
+	prev, _ := r.Read()
+	for i := 0; i < 500; i++ {
+		c.Advance(100 * time.Microsecond)
+		cur, _ := r.Read()
+		if cur < prev {
+			t.Fatalf("calibrated reader observed backward time: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+	r.ClearCalibration()
+}
+
+func TestSkewedCoresDeterministic(t *testing.T) {
+	a := SkewedCores(8, 1e9, 1000, 10, 5)
+	b := SkewedCores(8, 1e9, 1000, 10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SkewedCores not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].SkewCycles != 0 || a[0].DriftPPM != 0 {
+		t.Error("core 0 must be the zero-skew reference")
+	}
+}
+
+// Property: for any advance sequence, a bound reader's deltas convert back
+// to the advanced wall time within rounding error.
+func TestBoundReaderDeltaProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewVirtualClock()
+		tsc, _ := NewTSC(c, UniformCores(1, 2e9))
+		r, _ := NewBoundReader(tsc, 0)
+		start, _ := r.Read()
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			c.Advance(d)
+			total += d
+		}
+		end, _ := r.Read()
+		got := tsc.CyclesToDuration(0, end-start)
+		diff := got - total
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBoundReaderRead(b *testing.B) {
+	c := NewVirtualClock()
+	tsc, _ := NewTSC(c, UniformCores(4, 1.8e9))
+	r, _ := NewBoundReader(tsc, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Read()
+	}
+}
+
+func BenchmarkRealClockNow(b *testing.B) {
+	c := NewRealClock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Now()
+	}
+}

@@ -1,0 +1,185 @@
+package tempest
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tempest/internal/sensors"
+	"tempest/internal/tempd"
+	"tempest/internal/thermal"
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+// LiveConfig configures real-machine profiling.
+type LiveConfig struct {
+	// HwmonRoot is the sysfs directory to scan for hardware sensors
+	// (default /sys/class/hwmon). If no sensors are found and
+	// AllowSimulatedSensors is set, a simulated sensor set backed by the
+	// default thermal model is used instead, so the full pipeline still
+	// runs on sensorless machines (VMs, containers).
+	HwmonRoot             string
+	AllowSimulatedSensors bool
+	// SampleRateHz is tempd's sampling rate (default 4).
+	SampleRateHz float64
+	// Unit of reported statistics (default Fahrenheit).
+	Unit Unit
+	// NodeID labels the produced trace.
+	NodeID uint32
+}
+
+// LiveSession profiles real code on the current machine: an explicit
+// Enter/Exit instrumentation API (the paper's "non-transparent profiling
+// library"), with tempd sampling in the background.
+type LiveSession struct {
+	cfg    LiveConfig
+	tracer *trace.Tracer
+	daemon *tempd.Daemon
+	// simCPU is non-nil when simulated sensors are in use; Step'ing it
+	// happens on the wall clock inside a background goroutine.
+	simCPU  *thermal.CPU
+	simMu   *sync.Mutex
+	simStop chan struct{}
+	simDone chan struct{}
+	closed  bool
+}
+
+// NewLiveSession discovers sensors, starts tempd, and returns a running
+// session. Callers must Close it to obtain the profile.
+func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
+	reg := sensors.NewRegistry(sensors.NewHwmonProvider(cfg.HwmonRoot))
+	err := reg.Discover()
+	s := &LiveSession{cfg: cfg}
+	if errors.Is(err, sensors.ErrNoSensors) {
+		if !cfg.AllowSimulatedSensors {
+			return nil, fmt.Errorf("tempest: no hwmon sensors found (set AllowSimulatedSensors to fall back): %w", err)
+		}
+		p := thermal.DefaultOpteronParams()
+		cpu, cerr := thermal.NewCPU(p)
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.simCPU = cpu
+		s.simMu = &sync.Mutex{}
+		reg = sensors.NewRegistry(sensors.NewSimProvider(cpu, s.simMu, "sim"))
+		if err := reg.Discover(); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+
+	tracer, err := trace.NewTracer(trace.Config{Clock: vclock.NewRealClock(), NodeID: cfg.NodeID})
+	if err != nil {
+		return nil, err
+	}
+	daemon, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: cfg.SampleRateHz})
+	if err != nil {
+		return nil, err
+	}
+	if err := daemon.Start(); err != nil {
+		return nil, err
+	}
+	s.tracer = tracer
+	s.daemon = daemon
+	if s.simCPU != nil {
+		// Advance the simulated thermal model in real time so the
+		// fallback sensors move plausibly.
+		s.simStop = make(chan struct{})
+		s.simDone = make(chan struct{})
+		go func() {
+			defer close(s.simDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			last := time.Now()
+			for {
+				select {
+				case <-s.simStop:
+					return
+				case now := <-tick.C:
+					s.simMu.Lock()
+					_ = s.simCPU.Step(now.Sub(last))
+					s.simMu.Unlock()
+					last = now
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Lane allocates an instrumentation lane for one goroutine.
+func (s *LiveSession) Lane() *trace.Lane { return s.tracer.NewLane() }
+
+// Instrument runs fn bracketed by Enter/Exit on a fresh lane — a one-shot
+// convenience for single-goroutine use.
+func (s *LiveSession) Instrument(name string, fn func()) error {
+	return s.Lane().Instrument(name, fn)
+}
+
+// InstrumentFunc is Instrument with the name resolved from the function's
+// own symbol via the runtime — the closest Go gets to the transparency of
+// -finstrument-functions: callers pass the function, not a string.
+// Anonymous closures get their compiler-assigned names (pkg.fn.func1).
+func (s *LiveSession) InstrumentFunc(fn func()) error {
+	return s.Lane().Instrument(FuncName(fn), fn)
+}
+
+// FuncName resolves a function value's linker symbol, trimmed to its
+// package-qualified form.
+func FuncName(fn func()) string {
+	if fn == nil {
+		return "<nil>"
+	}
+	rf := runtime.FuncForPC(reflect.ValueOf(fn).Pointer())
+	if rf == nil {
+		return "<unknown>"
+	}
+	name := rf.Name()
+	// Trim the directory part of the import path: "a/b/pkg.Fn" → "pkg.Fn".
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// Marker drops an annotation into the trace.
+func (s *LiveSession) Marker(name string) { s.tracer.Marker(name) }
+
+// SetSimUtilization drives the fallback thermal model's core activity
+// (no-op with real sensors): tests and demos use it to produce heat.
+func (s *LiveSession) SetSimUtilization(core int, u float64) error {
+	if s.simCPU == nil {
+		return nil
+	}
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	return s.simCPU.SetCoreUtilization(core, u)
+}
+
+// TempdBusyFraction reports the daemon's measured CPU share (§4.1 bounds
+// it below 1 %).
+func (s *LiveSession) TempdBusyFraction() float64 { return s.daemon.BusyFraction() }
+
+// Close stops tempd (the destructor's signal in the paper) and parses the
+// collected trace into a single-node profile.
+func (s *LiveSession) Close() (*Profile, error) {
+	if s.closed {
+		return nil, errors.New("tempest: live session already closed")
+	}
+	s.closed = true
+	if err := s.daemon.Stop(); err != nil {
+		return nil, err
+	}
+	if s.simStop != nil {
+		close(s.simStop)
+		<-s.simDone
+	}
+	tr := s.tracer.Finish()
+	return ParseTraces([]*trace.Trace{tr}, s.cfg.Unit)
+}

@@ -1,0 +1,216 @@
+// Package tempest is the public API of the Tempest reproduction: a
+// middle-weight thermal profiler for sequential and parallel code, after
+// Cameron, Pyla and Varadarajan, "Tempest: a portable tool to identify
+// hot spots in parallel code" (ICPP 2007).
+//
+// Two entry points cover the paper's two deployment modes:
+//
+//   - Session runs an MPI-style workload on a simulated cluster (RC
+//     thermal models + virtual time) and returns the merged thermal
+//     profile — the reproducible testbed every experiment in
+//     EXPERIMENTS.md uses.
+//   - LiveSession instruments real Go code on the current machine, with
+//     the tempd sampling daemon reading real hwmon sensors when present
+//     (and the simulated sensor set otherwise).
+//
+// A quick start:
+//
+//	s, _ := tempest.NewSession(tempest.Config{Nodes: 4})
+//	profile, _ := s.Run(func(rc *tempest.Rank) error {
+//	    return rc.Instrument("hot_loop", tempest.UtilBurn, 30*time.Second, nil)
+//	})
+//	profile.WriteReport(os.Stdout)
+package tempest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tempest/internal/cluster"
+	"tempest/internal/hotspot"
+	"tempest/internal/parser"
+	"tempest/internal/report"
+	"tempest/internal/thermal"
+	"tempest/internal/trace"
+)
+
+// Rank is the per-rank execution context workload bodies receive.
+type Rank = cluster.Rank
+
+// Throttle is a per-function what-if slowdown for optimisation studies.
+type Throttle = cluster.Throttle
+
+// Segment re-exports the activity timeline element.
+type Segment = cluster.Segment
+
+// Utilisation levels for Compute/Instrument calls.
+const (
+	UtilIdle    = cluster.UtilIdle
+	UtilComm    = cluster.UtilComm
+	UtilMemory  = cluster.UtilMemory
+	UtilCompute = cluster.UtilCompute
+	UtilBurn    = cluster.UtilBurn
+)
+
+// Unit selects report temperature units.
+type Unit = parser.Unit
+
+// Units.
+const (
+	Fahrenheit = parser.Fahrenheit
+	Celsius    = parser.Celsius
+)
+
+// Config describes a simulated profiling session.
+type Config struct {
+	// Nodes is the cluster size (default 1).
+	Nodes int
+	// RanksPerNode is the MPI ranks placed on each node (default 1).
+	RanksPerNode int
+	// Seed fixes all stochastic elements; runs with equal seeds are
+	// byte-identical.
+	Seed int64
+	// Heterogeneous perturbs each node's thermal build (the paper's
+	// node-to-node variance). Default false: identical nodes.
+	Heterogeneous bool
+	// SampleRateHz is tempd's sampling rate (default 4, the paper's).
+	SampleRateHz float64
+	// Unit of the reported statistics (default Fahrenheit, the paper's).
+	Unit Unit
+	// ThermalParams overrides the node thermal build (default: the
+	// dual-socket Opteron model).
+	ThermalParams *thermal.Params
+	// Cost overrides the communication cost model.
+	Cost *cluster.CostModel
+}
+
+// Session is a configured simulated profiling run. Create one per Run.
+type Session struct {
+	cfg     Config
+	cluster *cluster.Cluster
+}
+
+// NewSession validates the configuration and builds the simulated cluster.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.RanksPerNode == 0 {
+		cfg.RanksPerNode = 1
+	}
+	cc := cluster.Config{
+		Nodes:         cfg.Nodes,
+		RanksPerNode:  cfg.RanksPerNode,
+		Seed:          cfg.Seed,
+		Heterogeneous: cfg.Heterogeneous,
+		SampleRateHz:  cfg.SampleRateHz,
+	}
+	if cfg.ThermalParams != nil {
+		cc.Params = *cfg.ThermalParams
+	}
+	if cfg.Cost != nil {
+		cc.Cost = *cfg.Cost
+	}
+	cl, err := cluster.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, cluster: cl}, nil
+}
+
+// Run executes body once per rank, performs the thermal post-pass, parses
+// the traces and returns the profile. A session is single-use.
+func (s *Session) Run(body func(rc *Rank) error) (*Profile, error) {
+	if s.cluster == nil {
+		return nil, errors.New("tempest: session already consumed")
+	}
+	cl := s.cluster
+	s.cluster = nil
+	res, err := cl.Run(body)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := parser.ParseAll(res.Traces, parser.Options{Unit: s.cfg.Unit})
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{Profile: parsed, Traces: res.Traces, Duration: res.Duration}, nil
+}
+
+// Profile is a parsed thermal profile plus the raw traces it came from.
+type Profile struct {
+	*parser.Profile
+	// Traces are the raw per-node traces (serialisable with WriteTrace).
+	Traces []*trace.Trace
+	// Duration is the workload's virtual makespan.
+	Duration time.Duration
+}
+
+// WriteReport prints the paper-format per-function listing for every node.
+func (p *Profile) WriteReport(w io.Writer) error {
+	return report.WriteProfile(w, p.Profile, report.Options{OnlySignificant: true, Labels: true})
+}
+
+// WriteCSV emits every temperature sample as CSV (the figures' raw data).
+func (p *Profile) WriteCSV(w io.Writer) error {
+	return report.WriteSeriesCSV(w, p.Profile)
+}
+
+// WriteJSON emits the full profile as JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	return report.WriteJSON(w, p.Profile)
+}
+
+// Plot renders ASCII temperature timelines, one stacked chart per node
+// (the layout of the paper's Figures 3–4).
+func (p *Profile) Plot(w io.Writer, sensor int) error {
+	return report.PlotCluster(w, p.Profile, report.PlotOptions{Sensor: sensor, FunctionBand: true})
+}
+
+// HotFunctions ranks functions by thermal contribution on the sensor.
+func (p *Profile) HotFunctions(sensor int) ([]hotspot.FunctionHeat, error) {
+	return hotspot.HotFunctions(p.Profile, sensor)
+}
+
+// HotNodes ranks nodes by average temperature on the sensor.
+func (p *Profile) HotNodes(sensor int) ([]hotspot.NodeHeat, error) {
+	return hotspot.HotNodes(p.Profile, sensor)
+}
+
+// Compare reports the effect of an optimisation: p is the baseline,
+// after the modified run.
+func (p *Profile) Compare(after *Profile, sensor int) (*hotspot.Comparison, error) {
+	return hotspot.Compare(p.Profile, after.Profile, sensor)
+}
+
+// WriteTrace serialises node n's raw trace in the TPST binary format.
+func (p *Profile) WriteTrace(w io.Writer, n int) error {
+	if n < 0 || n >= len(p.Traces) {
+		return fmt.Errorf("tempest: node %d out of range [0,%d)", n, len(p.Traces))
+	}
+	return p.Traces[n].Write(w)
+}
+
+// ReadTrace parses a TPST trace stream (the inverse of WriteTrace).
+func ReadTrace(r io.Reader) (*trace.Trace, error) { return trace.ReadTrace(r) }
+
+// ParseTraces turns raw traces (e.g. loaded from files) into a Profile.
+func ParseTraces(traces []*trace.Trace, unit Unit) (*Profile, error) {
+	parsed, err := parser.ParseAll(traces, parser.Options{Unit: unit})
+	if err != nil {
+		return nil, err
+	}
+	var dur time.Duration
+	for i := range parsed.Nodes {
+		if parsed.Nodes[i].Duration > dur {
+			dur = parsed.Nodes[i].Duration
+		}
+	}
+	return &Profile{Profile: parsed, Traces: traces, Duration: dur}, nil
+}
+
+// DefaultThermalParams returns the paper-calibrated dual-socket Opteron
+// node model, for callers who want to tweak it.
+func DefaultThermalParams() thermal.Params { return thermal.DefaultOpteronParams() }

@@ -1,0 +1,298 @@
+package tempest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/trace"
+)
+
+func TestSessionEndToEnd(t *testing.T) {
+	s, err := NewSession(Config{Nodes: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Run(func(rc *Rank) error {
+		if err := rc.Instrument("warm_up", UtilCompute, 5*time.Second, nil); err != nil {
+			return err
+		}
+		if err := rc.Barrier(); err != nil {
+			return err
+		}
+		return rc.Instrument("hot_loop", UtilBurn, 20*time.Second, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(p.Nodes))
+	}
+	if p.Duration < 25*time.Second {
+		t.Errorf("duration = %v", p.Duration)
+	}
+
+	var rep bytes.Buffer
+	if err := p.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hot_loop", "warm_up", "Min", "Mod"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	var csv bytes.Buffer
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "time_s,node,sensor,label,value") {
+		t.Error("csv header wrong")
+	}
+	var js bytes.Buffer
+	if err := p.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"functions\"") {
+		t.Error("json missing functions")
+	}
+	var plot bytes.Buffer
+	if err := p.Plot(&plot, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plot.String(), "*") {
+		t.Error("plot empty")
+	}
+
+	hf, err := p.HotFunctions(0)
+	if err != nil || len(hf) == 0 {
+		t.Fatalf("HotFunctions: %v, %d", err, len(hf))
+	}
+	hn, err := p.HotNodes(0)
+	if err != nil || len(hn) != 2 {
+		t.Fatalf("HotNodes: %v, %d", err, len(hn))
+	}
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s, err := NewSession(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Run(func(rc *Rank) error {
+		if rc.Size() != 1 {
+			t.Errorf("default size = %d", rc.Size())
+		}
+		return rc.Compute(UtilCompute, time.Second, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Unit != Fahrenheit {
+		t.Error("default unit should be Fahrenheit")
+	}
+}
+
+func TestSessionSingleUse(t *testing.T) {
+	s, _ := NewSession(Config{})
+	if _, err := s.Run(func(rc *Rank) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(func(rc *Rank) error { return nil }); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestSessionInvalidConfig(t *testing.T) {
+	if _, err := NewSession(Config{Nodes: -1}); err == nil {
+		t.Error("negative nodes should fail")
+	}
+	bad := DefaultThermalParams()
+	bad.Sockets = -2
+	if _, err := NewSession(Config{ThermalParams: &bad}); err == nil {
+		t.Error("invalid thermal params should fail")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	s, _ := NewSession(Config{Seed: 9})
+	p, err := s.Run(func(rc *Rank) error {
+		return rc.Instrument("io_test", UtilCompute, 2*time.Second, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "node0.tpst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteTrace(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteTrace(&bytes.Buffer{}, 5); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tr, err := ReadTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseTraces([]*trace.Trace{tr}, Fahrenheit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p2.Nodes[0].Function("io_test"); !ok {
+		t.Error("function lost through file round trip")
+	}
+	if p2.Duration != p.Duration {
+		t.Errorf("duration %v vs %v", p2.Duration, p.Duration)
+	}
+}
+
+func TestThrottleComparison(t *testing.T) {
+	run := func(th map[string]Throttle) *Profile {
+		s, err := NewSession(Config{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s.Run(func(rc *Rank) error {
+			rc.SetThrottles(th)
+			return rc.Instrument("kernel", UtilBurn, 20*time.Second, nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	before := run(nil)
+	after := run(map[string]Throttle{"kernel": {UtilScale: 0.5, TimeScale: 1.4}})
+	cmp, err := before.Compare(after, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SlowdownPct() <= 0 || cmp.PeakDrop() <= 0 {
+		t.Errorf("throttle effect: slowdown %.1f%%, drop %.1f", cmp.SlowdownPct(), cmp.PeakDrop())
+	}
+}
+
+func TestLiveSessionWithFakeHwmon(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("41500\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewLiveSession(LiveConfig{HwmonRoot: root, SampleRateHz: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Instrument("real_work", func() { time.Sleep(60 * time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err == nil {
+		t.Error("double close should fail")
+	}
+	fp, ok := p.Nodes[0].Function("real_work")
+	if !ok {
+		t.Fatal("real_work missing")
+	}
+	if fp.TotalTime < 50*time.Millisecond {
+		t.Errorf("real_work time = %v", fp.TotalTime)
+	}
+	if len(p.Nodes[0].Samples[0]) == 0 {
+		t.Error("no temperature samples collected")
+	}
+}
+
+func TestLiveSessionSimFallback(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "none")
+	if _, err := NewLiveSession(LiveConfig{HwmonRoot: missing}); err == nil {
+		t.Error("no sensors without fallback should fail")
+	}
+	s, err := NewLiveSession(LiveConfig{HwmonRoot: missing, AllowSimulatedSensors: true, SampleRateHz: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSimUtilization(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Instrument("sim_burn", func() { time.Sleep(80 * time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+	if bf := s.TempdBusyFraction(); bf > 0.05 {
+		t.Errorf("tempd busy fraction = %v", bf)
+	}
+	p, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes[0].SensorNames) != 6 {
+		t.Errorf("simulated sensor set = %v", p.Nodes[0].SensorNames)
+	}
+}
+
+func TestFuncNameResolution(t *testing.T) {
+	if got := FuncName(nil); got != "<nil>" {
+		t.Errorf("nil = %q", got)
+	}
+	named := helperForFuncName
+	if got := FuncName(named); !strings.Contains(got, "tempest.helperForFuncName") {
+		t.Errorf("named func = %q", got)
+	}
+	if got := FuncName(func() {}); !strings.Contains(got, "tempest.TestFuncNameResolution.func") {
+		t.Errorf("closure = %q", got)
+	}
+}
+
+func helperForFuncName() {}
+
+func TestInstrumentFuncUsesRuntimeName(t *testing.T) {
+	s, err := NewLiveSession(LiveConfig{
+		HwmonRoot:             filepath.Join(t.TempDir(), "none"),
+		AllowSimulatedSensors: true,
+		SampleRateHz:          50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstrumentFunc(helperForFuncName); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range p.Nodes[0].Functions {
+		if strings.Contains(f.Name, "helperForFuncName") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("runtime-resolved name missing: %v", funcNames(p))
+	}
+}
+
+func funcNames(p *Profile) []string {
+	var out []string
+	for _, f := range p.Nodes[0].Functions {
+		out = append(out, f.Name)
+	}
+	return out
+}
