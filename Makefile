@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real concurrency: the MPI
+# transports, the sampling daemon, the resilient sensor wrappers and the
+# multi-lane tracer.
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/...
+
+# Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
+# tail + flaky TCP link), plus the per-package chaos tests.
+chaos:
+	$(GO) test -run TestChaos -v .
+	$(GO) test -run 'TestTCPChaos|TestTCPRank' -v ./internal/mpi/
+	$(GO) test -run 'TestSegmentedSalvage|TestSegmentedChecksum' -v ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -40,6 +40,7 @@ func run(args []string) error {
 	out := fs.String("o", "tempd.tpst", "output trace file (- for stdout)")
 	simulate := fs.Bool("simulate", true, "fall back to simulated sensors when no hwmon chips exist")
 	burn := fs.Bool("burn", false, "with simulated sensors: drive core 0 at full utilisation")
+	flushEvery := fs.Duration("flush", time.Second, "crash-safe flush interval (0 = write once at exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,12 +61,37 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// A misbehaving chip must not take the run down: retry transient
+	// errors, quarantine repeat offenders, keep re-probing them.
+	reg.WrapResilient(sensors.ResilientConfig{})
 	fmt.Fprintf(os.Stderr, "tempd: %d sensors, %.1f Hz\n", reg.Len(), *rate)
 
 	tracer, err := trace.NewTracer(trace.Config{Clock: vclock.NewRealClock()})
 	if err != nil {
 		return err
 	}
+
+	// Open the output before sampling starts and stream segments to it as
+	// we go: if the process is killed mid-run, the file holds a salvageable
+	// prefix instead of nothing (ReadTrace's recovery mode).
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tw, err := trace.NewWriter(w, tracer.NodeID(), tracer.Rank())
+	if err != nil {
+		return err
+	}
+	flush := func() error {
+		ev, sym := tracer.Drain()
+		return tw.Flush(ev, sym)
+	}
+
 	d, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: *rate})
 	if err != nil {
 		return err
@@ -104,16 +130,32 @@ func run(args []string) error {
 	}
 
 	// Run until the duration elapses or SIGINT arrives (the paper's
-	// destructor sends tempd a termination signal).
+	// destructor sends tempd a termination signal), flushing accumulated
+	// events to the output at each crash-safe checkpoint.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	var deadline <-chan time.Time
 	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	var flushC <-chan time.Time
+	if *flushEvery > 0 {
+		ft := time.NewTicker(*flushEvery)
+		defer ft.Stop()
+		flushC = ft.C
+	}
+loop:
+	for {
 		select {
-		case <-time.After(*duration):
+		case <-deadline:
+			break loop
 		case <-sig:
+			break loop
+		case <-flushC:
+			if err := flush(); err != nil {
+				return fmt.Errorf("flush: %w", err)
+			}
 		}
-	} else {
-		<-sig
 	}
 	if err := d.Stop(); err != nil {
 		return err
@@ -121,15 +163,24 @@ func run(args []string) error {
 	close(stopSim)
 	simWG.Wait()
 	fmt.Fprintf(os.Stderr, "tempd: %d samples, busy fraction %.4f\n", d.Samples(), d.BusyFraction())
+	reportDegraded(d)
+	return flush()
+}
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+// reportDegraded summarises per-sensor failures and non-healthy sensors on
+// stderr so a degraded run is visible without parsing the trace.
+func reportDegraded(d *tempd.Daemon) {
+	per := d.FailuresBySensor()
+	health := d.Health()
+	for i, n := range per {
+		if n == 0 {
+			continue
 		}
-		defer f.Close()
-		w = f
+		state := "healthy"
+		if i < len(health) {
+			state = health[i].State.String()
+		}
+		fmt.Fprintf(os.Stderr, "tempd: sensor %d (%s): %d failed reads, now %s\n",
+			i, health[i].Name, n, state)
 	}
-	return tracer.Finish().Write(w)
 }

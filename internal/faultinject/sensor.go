@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tempest/internal/sensors"
+)
+
+// SensorFaults describes the fault mix for one sensor. The zero value
+// injects nothing.
+type SensorFaults struct {
+	// ErrorRate is the probability a read fails transiently.
+	ErrorRate float64
+	// DropoutAfter begins a hard dropout (every read errors) after this
+	// many reads; 0 disables. DropoutLen bounds the window in reads
+	// (0 = permanent once entered).
+	DropoutAfter int
+	DropoutLen   int
+	// StuckAfter freezes the reported value at the last good reading
+	// after this many reads, for StuckLen reads; 0 disables.
+	StuckAfter int
+	StuckLen   int
+	// SpikeRate is the probability a read returns an out-of-range spike
+	// of the true value plus SpikeC (default +400 °C — far outside any
+	// plausible die temperature).
+	SpikeRate float64
+	SpikeC    float64
+	// SlowEvery makes every Nth read sleep Delay before returning;
+	// 0 disables. Sleep overrides time.Sleep (tests pass a no-op or a
+	// virtual-clock hook).
+	SlowEvery int
+	Delay     time.Duration
+	Sleep     func(time.Duration)
+}
+
+// FaultySensor wraps a Sensor with a deterministic fault mix. It is safe
+// for concurrent use, though replay determinism additionally requires a
+// deterministic call order (one reader, as in tempd's sampling loop).
+type FaultySensor struct {
+	sensors.Sensor
+	plan   *Plan
+	faults SensorFaults
+
+	mu       sync.Mutex
+	reads    int
+	lastGood float64
+	haveGood bool
+}
+
+// NewFaultySensor wraps s; plan is required.
+func NewFaultySensor(s sensors.Sensor, plan *Plan, f SensorFaults) *FaultySensor {
+	if f.SpikeC == 0 {
+		f.SpikeC = 400
+	}
+	if f.Sleep == nil {
+		f.Sleep = time.Sleep
+	}
+	return &FaultySensor{Sensor: s, plan: plan, faults: f}
+}
+
+// ReadC applies the fault mix around the wrapped sensor's read.
+func (fs *FaultySensor) ReadC() (float64, error) {
+	fs.mu.Lock()
+	n := fs.reads
+	fs.reads++
+	f := fs.faults
+	fs.mu.Unlock()
+
+	if f.SlowEvery > 0 && n > 0 && n%f.SlowEvery == 0 && f.Delay > 0 {
+		f.Sleep(f.Delay)
+	}
+	if f.DropoutAfter > 0 && n >= f.DropoutAfter &&
+		(f.DropoutLen == 0 || n < f.DropoutAfter+f.DropoutLen) {
+		return 0, fmt.Errorf("%w: %s: dropout window (read %d)", ErrInjected, fs.Name(), n)
+	}
+	if fs.plan.Hit(f.ErrorRate) {
+		return 0, fmt.Errorf("%w: %s: transient read error (read %d)", ErrInjected, fs.Name(), n)
+	}
+
+	stuck := f.StuckAfter > 0 && n >= f.StuckAfter &&
+		(f.StuckLen == 0 || n < f.StuckAfter+f.StuckLen)
+	if stuck {
+		fs.mu.Lock()
+		have, last := fs.haveGood, fs.lastGood
+		fs.mu.Unlock()
+		if have {
+			return last, nil
+		}
+	}
+
+	v, err := fs.Sensor.ReadC()
+	if err != nil {
+		return 0, err
+	}
+	fs.mu.Lock()
+	fs.lastGood, fs.haveGood = v, true
+	fs.mu.Unlock()
+	if fs.plan.Hit(f.SpikeRate) {
+		return v + f.SpikeC, nil
+	}
+	return v, nil
+}
+
+// Reads reports how many reads the wrapper has served.
+func (fs *FaultySensor) Reads() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.reads
+}

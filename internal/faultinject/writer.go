@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// WriterFaults describes the fault mix for an output stream. The zero
+// value injects nothing.
+type WriterFaults struct {
+	// ShortWriteRate truncates a write to half its length (reporting the
+	// short count with an error, per io.Writer contract) with this
+	// probability.
+	ShortWriteRate float64
+	// ErrRate fails a write outright with this probability.
+	ErrRate float64
+	// FailAfterBytes makes every write fail once this many bytes have
+	// been accepted — a disk filling up, or the instant a SIGKILL lands
+	// mid-flush. 0 disables.
+	FailAfterBytes int64
+}
+
+// FaultyWriter wraps an io.Writer with deterministic write failures,
+// simulating torn trace tails without needing a real crash.
+type FaultyWriter struct {
+	w      io.Writer
+	plan   *Plan
+	faults WriterFaults
+
+	mu      sync.Mutex
+	written int64
+}
+
+// NewFaultyWriter wraps w.
+func NewFaultyWriter(w io.Writer, plan *Plan, f WriterFaults) *FaultyWriter {
+	return &FaultyWriter{w: w, plan: plan, faults: f}
+}
+
+// Write applies the fault mix. Failed and truncated writes still forward
+// the prefix that "made it to disk", so the downstream recovery path sees
+// a realistic torn tail rather than a clean cut.
+func (fw *FaultyWriter) Write(b []byte) (int, error) {
+	f := fw.faults
+	fw.mu.Lock()
+	written := fw.written
+	fw.mu.Unlock()
+
+	if f.FailAfterBytes > 0 && written >= f.FailAfterBytes {
+		return 0, fmt.Errorf("%w: writer dead after %d bytes", ErrInjected, written)
+	}
+	if f.FailAfterBytes > 0 && written+int64(len(b)) > f.FailAfterBytes {
+		keep := int(f.FailAfterBytes - written)
+		n, err := fw.w.Write(b[:keep])
+		fw.account(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: write torn at byte %d", ErrInjected, f.FailAfterBytes)
+	}
+	if fw.plan.Hit(f.ErrRate) {
+		return 0, fmt.Errorf("%w: write error", ErrInjected)
+	}
+	if len(b) > 1 && fw.plan.Hit(f.ShortWriteRate) {
+		n, err := fw.w.Write(b[:len(b)/2])
+		fw.account(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(b))
+	}
+	n, err := fw.w.Write(b)
+	fw.account(n)
+	return n, err
+}
+
+// Written reports bytes accepted so far.
+func (fw *FaultyWriter) Written() int64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.written
+}
+
+func (fw *FaultyWriter) account(n int) {
+	fw.mu.Lock()
+	fw.written += int64(n)
+	fw.mu.Unlock()
+}

@@ -1,0 +1,343 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tempest/internal/faultinject"
+)
+
+// noSleep keeps chaos tests fast: backoff scheduling is still exercised,
+// the waiting is not.
+func noSleep(time.Duration) {}
+
+// buildChaosTCPWorld builds n TCP nodes where node 0's outbound dials run
+// through the injected dialer — "one flaky TCP link" in the scenario
+// language of ISSUE/chaos docs.
+func buildChaosTCPWorld(t testing.TB, n int, dial func(string, string, time.Duration) (net.Conn, error)) []*World {
+	t.Helper()
+	placeholder := make([]string, n)
+	for i := range placeholder {
+		placeholder[i] = "127.0.0.1:0"
+	}
+	nodes := make([]*TCPTransport, n)
+	for r := 0; r < n; r++ {
+		opts := TCPOptions{
+			DialTimeout:     time.Second,
+			DialBackoffBase: time.Millisecond,
+			DialBackoffMax:  4 * time.Millisecond,
+			WriteTimeout:    2 * time.Second,
+			ResendAttempts:  4,
+			Sleep:           noSleep,
+		}
+		if r == 0 && dial != nil {
+			opts.Dial = dial
+		}
+		node, err := NewTCPNodeOpts(r, placeholder, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = node
+	}
+	for _, node := range nodes {
+		for p, peer := range nodes {
+			if err := node.SetPeerAddr(p, peer.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	worlds := make([]*World, n)
+	for r, node := range nodes {
+		w, err := NewWorldOver(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[r] = w
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+	})
+	return worlds
+}
+
+// TestTCPChaosCollectivesSurviveFlakyLink drives an NP=4 collective
+// workload (the synchronisation skeleton of a NAS kernel iteration:
+// barrier, allreduce, point-to-point ring) while rank 0's link suffers
+// refused dials, mid-stream closes and partial writes. The transport's
+// reconnect-and-resend plus receiver-side resequencing must deliver an
+// identical result to a fault-free run.
+func TestTCPChaosCollectivesSurviveFlakyLink(t *testing.T) {
+	plan := faultinject.NewPlan(42)
+	dial := faultinject.FaultyDialer(plan, faultinject.ConnFaults{
+		RefuseFirst:      2,
+		CloseAfterWrites: 5,
+		PartialWriteRate: 0.1,
+		Sleep:            noSleep,
+	}, nil)
+	worlds := buildChaosTCPWorld(t, 4, dial)
+
+	const iters = 20
+	var mu sync.Mutex
+	sums := map[int][]float64{}
+	err := runTCP(t, worlds, func(c *Comm) error {
+		var got []float64
+		for i := 0; i < iters; i++ {
+			if err := c.Barrier(); err != nil {
+				return fmt.Errorf("iter %d barrier: %w", i, err)
+			}
+			in := []float64{float64(c.Rank()*100 + i)}
+			out := make([]float64, 1)
+			if err := c.Allreduce(OpSum, in, out); err != nil {
+				return fmt.Errorf("iter %d allreduce: %w", i, err)
+			}
+			got = append(got, out[0])
+			// Ring shift with a constant tag: the FIFO-sensitive pattern
+			// a resent frame could reorder without sequence numbers.
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			if err := c.Send(next, 9, []byte{byte(i)}); err != nil {
+				return fmt.Errorf("iter %d ring send: %w", i, err)
+			}
+			_, _, data, err := c.Recv(prev, 9)
+			if err != nil {
+				return fmt.Errorf("iter %d ring recv: %w", i, err)
+			}
+			if len(data) != 1 || data[0] != byte(i) {
+				return fmt.Errorf("iter %d ring got %v, want [%d] (FIFO violated?)", i, data, i)
+			}
+		}
+		mu.Lock()
+		sums[c.Rank()] = got
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	for i := 0; i < iters; i++ {
+		want := float64(0+100+200+300) + 4*float64(i)
+		for r := 0; r < 4; r++ {
+			if sums[r][i] != want {
+				t.Fatalf("rank %d iter %d allreduce = %v, want %v", r, i, sums[r][i], want)
+			}
+		}
+	}
+}
+
+// TestTCPChaosManyMessagesOrderedAndComplete pushes enough frames through
+// a dying-every-few-writes link to force many reconnects, then checks
+// exactly-once, in-order delivery.
+func TestTCPChaosManyMessagesOrderedAndComplete(t *testing.T) {
+	plan := faultinject.NewPlan(7)
+	dial := faultinject.FaultyDialer(plan, faultinject.ConnFaults{
+		CloseAfterWrites: 3,
+		PartialWriteRate: 0.15,
+		Sleep:            noSleep,
+	}, nil)
+	worlds := buildChaosTCPWorld(t, 2, dial)
+
+	const msgs = 100
+	err := runTCP(t, worlds, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 5, []byte{byte(i)}); err != nil {
+					return fmt.Errorf("send %d: %w", i, err)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			_, _, data, err := c.Recv(0, 5)
+			if err != nil {
+				return fmt.Errorf("recv %d: %w", i, err)
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d: order or dedup broken", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPRankDownClassification sends to a rank whose listener is gone:
+// the dial budget must drain quickly and the error must classify as
+// ErrRankDown, not hang.
+func TestTCPRankDownClassification(t *testing.T) {
+	// A listener we immediately close gives us an address that refuses.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	node, err := NewTCPNodeOpts(0, []string{"127.0.0.1:0", deadAddr}, TCPOptions{
+		DialTimeout:     200 * time.Millisecond,
+		DialAttempts:    3,
+		DialBackoffBase: time.Millisecond,
+		Sleep:           noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- node.Send(0, 1, 0, 1, []byte("hello?")) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRankDown) {
+			t.Fatalf("send to dead rank = %v, want ErrRankDown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send to dead rank hung instead of classifying ErrRankDown")
+	}
+}
+
+// TestTCPRankDownUnblocksCollective runs a barrier against a dead rank 0:
+// the gather send fails, classifies ErrRankDown and the collective returns
+// a diagnosable error instead of hanging forever.
+func TestTCPRankDownUnblocksCollective(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	node, err := NewTCPNodeOpts(1, []string{deadAddr, "127.0.0.1:0"}, TCPOptions{
+		DialTimeout:     200 * time.Millisecond,
+		DialAttempts:    2,
+		DialBackoffBase: time.Millisecond,
+		Sleep:           noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	w, err := NewWorldOver(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- c.Barrier() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRankDown) {
+			t.Fatalf("barrier with dead peer = %v, want ErrRankDown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("barrier hung on a dead peer")
+	}
+}
+
+// TestTCPRecvFailsFastAfterRankDown: once a send has classified a peer as
+// down, a blocked or later receive awaiting that specific peer fails
+// diagnosably rather than waiting forever.
+func TestTCPRecvFailsFastAfterRankDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	node, err := NewTCPNodeOpts(0, []string{"127.0.0.1:0", deadAddr}, TCPOptions{
+		DialTimeout:     200 * time.Millisecond,
+		DialAttempts:    2,
+		DialBackoffBase: time.Millisecond,
+		Sleep:           noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// A receiver blocks on the dead rank before anyone learns it is dead…
+	recvDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := node.Recv(0, 1, 0, 1)
+		recvDone <- err
+	}()
+	// …then a send classifies the rank down, which must wake the receiver.
+	if err := node.Send(0, 1, 0, 2, []byte("probe")); !errors.Is(err, ErrRankDown) {
+		t.Fatalf("probe send = %v, want ErrRankDown", err)
+	}
+	select {
+	case err := <-recvDone:
+		if !errors.Is(err, ErrRankDown) {
+			t.Fatalf("blocked recv woke with %v, want ErrRankDown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv stayed blocked after peer was classified down")
+	}
+	// Later receives from the down rank fail immediately.
+	if _, _, _, err := node.Recv(0, 1, 0, 1); !errors.Is(err, ErrRankDown) {
+		t.Fatalf("post-down recv = %v, want ErrRankDown", err)
+	}
+}
+
+// TestTCPChaosCloseDuringTraffic closes transports while sends and
+// receives are in flight — the double-close / send-on-closed races the
+// -race build must stay silent on.
+func TestTCPChaosCloseDuringTraffic(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		plan := faultinject.NewPlan(int64(trial))
+		dial := faultinject.FaultyDialer(plan, faultinject.ConnFaults{
+			CloseAfterWrites: 4,
+			Sleep:            noSleep,
+		}, nil)
+		worlds := buildChaosTCPWorld(t, 3, dial)
+
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			c, err := worlds[r].Comm(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(2)
+			go func(c *Comm) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if err := c.Send((c.Rank()+1)%3, 1, []byte("x")); err != nil {
+						return // closed or rank down: both fine
+					}
+				}
+			}(c)
+			go func(c *Comm) {
+				defer wg.Done()
+				for {
+					if _, _, _, err := c.Recv(AnySource, AnyTag); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+		time.Sleep(20 * time.Millisecond)
+		// Close all nodes concurrently with the traffic.
+		var cwg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			cwg.Add(1)
+			go func(r int) {
+				defer cwg.Done()
+				_ = worlds[r].Close()
+			}(r)
+		}
+		cwg.Wait()
+		wg.Wait()
+	}
+}

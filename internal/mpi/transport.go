@@ -28,6 +28,12 @@ const AnyTag = -1
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("mpi: transport closed")
 
+// ErrRankDown classifies a peer as unreachable after the transport has
+// exhausted its dial and resend budget. Collectives surface it instead of
+// hanging: a stalled NAS run fails with "rank 2 down", diagnosable, rather
+// than blocking forever inside an allreduce.
+var ErrRankDown = errors.New("mpi: rank down")
+
 // Transport moves raw tagged messages between ranks. Implementations must
 // preserve per-(sender, receiver, context, tag) FIFO order. The context
 // id isolates communicators sharing one transport: a receive only matches
@@ -58,10 +64,13 @@ type inMsg struct {
 
 // mailbox holds undelivered messages for one rank with MPI matching:
 // the earliest queued message satisfying the (source, tag) pattern wins.
+// Sources marked down (a transport's send budget to them drained) fail
+// matching receives fast instead of blocking forever.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []inMsg
+	down   map[int]bool
 	closed bool
 }
 
@@ -110,8 +119,26 @@ func (m *mailbox) get(from, ctx, tag int) (inMsg, error) {
 		if m.closed {
 			return inMsg{}, ErrClosed
 		}
+		// Nothing queued matches; if the awaited source is known dead,
+		// fail diagnosably instead of waiting forever. AnySource stays
+		// blocked: any surviving rank can still satisfy it.
+		if from != AnySource && m.down[from] {
+			return inMsg{}, fmt.Errorf("%w: rank %d", ErrRankDown, from)
+		}
 		m.cond.Wait()
 	}
+}
+
+// markDown records a source as unreachable and wakes blocked receivers so
+// they can fail fast. Queued messages from the rank remain receivable.
+func (m *mailbox) markDown(rank int) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int]bool)
+	}
+	m.down[rank] = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 func (m *mailbox) close() {

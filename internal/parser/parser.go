@@ -73,6 +73,15 @@ type FuncProfile struct {
 	Significant bool
 }
 
+// HealthEvent is one sensor health transition recorded by tempd as a
+// "sensor-health:<id>:<state>" marker — the degraded-mode annotations
+// that explain gaps in a sensor's sample timeline.
+type HealthEvent struct {
+	TS       time.Duration
+	SensorID int
+	State    string // "healthy", "suspect", "quarantined", "probing", "recovered"
+}
+
 // NodeProfile is the parsed result for one node's trace.
 type NodeProfile struct {
 	NodeID      uint32
@@ -81,10 +90,17 @@ type NodeProfile struct {
 	Functions []FuncProfile
 	// Samples per sensor id, time-ordered, in the profile's Unit.
 	Samples [][]Sample
+	// HealthEvents are sensor health transitions in time order; a
+	// quarantined→recovered pair brackets a window where that sensor's
+	// samples are missing by design, not by data loss.
+	HealthEvents []HealthEvent
 	// Duration is the time of the last event in the trace.
 	Duration time.Duration
 	// DroppedEvents totals KindDrop annotations (buffer pressure, §3.3).
-	DroppedEvents  uint64
+	DroppedEvents uint64
+	// Truncated reports that the source trace ended in a torn tail and
+	// only the intact prefix was salvaged (crash-safe recovery mode).
+	Truncated      bool
 	Unit           Unit
 	SampleInterval time.Duration
 }
@@ -98,12 +114,15 @@ type Profile struct {
 // sensorMarkerPrefix matches tempd's announcement markers.
 const sensorMarkerPrefix = "sensor:"
 
+// healthMarkerPrefix matches tempd's degraded-mode markers.
+const healthMarkerPrefix = "sensor-health:"
+
 // Parse merges one trace into a NodeProfile.
 func Parse(tr *trace.Trace, opts Options) (*NodeProfile, error) {
 	if tr == nil {
 		return nil, errors.New("parser: nil trace")
 	}
-	np := &NodeProfile{NodeID: tr.NodeID, Unit: opts.Unit}
+	np := &NodeProfile{NodeID: tr.NodeID, Unit: opts.Unit, Truncated: tr.Truncated}
 
 	// Pass 1: sensors, samples, duration, drops.
 	sensorNames := map[int]string{}
@@ -120,6 +139,14 @@ func Parse(tr *trace.Trace, opts Options) (*NodeProfile, error) {
 			}
 			if id, label, ok := parseSensorMarker(name); ok {
 				sensorNames[id] = label
+				if id > maxSensor {
+					maxSensor = id
+				}
+			}
+			if id, state, ok := parseHealthMarker(name); ok {
+				np.HealthEvents = append(np.HealthEvents, HealthEvent{
+					TS: e.TS, SensorID: id, State: state,
+				})
 				if id > maxSensor {
 					maxSensor = id
 				}
@@ -267,6 +294,34 @@ func parseSensorMarker(name string) (id int, label string, ok bool) {
 		return 0, "", false
 	}
 	return id, rest[k+1:], true
+}
+
+// parseHealthMarker decodes "sensor-health:<id>:<state>".
+func parseHealthMarker(name string) (id int, state string, ok bool) {
+	if !strings.HasPrefix(name, healthMarkerPrefix) {
+		return 0, "", false
+	}
+	rest := name[len(healthMarkerPrefix):]
+	k := strings.IndexByte(rest, ':')
+	if k < 0 {
+		return 0, "", false
+	}
+	id, err := strconv.Atoi(rest[:k])
+	if err != nil || id < 0 || rest[k+1:] == "" {
+		return 0, "", false
+	}
+	return id, rest[k+1:], true
+}
+
+// SensorHealthEvents filters HealthEvents to one sensor, in time order.
+func (np *NodeProfile) SensorHealthEvents(sensor int) []HealthEvent {
+	var out []HealthEvent
+	for _, h := range np.HealthEvents {
+		if h.SensorID == sensor {
+			out = append(out, h)
+		}
+	}
+	return out
 }
 
 // detectInterval estimates the sampling period as the median gap between

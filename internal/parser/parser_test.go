@@ -317,6 +317,68 @@ func TestSensorMarkerParsing(t *testing.T) {
 	}
 }
 
+func TestHealthMarkerParsing(t *testing.T) {
+	cases := []struct {
+		in    string
+		id    int
+		state string
+		ok    bool
+	}{
+		{"sensor-health:0:quarantined", 0, "quarantined", true},
+		{"sensor-health:3:recovered", 3, "recovered", true},
+		{"sensor-health:x:bad", 0, "", false},
+		{"sensor-health:-1:neg", 0, "", false},
+		{"sensor-health:2:", 0, "", false},
+		{"sensor-health:", 0, "", false},
+		{"sensor:2:label", 0, "", false},
+	}
+	for _, c := range cases {
+		id, state, ok := parseHealthMarker(c.in)
+		if ok != c.ok || (ok && (id != c.id || state != c.state)) {
+			t.Errorf("parseHealthMarker(%q) = %d,%q,%v", c.in, id, state, ok)
+		}
+	}
+}
+
+// TestHealthEventsInProfile feeds tempd-style degraded-mode markers through
+// Parse and expects an ordered per-sensor transition timeline annotating
+// the sample gap.
+func TestHealthEventsInProfile(t *testing.T) {
+	clk := vclock.NewVirtualClock()
+	tr, _ := trace.NewTracer(trace.Config{Clock: clk})
+	tr.MarkerAt("sensor:0:CPU Core", 0)
+	tr.SampleAt(0, 41, 250*time.Millisecond)
+	tr.MarkerAt("sensor-health:0:suspect", 500*time.Millisecond)
+	tr.MarkerAt("sensor-health:0:quarantined", 750*time.Millisecond)
+	tr.MarkerAt("sensor-health:0:recovered", 2*time.Second)
+	tr.SampleAt(0, 44, 2250*time.Millisecond)
+	full := tr.Finish()
+	full.Truncated = true // simulate a salvaged torn-tail trace
+	np, err := Parse(full, Options{Unit: Celsius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !np.Truncated {
+		t.Error("profile must surface the trace's Truncated flag")
+	}
+	hs := np.SensorHealthEvents(0)
+	if len(hs) != 3 {
+		t.Fatalf("health events = %+v, want 3", hs)
+	}
+	wantStates := []string{"suspect", "quarantined", "recovered"}
+	for i, h := range hs {
+		if h.State != wantStates[i] || h.SensorID != 0 {
+			t.Errorf("event %d = %+v, want state %q", i, h, wantStates[i])
+		}
+	}
+	if hs[0].TS != 500*time.Millisecond || hs[2].TS != 2*time.Second {
+		t.Errorf("health event timestamps wrong: %+v", hs)
+	}
+	if len(np.SensorHealthEvents(1)) != 0 {
+		t.Error("no events expected for sensor 1")
+	}
+}
+
 func TestSensorNameFallback(t *testing.T) {
 	tr := &trace.Trace{Sym: trace.NewSymTab(), Events: []trace.Event{
 		{Kind: trace.KindSample, SensorID: 1, ValueC: 40},

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // writeFakeHwmon builds a sysfs-shaped tree:
@@ -127,6 +128,143 @@ func TestHwmonSensorVanishes(t *testing.T) {
 	}
 	if _, err := gone.ReadC(); err == nil {
 		t.Error("reading a removed sensor should error")
+	}
+}
+
+func TestHwmonRootNotADirectory(t *testing.T) {
+	// A root that exists but is a plain file is a real configuration error
+	// (wrong -hwmon flag), not "host has no sensors": the error must not
+	// be ErrNoSensors so the caller doesn't silently fall back to sim.
+	root := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(root, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHwmonProvider(root).Sensors(); err == nil || errors.Is(err, ErrNoSensors) {
+		t.Errorf("file-as-root err = %v, want a real error", err)
+	}
+}
+
+func TestHwmonUnreadableChipSkipped(t *testing.T) {
+	// A chip directory that can't be opened (here: a dangling symlink, the
+	// shape of a device unbinding mid-scan) is skipped; the healthy chip
+	// is still discovered.
+	root := writeFakeHwmon(t)
+	if err := os.RemoveAll(filepath.Join(root, "hwmon1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(filepath.Join(root, "gone"), filepath.Join(root, "hwmon1")); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewHwmonProvider(root).Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 2 {
+		t.Fatalf("found %d sensors, want the 2 on the healthy chip", len(ss))
+	}
+	for _, s := range ss {
+		if !filepath.HasPrefix(s.Name(), "hwmon0") {
+			t.Errorf("unexpected sensor %s from broken chip", s.Name())
+		}
+	}
+}
+
+func TestHwmonEmptyInputValue(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewHwmonProvider(root).Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss[0].ReadC(); err == nil {
+		t.Error("empty sysfs value should error on read")
+	}
+}
+
+func TestHwmonInputIsDirectory(t *testing.T) {
+	// temp1_input as a directory: discovery sees the name, the read fails.
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0", "temp1_input"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewHwmonProvider(root).Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss[0].ReadC(); err == nil {
+		t.Error("directory-shaped input should error on read")
+	}
+}
+
+func TestHwmonBrokenLabelFallsBack(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "hwmon0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("41000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Label file is a dangling symlink: unreadable, so the synthesised
+	// "<chip> tempN" label applies.
+	if err := os.Symlink(filepath.Join(root, "gone"), filepath.Join(root, "hwmon0", "temp1_label")); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewHwmonProvider(root).Sensors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[0].Label() != "hwmon0 temp1" {
+		t.Errorf("label = %q, want fallback", ss[0].Label())
+	}
+}
+
+// TestHwmonResilientQuarantinesVanishedSensor wires the real hwmon reader
+// through the Resilient wrapper: when a chip unbinds mid-run the sensor is
+// quarantined after repeated failures while its sibling keeps reporting —
+// the degraded mode tempd rides through.
+func TestHwmonResilientQuarantinesVanishedSensor(t *testing.T) {
+	root := writeFakeHwmon(t)
+	r := NewRegistry(NewHwmonProvider(root))
+	if err := r.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	r.WrapResilient(ResilientConfig{
+		MaxRetries:      0,
+		QuarantineAfter: 2,
+		ProbeEvery:      100,
+		Sleep:           func(d time.Duration) {},
+	})
+	// hwmon1/temp1 vanishes (sorted order: hwmon0/temp1, hwmon0/temp2,
+	// hwmon1/temp1 — index 2).
+	if err := os.RemoveAll(filepath.Join(root, "hwmon1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		vals, err := r.ReadAll()
+		if err == nil {
+			t.Fatal("expected per-sensor failure")
+		}
+		if vals[0] != 40.25 || vals[1] != 38 {
+			t.Fatalf("healthy sensors disturbed: %v", vals)
+		}
+		if !(vals[2] != vals[2]) { // NaN contract
+			t.Fatalf("vanished sensor slot = %v, want NaN", vals[2])
+		}
+	}
+	hs := r.Health()
+	if hs[2].State != StateQuarantined {
+		t.Errorf("vanished sensor state = %v, want quarantined", hs[2].State)
+	}
+	if hs[0].State != StateHealthy || hs[1].State != StateHealthy {
+		t.Errorf("healthy sensors state = %v/%v", hs[0].State, hs[1].State)
+	}
+	if r.Trusted() != 2 {
+		t.Errorf("Trusted = %d, want 2", r.Trusted())
 	}
 }
 

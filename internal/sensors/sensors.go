@@ -171,8 +171,17 @@ func (r *Registry) Len() int {
 }
 
 // ReadAll reads every discovered sensor once, returning values in sensor
-// order. A failing sensor yields NaN for its slot and contributes to the
-// returned error (joined); healthy sensors still report.
+// order.
+//
+// NaN contract: the returned slice always has exactly Len() entries in the
+// stable name order, and a sensor that fails to read yields NaN — never a
+// zero, which is a legitimate temperature — for its slot. Each failure
+// also contributes to the returned error (joined, one per failing sensor,
+// prefixed with the sensor name); healthy sensors still report. Callers
+// therefore detect per-slot failure with math.IsNaN (or the v != v idiom)
+// and must not treat a non-nil error as "no data": the slice remains
+// valid. Quarantined sensors (see Resilient) fail fast with
+// ErrQuarantined and likewise yield NaN.
 func (r *Registry) ReadAll() ([]float64, error) {
 	ss := r.Sensors()
 	out := make([]float64, len(ss))

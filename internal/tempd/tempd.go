@@ -22,6 +22,7 @@ package tempd
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,9 +51,12 @@ type Daemon struct {
 	tracer   *trace.Tracer
 	interval time.Duration
 
-	samples  atomic.Uint64
-	failures atomic.Uint64
-	busyNS   atomic.Int64 // cumulative time spent inside SampleOnce
+	samples    atomic.Uint64
+	failures   atomic.Uint64
+	perSensor  []atomic.Uint64 // read failures by sensor index
+	lastErr    atomic.Value    // most recent SampleOnce aggregate error
+	lastHealth []sensors.Health
+	busyNS     atomic.Int64 // cumulative time spent inside SampleOnce
 
 	mu       sync.Mutex
 	started  time.Time
@@ -82,9 +86,11 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, errors.New("tempd: registry has no sensors (run Discover first)")
 	}
 	return &Daemon{
-		reg:      cfg.Registry,
-		tracer:   cfg.Tracer,
-		interval: time.Duration(float64(time.Second) / rate),
+		reg:        cfg.Registry,
+		tracer:     cfg.Tracer,
+		interval:   time.Duration(float64(time.Second) / rate),
+		perSensor:  make([]atomic.Uint64, cfg.Registry.Len()),
+		lastHealth: make([]sensors.Health, cfg.Registry.Len()),
 	}, nil
 }
 
@@ -101,23 +107,47 @@ func (d *Daemon) announceSensors() {
 }
 
 // SampleOnce reads every sensor and records one sample event per healthy
-// sensor. Failing sensors are skipped and counted; the first call also
-// announces sensor identities. The returned error aggregates per-sensor
-// failures (sampling continues past them).
+// sensor. Per the Registry.ReadAll NaN contract, a failing sensor's slot
+// is NaN: that slot is skipped, counted globally and per sensor index, and
+// the aggregate error retained for Stats. Sensor health transitions
+// (quarantine, recovery, …) observed since the previous call are emitted
+// as "sensor-health:<id>:<state>" markers so the parser can annotate gaps
+// in the temperature-vs-time profile. The first call also announces sensor
+// identities. The returned error aggregates per-sensor failures (sampling
+// continues past them).
 func (d *Daemon) SampleOnce() error {
 	start := time.Now()
 	d.announceSensors()
 	vals, err := d.reg.ReadAll()
 	for i, v := range vals {
-		if v != v { // NaN: sensor failed this round
+		if math.IsNaN(v) { // sensor failed this round (ReadAll NaN contract)
 			d.failures.Add(1)
+			if i < len(d.perSensor) {
+				d.perSensor[i].Add(1)
+			}
 			continue
 		}
 		d.tracer.Sample(uint32(i), v)
 		d.samples.Add(1)
 	}
+	if err != nil {
+		d.lastErr.Store(err)
+	}
+	d.markHealthTransitions()
 	d.busyNS.Add(int64(time.Since(start)))
 	return err
+}
+
+// markHealthTransitions diffs the registry health snapshot against the
+// previous one and drops a degraded-mode marker per change.
+func (d *Daemon) markHealthTransitions() {
+	for _, h := range d.reg.Health() {
+		if h.Index >= len(d.lastHealth) || h.State == d.lastHealth[h.Index] {
+			continue
+		}
+		d.lastHealth[h.Index] = h.State
+		d.tracer.Marker(fmt.Sprintf("sensor-health:%d:%s", h.Index, h.State))
+	}
 }
 
 // Start launches real-time sampling. It is an error to start a running
@@ -181,6 +211,29 @@ func (d *Daemon) Samples() uint64 { return d.samples.Load() }
 
 // Failures reports sensor read failures encountered.
 func (d *Daemon) Failures() uint64 { return d.failures.Load() }
+
+// FailuresBySensor reports read failures per sensor index (registry
+// order) — the breakdown that distinguishes one dying chip from systemic
+// trouble.
+func (d *Daemon) FailuresBySensor() []uint64 {
+	out := make([]uint64, len(d.perSensor))
+	for i := range d.perSensor {
+		out[i] = d.perSensor[i].Load()
+	}
+	return out
+}
+
+// LastError returns the most recent SampleOnce aggregate error, or nil if
+// every round so far fully succeeded.
+func (d *Daemon) LastError() error {
+	if e, ok := d.lastErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Health proxies the registry's current health snapshot.
+func (d *Daemon) Health() []sensors.SensorHealth { return d.reg.Health() }
 
 // BusyFraction reports the fraction of wall time spent actually sampling
 // — the quantity the paper bounds below 1 % CPU (§4.1). It is only

@@ -153,6 +153,91 @@ func TestSampleOncePartialFailure(t *testing.T) {
 	}
 }
 
+func TestFailuresBySensorIndex(t *testing.T) {
+	flaky := &sensors.FuncSensor{
+		SensorName:  "b/t1",
+		SensorLabel: "flaky",
+		Read:        func() (float64, error) { return 0, errors.New("bus glitch") },
+	}
+	d, _, _ := testSetup(t, constSensor("a/t1", 39), flaky, constSensor("c/t1", 41))
+	for i := 0; i < 3; i++ {
+		_ = d.SampleOnce()
+	}
+	per := d.FailuresBySensor()
+	if want := []uint64{0, 3, 0}; len(per) != 3 || per[0] != want[0] || per[1] != want[1] || per[2] != want[2] {
+		t.Errorf("FailuresBySensor = %v, want %v", per, want)
+	}
+	if d.Failures() != 3 {
+		t.Errorf("Failures = %d, want 3", d.Failures())
+	}
+	if d.LastError() == nil {
+		t.Error("LastError should retain the aggregate failure")
+	}
+}
+
+// TestHealthTransitionMarkers quarantines a sensor mid-run and expects the
+// daemon to drop sensor-health markers into the trace at each transition,
+// so the parser can annotate the resulting sample gap.
+func TestHealthTransitionMarkers(t *testing.T) {
+	calls := 0
+	flaky := &sensors.FuncSensor{
+		SensorName:  "b/t1",
+		SensorLabel: "flaky",
+		Read: func() (float64, error) {
+			calls++
+			if calls > 2 {
+				return 0, errors.New("link lost")
+			}
+			return 40, nil
+		},
+	}
+	reg := sensors.NewRegistry(&sliceProvider{ss: []sensors.Sensor{constSensor("a/t1", 39), flaky}})
+	if err := reg.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	reg.WrapResilient(sensors.ResilientConfig{
+		MaxRetries:      0,
+		QuarantineAfter: 2,
+		ProbeEvery:      1000, // keep it quarantined for the test
+		Sleep:           func(time.Duration) {},
+	})
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Registry: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		clk.Advance(d.Interval())
+		_ = d.SampleOnce()
+	}
+	evs, sym := tr.Snapshot()
+	var health []string
+	for _, e := range evs {
+		if e.Kind != trace.KindMarker {
+			continue
+		}
+		name, _ := sym.Name(e.FuncID)
+		if strings.HasPrefix(name, "sensor-health:") {
+			health = append(health, name)
+		}
+	}
+	want := []string{"sensor-health:1:suspect", "sensor-health:1:quarantined"}
+	if len(health) != len(want) || health[0] != want[0] || health[1] != want[1] {
+		t.Errorf("health markers = %v, want %v", health, want)
+	}
+	if hs := d.Health(); hs[1].State != sensors.StateQuarantined {
+		t.Errorf("sensor 1 health = %v, want quarantined", hs[1].State)
+	}
+	// Quarantined rounds count as per-sensor failures (NaN slots).
+	if per := d.FailuresBySensor(); per[1] == 0 {
+		t.Errorf("FailuresBySensor = %v, want failures recorded for sensor 1", per)
+	}
+}
+
 func TestStartStopRealTime(t *testing.T) {
 	d, _, _ := testSetup(t, constSensor("a/t1", 39))
 	if err := d.Start(); err != nil {

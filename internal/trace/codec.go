@@ -132,7 +132,10 @@ func (tr *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTrace parses a TPST stream back into a Trace.
+// ReadTrace parses a TPST stream back into a Trace. Version 1 streams are
+// parsed strictly; version 2 (segmented, see segment.go) streams recover
+// from truncated or torn tails by salvaging every intact prefix segment
+// and setting Trace.Truncated.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var magic uint32
@@ -146,7 +149,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
 	}
-	if version != formatVersion {
+	if version != formatVersion && version != formatVersionSeg {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
 	}
 
@@ -157,6 +160,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	rank, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: rank: %v", ErrBadFormat, err)
+	}
+	if version == formatVersionSeg {
+		// Version 2 (segmented) recovers torn tails instead of rejecting.
+		return readSegmented(br, uint32(nodeID), uint32(rank))
 	}
 
 	nsyms, err := binary.ReadUvarint(br)

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Segmented trace format ("TPST" version 2) — the crash-safe variant.
+//
+// Version 1 serialises the whole trace in one shot, so a run killed
+// mid-write (the paper's destructor signal arriving early, a node dying
+// hours into a NAS run) leaves a file ReadTrace rejects outright. Version
+// 2 appends self-delimiting, checksummed segments instead:
+//
+//	header  magic uint32 'TPST', version uint16 = 2,
+//	        nodeID uvarint, rank uvarint
+//	segment kind byte ('S' symbols | 'E' events)
+//	        payloadLen uint32 LE
+//	        crc32(payload) uint32 LE (IEEE)
+//	        payload
+//
+// Symbol segments carry only the symbols registered since the previous
+// flush (count, then per symbol: addr uvarint, name len+bytes), so ids
+// stay dense and consistent across segments. Event segments carry (count,
+// then per event: kind byte, lane uvarint, Δts zigzag varint, payload as
+// in v1). Timestamp deltas are signed and carried across segments; lanes
+// drained at different times may interleave slightly out of order, and the
+// reader re-sorts exactly like Tracer.Snapshot.
+//
+// Recovery: a torn tail — truncated header, torn segment, checksum
+// mismatch — costs only the incomplete segment. ReadTrace salvages every
+// intact prefix segment and marks the result Truncated instead of
+// returning ErrBadFormat.
+
+const (
+	formatVersionSeg = 2
+	segSymbols       = 'S'
+	segEvents        = 'E'
+	// maxSegmentLen bounds a single segment payload; larger declared
+	// lengths are treated as corruption.
+	maxSegmentLen = 1 << 28
+)
+
+// Writer appends a trace incrementally in the segmented format. Each
+// Flush produces durable, self-contained output: if the process dies
+// afterwards, everything flushed so far is recoverable. Writer itself is
+// not concurrency-safe; tempd's flush loop is its single caller.
+type Writer struct {
+	w           io.Writer
+	symsWritten int
+	prevTS      int64
+	events      uint64
+	segments    int
+	err         error
+}
+
+// NewWriter writes the stream header immediately and returns the
+// incremental writer.
+func NewWriter(w io.Writer, nodeID, rank uint32) (*Writer, error) {
+	var hdr bytes.Buffer
+	binary.Write(&hdr, binary.LittleEndian, uint32(formatMagic))
+	binary.Write(&hdr, binary.LittleEndian, uint16(formatVersionSeg))
+	writeUvarint(&hdr, uint64(nodeID))
+	writeUvarint(&hdr, uint64(rank))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return nil, fmt.Errorf("trace: segmented header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// Flush appends the new tail of the trace: any symbols registered since
+// the last flush (taken from sym), then the given events as one segment.
+// Events must be valid; empty flushes are no-ops. After a write error the
+// writer is poisoned and every call returns that error — the caller's
+// trace file has a torn tail exactly where the fault hit.
+func (sw *Writer) Flush(events []Event, sym *SymTab) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sym != nil {
+		names := sym.Names()
+		if len(names) > sw.symsWritten {
+			var payload bytes.Buffer
+			fresh := names[sw.symsWritten:]
+			writeUvarint(&payload, uint64(len(fresh)))
+			for i, name := range fresh {
+				addr, err := sym.Addr(uint32(sw.symsWritten + i))
+				if err != nil {
+					return err
+				}
+				writeUvarint(&payload, addr)
+				writeUvarint(&payload, uint64(len(name)))
+				payload.WriteString(name)
+			}
+			if err := sw.segment(segSymbols, payload.Bytes()); err != nil {
+				return err
+			}
+			sw.symsWritten = len(names)
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	var payload bytes.Buffer
+	writeUvarint(&payload, uint64(len(events)))
+	for i, e := range events {
+		if err := e.Valid(); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		payload.WriteByte(byte(e.Kind))
+		writeUvarint(&payload, uint64(e.Lane))
+		ts := int64(e.TS)
+		writeVarint(&payload, ts-sw.prevTS)
+		sw.prevTS = ts
+		switch e.Kind {
+		case KindEnter, KindExit, KindMarker:
+			writeUvarint(&payload, uint64(e.FuncID))
+		case KindSample:
+			writeUvarint(&payload, uint64(e.SensorID))
+			writeVarint(&payload, int64(math.Round(e.ValueC*1000)))
+		case KindDrop:
+			writeUvarint(&payload, e.Aux)
+		}
+	}
+	if err := sw.segment(segEvents, payload.Bytes()); err != nil {
+		return err
+	}
+	sw.events += uint64(len(events))
+	return nil
+}
+
+// segment frames and emits one payload, poisoning the writer on failure.
+func (sw *Writer) segment(kind byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		sw.err = fmt.Errorf("trace: segment header: %w", err)
+		return sw.err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		sw.err = fmt.Errorf("trace: segment payload: %w", err)
+		return sw.err
+	}
+	sw.segments++
+	return nil
+}
+
+// Events reports how many events have been flushed.
+func (sw *Writer) Events() uint64 { return sw.events }
+
+// Segments reports how many segments (symbol and event) have been written.
+func (sw *Writer) Segments() int { return sw.segments }
+
+// Err returns the poisoning error, if any.
+func (sw *Writer) Err() error { return sw.err }
+
+// WriteSegmented serialises the whole trace in the crash-safe segmented
+// format in batches of batch events per segment (0 = one segment). It is
+// the v2 counterpart of Write.
+func (tr *Trace) WriteSegmented(w io.Writer, batch int) error {
+	sw, err := NewWriter(w, tr.NodeID, tr.Rank)
+	if err != nil {
+		return err
+	}
+	sym := tr.Sym
+	if sym == nil {
+		sym = NewSymTab()
+	}
+	if batch <= 0 || batch > len(tr.Events) {
+		batch = len(tr.Events)
+	}
+	if len(tr.Events) == 0 {
+		return sw.Flush(nil, sym)
+	}
+	for lo := 0; lo < len(tr.Events); lo += batch {
+		hi := lo + batch
+		if hi > len(tr.Events) {
+			hi = len(tr.Events)
+		}
+		if err := sw.Flush(tr.Events[lo:hi], sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSegmented is ReadTrace's version-2 body: it consumes segments until
+// EOF, salvaging the intact prefix when the tail is torn or corrupt.
+func readSegmented(br io.Reader, nodeID, rank uint32) (*Trace, error) {
+	tr := &Trace{NodeID: nodeID, Rank: rank, Sym: NewSymTab()}
+	var prevTS int64
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// Clean EOF between segments is a complete trace; a torn
+			// segment header is a truncated one. Either way the prefix
+			// parsed so far is the answer.
+			tr.Truncated = err != io.EOF
+			break
+		}
+		kind := hdr[0]
+		plen := binary.LittleEndian.Uint32(hdr[1:5])
+		sum := binary.LittleEndian.Uint32(hdr[5:9])
+		if (kind != segSymbols && kind != segEvents) || plen > maxSegmentLen {
+			tr.Truncated = true // corrupt framing: salvage stops here
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			tr.Truncated = true
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			tr.Truncated = true
+			break
+		}
+		ok := false
+		switch kind {
+		case segSymbols:
+			ok = parseSymbolSegment(payload, tr.Sym)
+		case segEvents:
+			ok = parseEventSegment(payload, tr, &prevTS)
+		}
+		if !ok {
+			// A checksummed segment that still fails structural parsing
+			// means in-place corruption, not truncation — but the intact
+			// prefix is equally salvageable.
+			tr.Truncated = true
+			break
+		}
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		if tr.Events[i].TS != tr.Events[j].TS {
+			return tr.Events[i].TS < tr.Events[j].TS
+		}
+		return tr.Events[i].Lane < tr.Events[j].Lane
+	})
+	return tr, nil
+}
+
+// parseSymbolSegment appends one symbol batch; reports structural validity.
+func parseSymbolSegment(payload []byte, sym *SymTab) bool {
+	buf := bytes.NewBuffer(payload)
+	n, err := binary.ReadUvarint(buf)
+	if err != nil || n > 1<<24 {
+		return false
+	}
+	base := sym.Len()
+	for i := uint64(0); i < n; i++ {
+		if _, err := binary.ReadUvarint(buf); err != nil { // addr: regenerated
+			return false
+		}
+		nameLen, err := binary.ReadUvarint(buf)
+		if err != nil || nameLen > 1<<16 {
+			return false
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(buf, name); err != nil {
+			return false
+		}
+		if got := sym.Register(string(name)); int(got) != base+int(i) {
+			return false // duplicate across segments
+		}
+	}
+	return buf.Len() == 0
+}
+
+// parseEventSegment appends one event batch; reports structural validity.
+func parseEventSegment(payload []byte, tr *Trace, prevTS *int64) bool {
+	buf := bytes.NewBuffer(payload)
+	n, err := binary.ReadUvarint(buf)
+	if err != nil || n > 1<<32 {
+		return false
+	}
+	nsyms := uint64(tr.Sym.Len())
+	events := make([]Event, 0, min64(n, 1<<20))
+	ts := *prevTS
+	for i := uint64(0); i < n; i++ {
+		kindB, err := buf.ReadByte()
+		if err != nil {
+			return false
+		}
+		e := Event{Kind: EventKind(kindB)}
+		lane, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return false
+		}
+		e.Lane = uint32(lane)
+		dts, err := binary.ReadVarint(buf)
+		if err != nil {
+			return false
+		}
+		ts += dts
+		if ts < 0 {
+			return false
+		}
+		e.TS = time.Duration(ts)
+		switch e.Kind {
+		case KindEnter, KindExit, KindMarker:
+			fid, err := binary.ReadUvarint(buf)
+			if err != nil || fid >= nsyms {
+				return false
+			}
+			e.FuncID = uint32(fid)
+		case KindSample:
+			sid, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return false
+			}
+			e.SensorID = uint32(sid)
+			milli, err := binary.ReadVarint(buf)
+			if err != nil {
+				return false
+			}
+			e.ValueC = float64(milli) / 1000
+		case KindDrop:
+			aux, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return false
+			}
+			e.Aux = aux
+		default:
+			return false
+		}
+		events = append(events, e)
+	}
+	if buf.Len() != 0 {
+		return false
+	}
+	tr.Events = append(tr.Events, events...)
+	*prevTS = ts
+	return true
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var scratch [binary.MaxVarintLen64]byte
+	buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var scratch [binary.MaxVarintLen64]byte
+	buf.Write(scratch[:binary.PutVarint(scratch[:], v)])
+}

@@ -221,12 +221,41 @@ func (t *Tracer) Snapshot() ([]Event, *SymTab) {
 	return all, t.symtab.clone()
 }
 
+// Drain removes and returns all currently buffered events, merged and
+// timestamp-ordered like Snapshot, together with a symbol-table copy.
+// Unlike Snapshot it empties the lane buffers, so an incremental Writer
+// can flush the trace in segments while recording continues — buffer
+// pressure (and KindDrop events) resets with every drain.
+func (t *Tracer) Drain() ([]Event, *SymTab) {
+	t.mu.Lock()
+	lanes := append([]*Lane(nil), t.lanes...)
+	t.mu.Unlock()
+	var all []Event
+	for _, l := range lanes {
+		l.mu.Lock()
+		all = append(all, l.buf...)
+		l.buf = nil
+		l.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].TS != all[j].TS {
+			return all[i].TS < all[j].TS
+		}
+		return all[i].Lane < all[j].Lane
+	})
+	return all, t.symtab.clone()
+}
+
 // Trace bundles everything the parser needs from one rank's run.
 type Trace struct {
 	NodeID uint32
 	Rank   uint32
 	Events []Event
 	Sym    *SymTab
+	// Truncated reports that the trace was recovered from a torn or
+	// corrupt segmented stream: Events holds the salvaged intact prefix
+	// (see ReadTrace), not necessarily the full run.
+	Truncated bool
 }
 
 // Finish produces the final Trace for this rank.
