@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench clean
+.PHONY: all build vet test race chaos bench bench-smoke fuzz-smoke clean
 
 all: vet build test
 
@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with real concurrency: the MPI
-# transports, the sampling daemon, the resilient sensor wrappers and the
-# multi-lane tracer.
+# transports, the sampling daemon, the resilient sensor wrappers, the
+# multi-lane tracer and the parallel parser worker pool.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/...
+	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/... ./internal/parser/...
 
 # Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
 # tail + flaky TCP link), plus the per-package chaos tests.
@@ -28,6 +28,18 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One-iteration pass over the streaming-pipeline benchmarks: compiles and
+# executes every benchmark body (batch vs stream allocation profile,
+# sequential vs parallel ParseAll) without waiting for stable timings —
+# the CI guard that the pipeline still runs end to end at 1M events.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Pipeline|ParseAll' -benchtime=1x -benchmem ./internal/parser/
+
+# Run every fuzz target once over its checked-in seed corpus (no open-
+# ended fuzzing): codec, streaming scanner, and friends.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/trace/
 
 clean:
 	$(GO) clean ./...

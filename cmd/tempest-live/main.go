@@ -9,6 +9,12 @@
 //
 //	tempest-live -burn 3s -idle 2s -cycles 2
 //	tempest-live -hwmon /sys/class/hwmon -rate 16 -format plot
+//	tempest-live -burn 5s -cycles 3 -watch 1s
+//
+// With -watch, an in-progress hot-spot snapshot (top functions, their
+// temperatures, what is running right now) is printed to stderr at the
+// given interval while the workload executes — the live view enabled by
+// the streaming profile builder.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"tempest"
+	"tempest/internal/report"
 )
 
 func main() {
@@ -52,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	cycles := fs.Int("cycles", 1, "burn/idle cycles")
 	format := fs.String("format", "report", "output: report|csv|json|plot")
 	unit := fs.String("unit", "F", "temperature unit: F|C")
+	watch := fs.Duration("watch", 0, "print a live hot-spot snapshot to stderr at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +80,30 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var watchStop, watchDone chan struct{}
+	if *watch > 0 {
+		watchStop = make(chan struct{})
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			tick := time.NewTicker(*watch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-watchStop:
+					return
+				case <-tick.C:
+					np, err := s.Snapshot()
+					if err != nil {
+						continue
+					}
+					_ = report.WriteLiveNode(os.Stderr, np, s.OpenFunctions(),
+						report.Options{Labels: true, TopN: 5})
+				}
+			}
+		}()
+	}
+
 	lane := s.Lane()
 	for c := 0; c < *cycles; c++ {
 		_ = s.SetSimUtilization(0, 1) // no-op with real sensors
@@ -82,6 +114,10 @@ func run(args []string, out io.Writer) error {
 		if err := lane.Instrument("idle_phase", func() { time.Sleep(*idle) }); err != nil {
 			return err
 		}
+	}
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone
 	}
 	fmt.Fprintf(os.Stderr, "tempest-live: tempd busy fraction %.5f\n", s.TempdBusyFraction())
 	p, err := s.Close()

@@ -7,7 +7,15 @@
 //
 //	tempest-parse node0.tpst node1.tpst
 //	tempest-parse -format plot -sensor 0 node0.tpst
+//	tempest-parse -stream -format csv node*.tpst
 //	tempd -o - | tempest-parse -
+//
+// By default traces are loaded whole and parsed in parallel (one worker
+// per core). With -stream each file flows through the segment scanner
+// and online profile builder instead, and each node's output is emitted
+// as soon as that node finishes — memory stays bounded by one segment
+// plus one node's profile, independent of trace length, so arbitrarily
+// long recordings parse in constant space.
 package main
 
 import (
@@ -36,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	sensor := fs.Int("sensor", 0, "sensor index for plot output")
 	top := fs.Int("top", 0, "limit report to the N longest functions (0 = all)")
 	labels := fs.Bool("labels", true, "print sensor labels")
+	stream := fs.Bool("stream", false, "stream traces through the online builder with bounded memory (report|csv|json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +60,12 @@ func run(args []string, out io.Writer) error {
 		u = parser.Celsius
 	default:
 		return fmt.Errorf("unknown unit %q", *unit)
+	}
+
+	if *stream {
+		return runStream(files, u, *format, report.Options{
+			OnlySignificant: true, Labels: *labels, TopN: *top,
+		}, out)
 	}
 
 	var traces []*trace.Trace
@@ -93,4 +108,78 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// runStream parses each file through a trace.Scanner feeding an online
+// parser.Builder and emits per-node output the moment that node's scan
+// completes. Peak memory is one segment's batch plus one node's profile
+// — never the event history — regardless of trace size.
+func runStream(files []string, u parser.Unit, format string, ropts report.Options, out io.Writer) error {
+	var emit func(*parser.NodeProfile) error
+	var finish func() error
+	switch format {
+	case "report":
+		ps := report.NewProfileStream(out, ropts)
+		emit = ps.Node
+	case "csv":
+		cs, err := report.NewSeriesCSVStream(out)
+		if err != nil {
+			return err
+		}
+		emit = cs.Node
+	case "json":
+		js, err := report.NewJSONStream(out, u)
+		if err != nil {
+			return err
+		}
+		emit = js.Node
+		finish = js.Close
+	default:
+		return fmt.Errorf("format %q does not support -stream (use report|csv|json)", format)
+	}
+	for _, path := range files {
+		np, err := streamFile(path, u)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := emit(np); err != nil {
+			return err
+		}
+	}
+	if finish != nil {
+		return finish()
+	}
+	return nil
+}
+
+// streamFile scans one trace into a profile in O(segment) memory.
+func streamFile(path string, u parser.Unit) (*parser.NodeProfile, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc, err := trace.NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	b := parser.NewBuilder(sc.NodeID(), sc.Sym(), parser.Options{Unit: u})
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Add(batch); err != nil {
+			return nil, err
+		}
+	}
+	b.SetTruncated(sc.Truncated())
+	return b.Finish()
 }

@@ -51,6 +51,36 @@ func MergeIntervals(ivs []Interval) []Interval {
 	return out
 }
 
+// InsertInterval folds one interval into an already-merged, sorted set,
+// keeping it merged — the online counterpart of MergeIntervals. Because
+// the merged decomposition of a union of closed intervals is unique,
+// inserting intervals one at a time yields exactly MergeIntervals of the
+// whole batch, in any insertion order. The slice is modified in place
+// (and possibly reallocated); amortised O(log n) when insertions mostly
+// extend existing spans, as back-to-back calls do.
+func InsertInterval(ivs []Interval, iv Interval) []Interval {
+	// Candidates to merge with iv: closed intervals touch when
+	// other.End >= iv.Start && other.Start <= iv.End.
+	lo := sort.Search(len(ivs), func(i int) bool { return ivs[i].End >= iv.Start })
+	hi := sort.Search(len(ivs), func(i int) bool { return ivs[i].Start > iv.End })
+	if lo == hi {
+		// Disjoint from everything: insert at lo.
+		ivs = append(ivs, Interval{})
+		copy(ivs[lo+1:], ivs[lo:])
+		ivs[lo] = iv
+		return ivs
+	}
+	// Merge the touching run [lo, hi) into iv.
+	if ivs[lo].Start < iv.Start {
+		iv.Start = ivs[lo].Start
+	}
+	if ivs[hi-1].End > iv.End {
+		iv.End = ivs[hi-1].End
+	}
+	ivs[lo] = iv
+	return append(ivs[:lo+1], ivs[hi:]...)
+}
+
 // TotalDuration sums the lengths of a merged interval set.
 func TotalDuration(ivs []Interval) time.Duration {
 	var sum time.Duration

@@ -3,9 +3,11 @@ package parser
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tempest/internal/stats"
@@ -117,164 +119,64 @@ const sensorMarkerPrefix = "sensor:"
 // healthMarkerPrefix matches tempd's degraded-mode markers.
 const healthMarkerPrefix = "sensor-health:"
 
-// Parse merges one trace into a NodeProfile.
+// Parse merges one trace into a NodeProfile. It is a thin wrapper over
+// the streaming Builder: the whole event slice is fed as one batch and
+// finished, so batch and streamed parses share one implementation and
+// produce identical profiles.
 func Parse(tr *trace.Trace, opts Options) (*NodeProfile, error) {
 	if tr == nil {
-		return nil, errors.New("parser: nil trace")
+		return nil, errNilTrace
 	}
-	np := &NodeProfile{NodeID: tr.NodeID, Unit: opts.Unit, Truncated: tr.Truncated}
-
-	// Pass 1: sensors, samples, duration, drops.
-	sensorNames := map[int]string{}
-	maxSensor := -1
-	for _, e := range tr.Events {
-		if e.TS > np.Duration {
-			np.Duration = e.TS
-		}
-		switch e.Kind {
-		case trace.KindMarker:
-			name, err := tr.Sym.Name(e.FuncID)
-			if err != nil {
-				return nil, fmt.Errorf("parser: marker symbol: %w", err)
-			}
-			if id, label, ok := parseSensorMarker(name); ok {
-				sensorNames[id] = label
-				if id > maxSensor {
-					maxSensor = id
-				}
-			}
-			if id, state, ok := parseHealthMarker(name); ok {
-				np.HealthEvents = append(np.HealthEvents, HealthEvent{
-					TS: e.TS, SensorID: id, State: state,
-				})
-				if id > maxSensor {
-					maxSensor = id
-				}
-			}
-		case trace.KindSample:
-			if int(e.SensorID) > maxSensor {
-				maxSensor = int(e.SensorID)
-			}
-		case trace.KindDrop:
-			np.DroppedEvents += e.Aux
-		}
+	b := NewBuilder(tr.NodeID, tr.Sym, opts)
+	b.SetTruncated(tr.Truncated)
+	if err := b.Add(tr.Events); err != nil {
+		return nil, err
 	}
-	np.SensorNames = make([]string, maxSensor+1)
-	for i := range np.SensorNames {
-		if label, ok := sensorNames[i]; ok {
-			np.SensorNames[i] = label
-		} else {
-			np.SensorNames[i] = fmt.Sprintf("sensor%d", i+1)
-		}
-	}
-	np.Samples = make([][]Sample, maxSensor+1)
-	for _, e := range tr.Events {
-		if e.Kind == trace.KindSample {
-			np.Samples[e.SensorID] = append(np.Samples[e.SensorID], Sample{
-				TS:    e.TS,
-				Value: opts.Unit.convert(e.ValueC),
-			})
-		}
-	}
-	for _, s := range np.Samples {
-		sort.Slice(s, func(i, j int) bool { return s[i].TS < s[j].TS })
-	}
-
-	// Sampling interval for the significance rule.
-	np.SampleInterval = opts.SampleInterval
-	if np.SampleInterval == 0 {
-		np.SampleInterval = detectInterval(np.Samples)
-	}
-
-	// Pass 2: per-lane stack walk → per-function raw intervals + calls.
-	type frame struct {
-		fid   uint32
-		enter time.Duration
-	}
-	stacks := map[uint32][]frame{}
-	rawIntervals := map[uint32][]Interval{}
-	calls := map[uint32]int64{}
-	for i, e := range tr.Events {
-		switch e.Kind {
-		case trace.KindEnter:
-			stacks[e.Lane] = append(stacks[e.Lane], frame{fid: e.FuncID, enter: e.TS})
-			calls[e.FuncID]++
-		case trace.KindExit:
-			st := stacks[e.Lane]
-			if len(st) == 0 {
-				return nil, fmt.Errorf("parser: event %d: exit with empty stack on lane %d", i, e.Lane)
-			}
-			top := st[len(st)-1]
-			if top.fid != e.FuncID {
-				return nil, fmt.Errorf("parser: event %d: exit of function %d while %d is open", i, e.FuncID, top.fid)
-			}
-			stacks[e.Lane] = st[:len(st)-1]
-			rawIntervals[top.fid] = append(rawIntervals[top.fid], Interval{Start: top.enter, End: e.TS})
-		}
-	}
-	// Close dangling frames at trace end (abnormal termination).
-	for _, st := range stacks {
-		for _, f := range st {
-			rawIntervals[f.fid] = append(rawIntervals[f.fid], Interval{Start: f.enter, End: np.Duration})
-		}
-	}
-
-	// Pass 3: merge intervals, attribute samples, summarise.
-	for fid, ivs := range rawIntervals {
-		name, err := tr.Sym.Name(fid)
-		if err != nil {
-			return nil, err
-		}
-		merged := MergeIntervals(ivs)
-		fp := FuncProfile{
-			Name:      name,
-			TotalTime: TotalDuration(merged),
-			Calls:     calls[fid],
-			Intervals: merged,
-			Sensors:   make([]stats.Summary, maxSensor+1),
-		}
-		anySamples := false
-		for sid, samples := range np.Samples {
-			var vals []float64
-			for _, s := range samples {
-				if CoversAny(merged, s.TS) {
-					vals = append(vals, s.Value)
-				}
-			}
-			if len(vals) == 0 {
-				continue
-			}
-			sum, err := stats.Summarize(vals)
-			if err != nil {
-				return nil, err
-			}
-			fp.Sensors[sid] = sum
-			anySamples = true
-		}
-		fp.Significant = anySamples && fp.TotalTime >= np.SampleInterval
-		np.Functions = append(np.Functions, fp)
-	}
-	sort.Slice(np.Functions, func(i, j int) bool {
-		if np.Functions[i].TotalTime != np.Functions[j].TotalTime {
-			return np.Functions[i].TotalTime > np.Functions[j].TotalTime
-		}
-		return np.Functions[i].Name < np.Functions[j].Name
-	})
-	return np, nil
+	return b.Finish()
 }
 
-// ParseAll parses one trace per node into a combined profile.
+// ParseAll parses one trace per node into a combined profile, fanning
+// the traces across a worker pool (one worker per core, at most one per
+// trace). Results land at their input index and the lowest-index error
+// wins, so output and failure are deterministic regardless of worker
+// scheduling.
 func ParseAll(traces []*trace.Trace, opts Options) (*Profile, error) {
 	if len(traces) == 0 {
 		return nil, errors.New("parser: no traces")
 	}
-	p := &Profile{Unit: opts.Unit}
-	for i, tr := range traces {
-		np, err := Parse(tr, opts)
+	p := &Profile{Unit: opts.Unit, Nodes: make([]NodeProfile, len(traces))}
+	errs := make([]error, len(traces))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				np, err := Parse(traces[i], opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				p.Nodes[i] = *np
+			}
+		}()
+	}
+	for i := range traces {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("parser: trace %d: %w", i, err)
 		}
-		p.Nodes = append(p.Nodes, *np)
 	}
 	return p, nil
 }
@@ -325,21 +227,35 @@ func (np *NodeProfile) SensorHealthEvents(sensor int) []HealthEvent {
 }
 
 // detectInterval estimates the sampling period as the median gap between
-// consecutive samples of the densest sensor; falls back to 250 ms.
-func detectInterval(samples [][]Sample) time.Duration {
+// consecutive samples of the densest sensor; falls back to 250 ms. Gaps
+// overlapping one of that sensor's quarantine windows (bracketed by
+// quarantined→recovered/healthy HealthEvents) are excluded: samples are
+// missing there by design, and counting the hole would inflate the
+// median — and with it the significance threshold — after any sensor
+// fault.
+func detectInterval(samples [][]Sample, health []HealthEvent) time.Duration {
 	const fallback = 250 * time.Millisecond
 	var best []Sample
-	for _, s := range samples {
+	bestID := -1
+	for id, s := range samples {
 		if len(s) > len(best) {
 			best = s
+			bestID = id
 		}
 	}
 	if len(best) < 2 {
 		return fallback
 	}
+	quarantined := quarantineWindows(health, bestID)
 	gaps := make([]time.Duration, 0, len(best)-1)
 	for i := 1; i < len(best); i++ {
+		if overlapsAny(quarantined, best[i-1].TS, best[i].TS) {
+			continue
+		}
 		gaps = append(gaps, best[i].TS-best[i-1].TS)
+	}
+	if len(gaps) == 0 {
+		return fallback
 	}
 	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
 	med := gaps[(len(gaps)-1)/2]
@@ -347,6 +263,48 @@ func detectInterval(samples [][]Sample) time.Duration {
 		return fallback
 	}
 	return med
+}
+
+// quarantineWindows extracts one sensor's quarantine spans from its
+// time-ordered health transitions. A window opens at "quarantined",
+// stays open through "suspect"/"probing", and closes at the next
+// "recovered" or "healthy"; a window still open at trace end extends
+// indefinitely.
+func quarantineWindows(health []HealthEvent, sensor int) []Interval {
+	var wins []Interval
+	var openAt time.Duration
+	open := false
+	for _, h := range health {
+		if h.SensorID != sensor {
+			continue
+		}
+		switch h.State {
+		case "quarantined":
+			if !open {
+				openAt, open = h.TS, true
+			}
+		case "recovered", "healthy":
+			if open {
+				wins = append(wins, Interval{Start: openAt, End: h.TS})
+				open = false
+			}
+		}
+	}
+	if open {
+		wins = append(wins, Interval{Start: openAt, End: time.Duration(1<<63 - 1)})
+	}
+	return wins
+}
+
+// overlapsAny reports whether the open gap (from, to) intersects any of
+// the sorted windows.
+func overlapsAny(wins []Interval, from, to time.Duration) bool {
+	for _, w := range wins {
+		if from < w.End && to > w.Start {
+			return true
+		}
+	}
+	return false
 }
 
 // Function looks a parsed function up by name.

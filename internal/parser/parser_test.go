@@ -393,16 +393,53 @@ func TestSensorNameFallback(t *testing.T) {
 }
 
 func TestDetectIntervalFallback(t *testing.T) {
-	if got := detectInterval(nil); got != 250*time.Millisecond {
+	if got := detectInterval(nil, nil); got != 250*time.Millisecond {
 		t.Errorf("empty fallback = %v", got)
 	}
 	one := [][]Sample{{{TS: 0, Value: 1}}}
-	if got := detectInterval(one); got != 250*time.Millisecond {
+	if got := detectInterval(one, nil); got != 250*time.Millisecond {
 		t.Errorf("single-sample fallback = %v", got)
 	}
 	same := [][]Sample{{{TS: time.Second}, {TS: time.Second}}}
-	if got := detectInterval(same); got != 250*time.Millisecond {
+	if got := detectInterval(same, nil); got != 250*time.Millisecond {
 		t.Errorf("zero-gap fallback = %v", got)
+	}
+}
+
+func TestDetectIntervalIgnoresQuarantineGaps(t *testing.T) {
+	// Sensor 0 samples every 100 ms at first, then spends most of the
+	// trace quarantined, resurfacing only for lone probe readings 2 s
+	// apart. The quarantine-era gaps outnumber the healthy ones, so
+	// without health context they capture the median.
+	s := []Sample{
+		{TS: 0}, {TS: 100 * time.Millisecond}, {TS: 200 * time.Millisecond},
+		{TS: 2200 * time.Millisecond}, {TS: 4200 * time.Millisecond}, {TS: 6200 * time.Millisecond},
+	}
+	samples := [][]Sample{s}
+	health := []HealthEvent{
+		{TS: 250 * time.Millisecond, SensorID: 0, State: "quarantined"},
+		{TS: 1200 * time.Millisecond, SensorID: 0, State: "probing"},
+		{TS: 6150 * time.Millisecond, SensorID: 0, State: "recovered"},
+	}
+	if got := detectInterval(samples, health); got != 100*time.Millisecond {
+		t.Errorf("with quarantine context = %v, want 100ms", got)
+	}
+	// Without any health context the 2 s probe gaps win the median.
+	if got := detectInterval(samples, nil); got != 2*time.Second {
+		t.Errorf("without health context = %v, want 2s", got)
+	}
+	// A different sensor's quarantine must not mask the gaps.
+	other := []HealthEvent{
+		{TS: 250 * time.Millisecond, SensorID: 1, State: "quarantined"},
+		{TS: 6150 * time.Millisecond, SensorID: 1, State: "recovered"},
+	}
+	if got := detectInterval(samples, other); got != 2*time.Second {
+		t.Errorf("unrelated sensor's quarantine changed the result: %v", got)
+	}
+	// A quarantine that never recovers extends to the end of the trace.
+	openEnded := []HealthEvent{{TS: 250 * time.Millisecond, SensorID: 0, State: "quarantined"}}
+	if got := detectInterval(samples, openEnded); got != 100*time.Millisecond {
+		t.Errorf("open-ended quarantine = %v, want 100ms", got)
 	}
 }
 

@@ -1,0 +1,189 @@
+package parser_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"tempest/internal/parser"
+	"tempest/internal/trace"
+)
+
+// bigTraceEvents is the large-trace size: ≥1M events, per the streaming
+// pipeline's acceptance bar.
+const bigTraceEvents = 1 << 20
+
+var (
+	bigOnce sync.Once
+	bigRaw  []byte // bigTraceEvents events, v2 segmented
+)
+
+// bigTraceBytes serializes one hot loop of back-to-back calls — the
+// workload where streaming wins hardest: every exit touches the next
+// enter, so the online merge keeps O(1) interval state per function
+// while the batch path holds all bigTraceEvents events in memory.
+func bigTraceBytes(tb testing.TB) []byte {
+	tb.Helper()
+	bigOnce.Do(func() {
+		sym := trace.NewSymTab()
+		hot := sym.Register("hot_loop")
+		setup := sym.Register("setup")
+		const step = 100 * time.Microsecond
+		ev := make([]trace.Event, 0, bigTraceEvents+bigTraceEvents/2048+4)
+		ts := time.Duration(0)
+		ev = append(ev,
+			trace.Event{TS: ts, Kind: trace.KindEnter, FuncID: setup},
+			trace.Event{TS: ts + step, Kind: trace.KindExit, FuncID: setup},
+		)
+		ts += step
+		for len(ev) < bigTraceEvents {
+			ev = append(ev, trace.Event{TS: ts, Kind: trace.KindEnter, FuncID: hot})
+			ts += step
+			ev = append(ev, trace.Event{TS: ts, Kind: trace.KindExit, FuncID: hot})
+			if len(ev)%2048 == 0 {
+				ev = append(ev, trace.Event{
+					TS: ts, Kind: trace.KindSample, SensorID: 0,
+					ValueC: 40 + float64(len(ev)%4096)/1024,
+				})
+			}
+		}
+		tr := &trace.Trace{NodeID: 1, Events: ev, Sym: sym}
+		var buf bytes.Buffer
+		if err := tr.WriteSegmented(&buf, 8192); err != nil {
+			panic(err)
+		}
+		bigRaw = buf.Bytes()
+	})
+	return bigRaw
+}
+
+var benchSink *parser.NodeProfile
+
+// BenchmarkPipelineBatch is the old shape: materialize the whole trace
+// (ReadTrace), then Parse. B/op grows linearly with trace length.
+func BenchmarkPipelineBatch(b *testing.B) {
+	raw := bigTraceBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		np, err := parser.Parse(tr, parser.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = np
+	}
+}
+
+// BenchmarkPipelineStream is the refactored shape: Scanner batches feed
+// the online Builder; peak allocation is one segment plus the profile,
+// independent of trace length.
+func BenchmarkPipelineStream(b *testing.B) {
+	raw := bigTraceBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := trace.NewScanner(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd := parser.NewBuilder(sc.NodeID(), sc.Sym(), parser.Options{})
+		for {
+			batch, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := bd.Add(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bd.SetTruncated(sc.Truncated())
+		np, err := bd.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = np
+	}
+}
+
+var (
+	nodeOnce   sync.Once
+	nodeTraces []*trace.Trace
+)
+
+// multiNodeTraces builds 4 in-memory node traces for the ParseAll
+// speedup benchmark.
+func multiNodeTraces(tb testing.TB) []*trace.Trace {
+	tb.Helper()
+	nodeOnce.Do(func() {
+		const perNode = 1 << 18
+		const step = 100 * time.Microsecond
+		for n := 0; n < 4; n++ {
+			sym := trace.NewSymTab()
+			// Distinct symbol mixes per node keep the parses honest.
+			fids := []uint32{
+				sym.Register("compute"), sym.Register("exchange"), sym.Register("reduce"),
+			}
+			ev := make([]trace.Event, 0, perNode+perNode/1024)
+			ts := time.Duration(0)
+			for len(ev) < perNode {
+				fid := fids[(len(ev)/2)%len(fids)]
+				ev = append(ev, trace.Event{TS: ts, Kind: trace.KindEnter, FuncID: fid})
+				ts += step
+				ev = append(ev, trace.Event{TS: ts, Kind: trace.KindExit, FuncID: fid})
+				if len(ev)%1024 == 0 {
+					ev = append(ev, trace.Event{
+						TS: ts, Kind: trace.KindSample, SensorID: 0,
+						ValueC: 35 + float64(n) + float64(len(ev)%2048)/512,
+					})
+				}
+			}
+			nodeTraces = append(nodeTraces, &trace.Trace{NodeID: uint32(n), Events: ev, Sym: sym})
+		}
+	})
+	return nodeTraces
+}
+
+var benchProfileSink *parser.Profile
+
+// BenchmarkParseAllSequential parses 4 node traces one after another —
+// the pre-refactor ParseAll.
+func BenchmarkParseAllSequential(b *testing.B) {
+	traces := multiNodeTraces(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &parser.Profile{Nodes: make([]parser.NodeProfile, len(traces))}
+		for j, tr := range traces {
+			np, err := parser.Parse(tr, parser.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Nodes[j] = *np
+		}
+		benchProfileSink = p
+	}
+}
+
+// BenchmarkParseAllParallel fans the same 4 traces across the worker
+// pool; the speedup over Sequential is the multi-node win.
+func BenchmarkParseAllParallel(b *testing.B) {
+	traces := multiNodeTraces(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := parser.ParseAll(traces, parser.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchProfileSink = p
+	}
+}

@@ -1,0 +1,349 @@
+package parser_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tempest/internal/parser"
+	"tempest/internal/report"
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
+)
+
+// randomTrace produces a structurally valid but randomized trace:
+// several lanes with properly nested enter/exit (some frames left
+// dangling), samples on two sensors, sensor identity markers, and
+// health-transition markers — every event shape the Builder handles.
+func randomTrace(tb testing.TB, seed int64) *trace.Trace {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{
+		Clock: clk, NodeID: uint32(rng.Intn(8)), LaneBufferCap: 1 << 18,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	nlanes := 1 + rng.Intn(3)
+	lanes := make([]*trace.Lane, nlanes)
+	open := make([][]uint32, nlanes)
+	for i := range lanes {
+		lanes[i] = tr.NewLane()
+	}
+	fids := make([]uint32, 5)
+	for i := range fids {
+		fids[i] = tr.RegisterFunc(fmt.Sprintf("fn%d", i))
+	}
+	tr.Marker("sensor:0:cpu0")
+	tr.Marker("sensor:1:cpu1")
+	states := []string{"suspect", "quarantined", "probing", "recovered", "healthy"}
+	n := 50 + rng.Intn(400)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) > 0 {
+			clk.Advance(time.Duration(rng.Intn(5_000_000)))
+		}
+		li := rng.Intn(nlanes)
+		switch op := rng.Intn(10); {
+		case op < 4:
+			fid := fids[rng.Intn(len(fids))]
+			lanes[li].Enter(fid)
+			open[li] = append(open[li], fid)
+		case op < 7:
+			if k := len(open[li]); k > 0 {
+				fid := open[li][k-1]
+				open[li] = open[li][:k-1]
+				_ = lanes[li].Exit(fid)
+			}
+		case op < 9:
+			// Milli-°C resolution: the codec stores samples quantized, so
+			// serialized feeds would otherwise differ from in-memory ones.
+			tr.Sample(uint32(rng.Intn(2)), math.Round((30+rng.Float64()*40)*1000)/1000)
+		default:
+			tr.Marker(fmt.Sprintf("sensor-health:%d:%s", rng.Intn(2), states[rng.Intn(len(states))]))
+		}
+	}
+	// Open frames stay open: Finish must close them at trace end the
+	// same way in every feed mode.
+	return tr.Finish()
+}
+
+// renderNode turns a profile into the exact bytes users see — the
+// paper-format listing plus the JSON document — so "byte-identical
+// reports" is checked literally, not just structurally.
+func renderNode(tb testing.TB, np *parser.NodeProfile) string {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := report.WriteNode(&buf, np, report.Options{Labels: true}); err != nil {
+		tb.Fatal(err)
+	}
+	p := &parser.Profile{Unit: np.Unit, Nodes: []parser.NodeProfile{*np}}
+	if err := report.WriteJSON(&buf, p); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.String()
+}
+
+// feedBuilder streams events to a fresh Builder in random-sized batches.
+func feedBuilder(tb testing.TB, rng *rand.Rand, tr *trace.Trace, opts parser.Options) *parser.NodeProfile {
+	tb.Helper()
+	b := parser.NewBuilder(tr.NodeID, tr.Sym, opts)
+	b.SetTruncated(tr.Truncated)
+	events := tr.Events
+	for len(events) > 0 {
+		k := 1 + rng.Intn(len(events))
+		if err := b.Add(events[:k]); err != nil {
+			tb.Fatal(err)
+		}
+		events = events[k:]
+	}
+	np, err := b.Finish()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return np
+}
+
+// scanInto parses serialized trace bytes through Scanner→Builder — the
+// tempest-parse -stream code path.
+func scanInto(tb testing.TB, data []byte, opts parser.Options) *parser.NodeProfile {
+	tb.Helper()
+	sc, err := trace.NewScanner(bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := parser.NewBuilder(sc.NodeID(), sc.Sym(), opts)
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := b.Add(batch); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	b.SetTruncated(sc.Truncated())
+	np, err := b.Finish()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return np
+}
+
+func compareProfiles(t *testing.T, mode string, seed int64, got, want *parser.NodeProfile) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("seed %d: %s profile differs structurally from batch Parse", seed, mode)
+	}
+	gotR, wantR := renderNode(t, got), renderNode(t, want)
+	if gotR != wantR {
+		t.Errorf("seed %d: %s rendered report differs:\n--- stream\n%s\n--- batch\n%s", seed, mode, gotR, wantR)
+	}
+}
+
+// TestBuilderMatchesParseProperty is the streaming/batch equivalence
+// property: on randomized traces, a Builder fed arbitrary batch splits,
+// a Scanner-fed Builder over the v1 serialization, and one over the v2
+// segmented serialization all produce byte-identical reports to the
+// one-shot Parse.
+func TestBuilderMatchesParseProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7919))
+		tr := randomTrace(t, seed)
+		opts := parser.Options{Unit: parser.Unit(seed % 2)}
+
+		want, err := parser.Parse(tr, opts)
+		if err != nil {
+			t.Fatalf("seed %d: batch Parse: %v", seed, err)
+		}
+
+		compareProfiles(t, "batch-split", seed, feedBuilder(t, rng, tr, opts), want)
+
+		var v1 bytes.Buffer
+		if err := tr.Write(&v1); err != nil {
+			t.Fatal(err)
+		}
+		compareProfiles(t, "scanner-v1", seed, scanInto(t, v1.Bytes(), opts), want)
+
+		var v2 bytes.Buffer
+		if err := tr.WriteSegmented(&v2, 7); err != nil {
+			t.Fatal(err)
+		}
+		compareProfiles(t, "scanner-v2", seed, scanInto(t, v2.Bytes(), opts), want)
+	}
+}
+
+// TestBuilderMatchesParseTornTail extends the property to crash-salvaged
+// traces: for random cuts of a segmented stream, Scanner→Builder must
+// match Parse over ReadTrace's salvage of the same bytes, including the
+// Truncated verdict.
+func TestBuilderMatchesParseTornTail(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed*104729 + 1))
+		tr := randomTrace(t, seed+1000)
+		opts := parser.Options{}
+		var v2 bytes.Buffer
+		if err := tr.WriteSegmented(&v2, 5); err != nil {
+			t.Fatal(err)
+		}
+		raw := v2.Bytes()
+		for i := 0; i < 8; i++ {
+			cut := rng.Intn(len(raw)) + 1
+			salvaged, err := trace.ReadTrace(bytes.NewReader(raw[:cut]))
+			if err != nil {
+				continue // header too short for either path
+			}
+			want, err := parser.Parse(salvaged, opts)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: Parse of salvage: %v", seed, cut, err)
+			}
+			got := scanInto(t, raw[:cut], opts)
+			compareProfiles(t, fmt.Sprintf("torn-cut-%d", cut), seed, got, want)
+			if got.Truncated != want.Truncated {
+				t.Errorf("seed %d cut %d: Truncated %v vs %v", seed, cut, got.Truncated, want.Truncated)
+			}
+		}
+	}
+}
+
+// TestParseAllDeterministic drives the parallel worker pool repeatedly
+// (meaningful under -race): every run must equal a sequential Parse
+// loop, node for node, in input order.
+func TestParseAllDeterministic(t *testing.T) {
+	traces := make([]*trace.Trace, 6)
+	for i := range traces {
+		traces[i] = randomTrace(t, int64(5000+i))
+	}
+	opts := parser.Options{}
+	var want []parser.NodeProfile
+	for _, tr := range traces {
+		np, err := parser.Parse(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, *np)
+	}
+	for run := 0; run < 5; run++ {
+		p, err := parser.ParseAll(traces, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(p.Nodes) != len(want) {
+			t.Fatalf("run %d: %d nodes", run, len(p.Nodes))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(p.Nodes[i], want[i]) {
+				t.Errorf("run %d: node %d differs from sequential parse", run, i)
+			}
+		}
+	}
+}
+
+// TestParseAllFirstErrorWins: with several broken traces, the reported
+// failure is always the lowest-index one, whatever the workers' timing.
+func TestParseAllFirstErrorWins(t *testing.T) {
+	bad := func() *trace.Trace {
+		return &trace.Trace{
+			Sym: trace.NewSymTab(),
+			Events: []trace.Event{
+				{TS: 0, Kind: trace.KindExit, FuncID: 0}, // exit with empty stack
+			},
+		}
+	}
+	traces := []*trace.Trace{
+		randomTrace(t, 1), randomTrace(t, 2), bad(), randomTrace(t, 3), bad(), bad(),
+	}
+	for run := 0; run < 5; run++ {
+		_, err := parser.ParseAll(traces, parser.Options{})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		const wantPrefix = "parser: trace 2:"
+		if got := err.Error(); len(got) < len(wantPrefix) || got[:len(wantPrefix)] != wantPrefix {
+			t.Fatalf("run %d: error %q does not name the first broken trace", run, err)
+		}
+	}
+}
+
+// TestBuilderSnapshotLeavesStateIntact: a mid-stream Snapshot must not
+// disturb the final profile, and must itself close open frames at the
+// then-current duration.
+func TestBuilderSnapshotLeavesStateIntact(t *testing.T) {
+	tr := randomTrace(t, 42)
+	opts := parser.Options{}
+	want, err := parser.Parse(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := parser.NewBuilder(tr.NodeID, tr.Sym, opts)
+	half := len(tr.Events) / 2
+	if err := b.Add(tr.Events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Duration > want.Duration {
+		t.Errorf("snapshot duration %v exceeds final %v", snap.Duration, want.Duration)
+	}
+	if err := b.Add(tr.Events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareProfiles(t, "post-snapshot", 42, got, want)
+}
+
+// TestBuilderSensorStats: the O(1) streaming sensor summaries agree with
+// the retained timeline on the moment statistics.
+func TestBuilderSensorStats(t *testing.T) {
+	tr := randomTrace(t, 7)
+	b := parser.NewBuilder(tr.NodeID, tr.Sym, parser.Options{})
+	if err := b.Add(tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	live := b.SensorStats()
+	np, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid, samples := range np.Samples {
+		if len(samples) == 0 {
+			continue
+		}
+		if sid >= len(live) {
+			t.Fatalf("sensor %d missing from live stats", sid)
+		}
+		if live[sid].N != len(samples) {
+			t.Errorf("sensor %d: live N=%d, retained %d", sid, live[sid].N, len(samples))
+		}
+		var min, max, sum float64
+		for i, s := range samples {
+			if i == 0 || s.Value < min {
+				min = s.Value
+			}
+			if i == 0 || s.Value > max {
+				max = s.Value
+			}
+			sum += s.Value
+		}
+		avg := sum / float64(len(samples))
+		if diff := live[sid].Avg - avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("sensor %d: live avg %v, want %v", sid, live[sid].Avg, avg)
+		}
+		if live[sid].Min != min || live[sid].Max != max {
+			t.Errorf("sensor %d: live min/max %v/%v, want %v/%v", sid, live[sid].Min, live[sid].Max, min, max)
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
 	"tempest/internal/parser"
 )
@@ -85,13 +84,9 @@ func WriteProfile(w io.Writer, p *parser.Profile, opts Options) error {
 	if p == nil {
 		return fmt.Errorf("report: nil profile")
 	}
+	ps := NewProfileStream(w, opts)
 	for i := range p.Nodes {
-		if i > 0 {
-			if _, err := fmt.Fprintln(w, "\n"+divider); err != nil {
-				return err
-			}
-		}
-		if err := WriteNode(w, &p.Nodes[i], opts); err != nil {
+		if err := ps.Node(&p.Nodes[i]); err != nil {
 			return err
 		}
 	}
@@ -106,18 +101,13 @@ func WriteSeriesCSV(w io.Writer, p *parser.Profile) error {
 	if p == nil {
 		return fmt.Errorf("report: nil profile")
 	}
-	if _, err := fmt.Fprintln(w, "time_s,node,sensor,label,value"); err != nil {
+	cs, err := NewSeriesCSVStream(w)
+	if err != nil {
 		return err
 	}
 	for ni := range p.Nodes {
-		np := &p.Nodes[ni]
-		for sid := range np.Samples {
-			for _, s := range np.Samples[sid] {
-				if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%s,%.2f\n",
-					s.TS.Seconds(), np.NodeID, sid+1, csvEscape(np.SensorNames[sid]), s.Value); err != nil {
-					return err
-				}
-			}
+		if err := cs.Node(&p.Nodes[ni]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -186,6 +176,45 @@ type jsonSeries struct {
 	Values []float64 `json:"values"`
 }
 
+// buildJSONNode converts one node profile to its stable JSON shape;
+// shared by the batch WriteJSON and the streaming JSONStream.
+func buildJSONNode(np *parser.NodeProfile) jsonNode {
+	jn := jsonNode{
+		NodeID:        np.NodeID,
+		DurationS:     np.Duration.Seconds(),
+		SensorNames:   np.SensorNames,
+		DroppedEvents: np.DroppedEvents,
+	}
+	for _, f := range np.Functions {
+		jf := jsonFunc{
+			Name:        f.Name,
+			TotalTimeS:  f.TotalTime.Seconds(),
+			Calls:       f.Calls,
+			Significant: f.Significant,
+		}
+		for sid, s := range f.Sensors {
+			if s.N == 0 {
+				continue
+			}
+			jf.Sensors = append(jf.Sensors, jsonSensor{
+				Sensor: sid + 1, N: s.N,
+				Min: s.Min, Avg: s.Avg, Max: s.Max,
+				Sdv: s.Sdv, Var: s.Var, Med: s.Med, Mod: s.Mod,
+			})
+		}
+		jn.Functions = append(jn.Functions, jf)
+	}
+	for sid := range np.Samples {
+		js := jsonSeries{Sensor: sid + 1}
+		for _, s := range np.Samples[sid] {
+			js.TimesS = append(js.TimesS, s.TS.Seconds())
+			js.Values = append(js.Values, s.Value)
+		}
+		jn.Series = append(jn.Series, js)
+	}
+	return jn
+}
+
 // WriteJSON emits the profile as JSON.
 func WriteJSON(w io.Writer, p *parser.Profile) error {
 	if p == nil {
@@ -193,46 +222,9 @@ func WriteJSON(w io.Writer, p *parser.Profile) error {
 	}
 	out := jsonProfile{Unit: p.Unit.String()}
 	for ni := range p.Nodes {
-		np := &p.Nodes[ni]
-		jn := jsonNode{
-			NodeID:        np.NodeID,
-			DurationS:     np.Duration.Seconds(),
-			SensorNames:   np.SensorNames,
-			DroppedEvents: np.DroppedEvents,
-		}
-		for _, f := range np.Functions {
-			jf := jsonFunc{
-				Name:        f.Name,
-				TotalTimeS:  f.TotalTime.Seconds(),
-				Calls:       f.Calls,
-				Significant: f.Significant,
-			}
-			for sid, s := range f.Sensors {
-				if s.N == 0 {
-					continue
-				}
-				jf.Sensors = append(jf.Sensors, jsonSensor{
-					Sensor: sid + 1, N: s.N,
-					Min: s.Min, Avg: s.Avg, Max: s.Max,
-					Sdv: s.Sdv, Var: s.Var, Med: s.Med, Mod: s.Mod,
-				})
-			}
-			jn.Functions = append(jn.Functions, jf)
-		}
-		for sid := range np.Samples {
-			js := jsonSeries{Sensor: sid + 1}
-			for _, s := range np.Samples[sid] {
-				js.TimesS = append(js.TimesS, s.TS.Seconds())
-				js.Values = append(js.Values, s.Value)
-			}
-			jn.Series = append(jn.Series, js)
-		}
-		out.Nodes = append(out.Nodes, jn)
+		out.Nodes = append(out.Nodes, buildJSONNode(&p.Nodes[ni]))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
-
-// durSeconds formats a duration as the paper prints total times.
-func durSeconds(d time.Duration) string { return fmt.Sprintf("%f", d.Seconds()) }

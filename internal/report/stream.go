@@ -1,0 +1,194 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tempest/internal/parser"
+)
+
+// Incremental emitters: each renders one NodeProfile at a time, holding
+// no per-node state between calls, so a multi-node parse can stream
+// node 0's report while node 1 is still being scanned — the render half
+// of the bounded-memory pipeline (tempest-parse -stream), and the
+// refresh primitive of the live hot-spot view.
+
+// ProfileStream renders the paper-format listing node by node, emitting
+// the same bytes WriteProfile produces for the whole profile.
+type ProfileStream struct {
+	w    io.Writer
+	opts Options
+	n    int
+}
+
+// NewProfileStream returns a streaming renderer of the standard listing.
+func NewProfileStream(w io.Writer, opts Options) *ProfileStream {
+	return &ProfileStream{w: w, opts: opts}
+}
+
+// Node renders one node's profile, preceded by a divider after the first.
+func (p *ProfileStream) Node(np *parser.NodeProfile) error {
+	if p.n > 0 {
+		if _, err := fmt.Fprintln(p.w, "\n"+divider); err != nil {
+			return err
+		}
+	}
+	p.n++
+	return WriteNode(p.w, np, p.opts)
+}
+
+// SeriesCSVStream emits the WriteSeriesCSV format one node at a time.
+type SeriesCSVStream struct {
+	w io.Writer
+}
+
+// NewSeriesCSVStream writes the CSV header and returns a row streamer.
+func NewSeriesCSVStream(w io.Writer) (*SeriesCSVStream, error) {
+	if _, err := fmt.Fprintln(w, "time_s,node,sensor,label,value"); err != nil {
+		return nil, err
+	}
+	return &SeriesCSVStream{w: w}, nil
+}
+
+// Node emits every sample row of one node.
+func (c *SeriesCSVStream) Node(np *parser.NodeProfile) error {
+	for sid := range np.Samples {
+		for _, s := range np.Samples[sid] {
+			if _, err := fmt.Fprintf(c.w, "%.3f,%d,%d,%s,%.2f\n",
+				s.TS.Seconds(), np.NodeID, sid+1, csvEscape(np.SensorNames[sid]), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSONStream emits the WriteJSON document one node at a time: the
+// envelope is written up front, each Node call appends one element to
+// the nodes array (compact, one node per line), and Close terminates
+// the document. The shape matches WriteJSON; only whitespace differs.
+type JSONStream struct {
+	w      io.Writer
+	n      int
+	closed bool
+}
+
+// NewJSONStream writes the document preamble for the given unit.
+func NewJSONStream(w io.Writer, unit parser.Unit) (*JSONStream, error) {
+	head, err := json.Marshal(unit.String())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(w, "{\"unit\": %s, \"nodes\": [", head); err != nil {
+		return nil, err
+	}
+	return &JSONStream{w: w}, nil
+}
+
+// Node appends one node to the document.
+func (j *JSONStream) Node(np *parser.NodeProfile) error {
+	if j.closed {
+		return fmt.Errorf("report: JSONStream already closed")
+	}
+	sep := ",\n"
+	if j.n == 0 {
+		sep = "\n"
+	}
+	j.n++
+	b, err := json.Marshal(buildJSONNode(np))
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(j.w, "%s%s", sep, b)
+	return err
+}
+
+// Close terminates the JSON document. Further Node calls fail.
+func (j *JSONStream) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	_, err := fmt.Fprintln(j.w, "\n]}")
+	return err
+}
+
+// WriteLiveNode renders a one-screen, in-progress view of a node — the
+// live hot-spot display tempest-live refreshes while the workload runs.
+// np is typically a LiveSession/Builder snapshot: open functions are
+// counted as running until the latest observed event. open lists the
+// functions currently on some lane's stack (may be nil).
+func WriteLiveNode(w io.Writer, np *parser.NodeProfile, open []string, opts Options) error {
+	if np == nil {
+		return fmt.Errorf("report: nil profile")
+	}
+	if _, err := fmt.Fprintf(w, "Tempest live — node %d @ %.1fs: %d functions, %d sensors (unit %s)\n",
+		np.NodeID, np.Duration.Seconds(), len(np.Functions), len(np.SensorNames), np.Unit); err != nil {
+		return err
+	}
+	if np.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "  %d events dropped\n", np.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	if len(open) > 0 {
+		if _, err := fmt.Fprintf(w, "  running: %s\n", strings.Join(open, ", ")); err != nil {
+			return err
+		}
+	}
+	funcs := np.Functions
+	if opts.TopN > 0 && len(funcs) > opts.TopN {
+		funcs = funcs[:opts.TopN]
+	}
+	if len(funcs) == 0 {
+		_, err := fmt.Fprintln(w, "  (no functions observed yet)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-24s %10s %7s %8s %8s  %s\n",
+		"function", "time(s)", "calls", "avg", "max", "hottest sensor"); err != nil {
+		return err
+	}
+	for i := range funcs {
+		fp := &funcs[i]
+		sid, hot := hottestSensor(fp)
+		if sid < 0 {
+			if _, err := fmt.Fprintf(w, "  %-24s %10.3f %7d %8s %8s  %s\n",
+				fp.Name, fp.TotalTime.Seconds(), fp.Calls, "-", "-", "(no samples)"); err != nil {
+				return err
+			}
+			continue
+		}
+		name := fmt.Sprintf("sensor%d", sid+1)
+		if opts.Labels && sid < len(np.SensorNames) {
+			name = fmt.Sprintf("sensor%d (%s)", sid+1, np.SensorNames[sid])
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %10.3f %7d %8.2f %8.2f  %s\n",
+			fp.Name, fp.TotalTime.Seconds(), fp.Calls, hot.Avg, hot.Max, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hottestSensor picks the sensor with the highest average over the
+// function's execution; -1 when no sensor saw any samples inside it.
+func hottestSensor(fp *parser.FuncProfile) (int, statsView) {
+	best := -1
+	var view statsView
+	for sid, s := range fp.Sensors {
+		if s.N == 0 || math.IsNaN(s.Avg) {
+			continue
+		}
+		if best < 0 || s.Avg > view.Avg {
+			best = sid
+			view = statsView{Avg: s.Avg, Max: s.Max}
+		}
+	}
+	return best, view
+}
+
+// statsView is the slice of a Summary the live table prints.
+type statsView struct{ Avg, Max float64 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"time"
 )
 
 // Binary trace format ("TPST"), little-endian, varint-packed:
@@ -39,17 +38,8 @@ var ErrBadFormat = errors.New("trace: bad trace format")
 // Write serialises the trace to w in the TPST format.
 func (tr *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putVarint := func(v int64) error {
-		n := binary.PutVarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
+	putUvarint := func(v uint64) error { return writeUvarint(bw, v) }
+	putVarint := func(v int64) error { return writeVarint(bw, v) }
 
 	if err := binary.Write(bw, binary.LittleEndian, uint32(formatMagic)); err != nil {
 		return err
@@ -132,132 +122,37 @@ func (tr *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTrace parses a TPST stream back into a Trace. Version 1 streams are
-// parsed strictly; version 2 (segmented, see segment.go) streams recover
-// from truncated or torn tails by salvaging every intact prefix segment
-// and setting Trace.Truncated.
+// ReadTrace parses a TPST stream back into a Trace by accumulating a
+// Scanner's batches. Version 1 streams are parsed strictly; version 2
+// (segmented, see segment.go) streams recover from truncated or torn
+// tails by salvaging every intact prefix segment and setting
+// Trace.Truncated. Callers that do not need the whole trace in memory
+// should use a Scanner directly.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
-	}
-	if magic != formatMagic {
-		return nil, fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
-	}
-	var version uint16
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
-	}
-	if version != formatVersion && version != formatVersionSeg {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
-	}
-
-	nodeID, err := binary.ReadUvarint(br)
+	sc, err := NewScanner(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: node id: %v", ErrBadFormat, err)
+		return nil, err
 	}
-	rank, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: rank: %v", ErrBadFormat, err)
+	tr := &Trace{NodeID: sc.NodeID(), Rank: sc.Rank(), Sym: sc.Sym()}
+	if sc.Version() == formatVersion {
+		// Even an empty v1 trace yields a non-nil slice, as it always has.
+		tr.Events = make([]Event, 0, eventCap(sc.DeclaredEvents()))
 	}
-	if version == formatVersionSeg {
-		// Version 2 (segmented) recovers torn tails instead of rejecting.
-		return readSegmented(br, uint32(nodeID), uint32(rank))
-	}
-
-	nsyms, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: symbol count: %v", ErrBadFormat, err)
-	}
-	if nsyms > 1<<24 {
-		return nil, fmt.Errorf("%w: implausible symbol count %d", ErrBadFormat, nsyms)
-	}
-	sym := NewSymTab()
-	for i := uint64(0); i < nsyms; i++ {
-		if _, err := binary.ReadUvarint(br); err != nil { // addr: regenerated on Register
-			return nil, fmt.Errorf("%w: symbol %d addr: %v", ErrBadFormat, i, err)
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
 		}
-		nameLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: symbol %d name length: %v", ErrBadFormat, i, err)
+			return nil, err
 		}
-		if nameLen > 1<<16 {
-			return nil, fmt.Errorf("%w: symbol %d name length %d", ErrBadFormat, i, nameLen)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("%w: symbol %d name: %v", ErrBadFormat, i, err)
-		}
-		if got := sym.Register(string(name)); got != uint32(i) {
-			return nil, fmt.Errorf("%w: duplicate symbol %q", ErrBadFormat, name)
-		}
+		tr.Events = append(tr.Events, batch...)
 	}
-
-	nev, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: event count: %v", ErrBadFormat, err)
+	tr.Truncated = sc.Truncated()
+	if sc.Version() == formatVersionSeg {
+		// Lanes drained at different times may interleave slightly out of
+		// order across segments; restore the total order Snapshot uses.
+		sortEvents(tr.Events)
 	}
-	if nev > 1<<32 {
-		return nil, fmt.Errorf("%w: implausible event count %d", ErrBadFormat, nev)
-	}
-	events := make([]Event, 0, min64(nev, 1<<20))
-	var prevTS int64
-	for i := uint64(0); i < nev; i++ {
-		kindB, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d kind: %v", ErrBadFormat, i, err)
-		}
-		e := Event{Kind: EventKind(kindB)}
-		lane, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d lane: %v", ErrBadFormat, i, err)
-		}
-		e.Lane = uint32(lane)
-		dts, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d Δts: %v", ErrBadFormat, i, err)
-		}
-		prevTS += int64(dts)
-		e.TS = time.Duration(prevTS)
-		switch e.Kind {
-		case KindEnter, KindExit, KindMarker:
-			fid, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d func id: %v", ErrBadFormat, i, err)
-			}
-			if fid >= nsyms {
-				return nil, fmt.Errorf("%w: event %d func id %d ≥ %d symbols", ErrBadFormat, i, fid, nsyms)
-			}
-			e.FuncID = uint32(fid)
-		case KindSample:
-			sid, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d sensor id: %v", ErrBadFormat, i, err)
-			}
-			e.SensorID = uint32(sid)
-			milli, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d sample value: %v", ErrBadFormat, i, err)
-			}
-			e.ValueC = float64(milli) / 1000
-		case KindDrop:
-			aux, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d drop count: %v", ErrBadFormat, i, err)
-			}
-			e.Aux = aux
-		default:
-			return nil, fmt.Errorf("%w: event %d unknown kind %d", ErrBadFormat, i, kindB)
-		}
-		events = append(events, e)
-	}
-	return &Trace{NodeID: uint32(nodeID), Rank: uint32(rank), Events: events, Sym: sym}, nil
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
+	return tr, nil
 }

@@ -15,6 +15,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -71,6 +72,19 @@ type Event struct {
 	// Aux carries kind-specific extra data (drop counts).
 	Aux  uint64
 	Kind EventKind
+}
+
+// sortEvents restores the canonical total order — timestamp, then lane
+// id, with equal pairs keeping their relative order. Snapshot, Drain and
+// the segmented reader all order events this way, making merged streams
+// deterministic under a virtual clock.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Lane < events[j].Lane
+	})
 }
 
 // Valid performs structural validation of a single event.

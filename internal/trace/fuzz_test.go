@@ -2,18 +2,17 @@ package trace
 
 import (
 	"bytes"
+	"io"
+	"reflect"
 	"testing"
 	"time"
 
 	"tempest/internal/vclock"
 )
 
-// FuzzReadTrace hardens the codec against hostile or corrupted trace
-// files: any byte string must either parse into a structurally valid
-// trace or fail with an error — never panic, never hang, never allocate
-// unboundedly.
-func FuzzReadTrace(f *testing.F) {
-	// Seed with a real trace and a few mutations.
+// fuzzSeedTrace builds one small real trace for seeding the fuzzers.
+func fuzzSeedTrace(f *testing.F) *Trace {
+	f.Helper()
 	clk := vclock.NewVirtualClock()
 	tr, err := NewTracer(Config{Clock: clk, NodeID: 1})
 	if err != nil {
@@ -25,8 +24,17 @@ func FuzzReadTrace(f *testing.F) {
 	clk.Advance(time.Second)
 	tr.Sample(0, 39.5)
 	_ = lane.Exit(fid)
+	return tr.Finish()
+}
+
+// FuzzReadTrace hardens the codec against hostile or corrupted trace
+// files: any byte string must either parse into a structurally valid
+// trace or fail with an error — never panic, never hang, never allocate
+// unboundedly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace and a few mutations.
 	var buf bytes.Buffer
-	if err := tr.Finish().Write(&buf); err != nil {
+	if err := fuzzSeedTrace(f).Write(&buf); err != nil {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -62,6 +70,78 @@ func FuzzReadTrace(f *testing.F) {
 		var out bytes.Buffer
 		if err := got.Write(&out); err != nil {
 			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzScanner hardens the streaming segment reader: on any byte string it
+// must never panic, and its accumulated result must agree exactly with
+// ReadTrace's salvage on the same bytes — same acceptance, same events,
+// same truncation verdict.
+func FuzzScanner(f *testing.F) {
+	seed := fuzzSeedTrace(f)
+	var v1, v2, v2big bytes.Buffer
+	if err := seed.Write(&v1); err != nil {
+		f.Fatal(err)
+	}
+	if err := seed.WriteSegmented(&v2, 1); err != nil {
+		f.Fatal(err)
+	}
+	if err := seed.WriteSegmented(&v2big, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v2big.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TPST"))
+	torn := append([]byte(nil), v2.Bytes()...)
+	f.Add(torn[:len(torn)*2/3])
+	flipped := append([]byte(nil), v2.Bytes()...)
+	if len(flipped) > 12 {
+		flipped[len(flipped)-3] ^= 0x40
+	}
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, scErr := NewScanner(bytes.NewReader(data))
+		want, readErr := ReadTrace(bytes.NewReader(data))
+		if (scErr == nil) != (readErr == nil) {
+			t.Fatalf("header acceptance diverged: scanner %v, ReadTrace %v", scErr, readErr)
+		}
+		if scErr != nil {
+			return
+		}
+		var got []Event
+		var nextErr error
+		for {
+			var batch []Event
+			batch, nextErr = sc.Next()
+			if nextErr != nil {
+				break
+			}
+			for _, e := range batch {
+				if e.Valid() != nil {
+					t.Fatalf("scanner yielded invalid event %+v", e)
+				}
+			}
+			got = append(got, batch...)
+		}
+		if nextErr == io.EOF {
+			if readErr != nil {
+				t.Fatalf("scanner salvaged but ReadTrace errored: %v", readErr)
+			}
+			if sc.Version() == 2 {
+				sortEvents(got)
+			}
+			if len(got) != len(want.Events) || (len(got) > 0 && !reflect.DeepEqual(got, want.Events)) {
+				t.Fatalf("events diverge: scanner %d, ReadTrace %d", len(got), len(want.Events))
+			}
+			if sc.Truncated() != want.Truncated {
+				t.Fatalf("truncated: scanner %v, ReadTrace %v", sc.Truncated(), want.Truncated)
+			}
+		} else if readErr == nil {
+			t.Fatalf("scanner errored (%v) where ReadTrace accepted", nextErr)
 		}
 	})
 }

@@ -7,8 +7,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"sort"
-	"time"
 )
 
 // Segmented trace format ("TPST" version 2) — the crash-safe variant.
@@ -192,160 +190,6 @@ func (tr *Trace) WriteSegmented(w io.Writer, batch int) error {
 	return nil
 }
 
-// readSegmented is ReadTrace's version-2 body: it consumes segments until
-// EOF, salvaging the intact prefix when the tail is torn or corrupt.
-func readSegmented(br io.Reader, nodeID, rank uint32) (*Trace, error) {
-	tr := &Trace{NodeID: nodeID, Rank: rank, Sym: NewSymTab()}
-	var prevTS int64
-	for {
-		var hdr [9]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			// Clean EOF between segments is a complete trace; a torn
-			// segment header is a truncated one. Either way the prefix
-			// parsed so far is the answer.
-			tr.Truncated = err != io.EOF
-			break
-		}
-		kind := hdr[0]
-		plen := binary.LittleEndian.Uint32(hdr[1:5])
-		sum := binary.LittleEndian.Uint32(hdr[5:9])
-		if (kind != segSymbols && kind != segEvents) || plen > maxSegmentLen {
-			tr.Truncated = true // corrupt framing: salvage stops here
-			break
-		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			tr.Truncated = true
-			break
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			tr.Truncated = true
-			break
-		}
-		ok := false
-		switch kind {
-		case segSymbols:
-			ok = parseSymbolSegment(payload, tr.Sym)
-		case segEvents:
-			ok = parseEventSegment(payload, tr, &prevTS)
-		}
-		if !ok {
-			// A checksummed segment that still fails structural parsing
-			// means in-place corruption, not truncation — but the intact
-			// prefix is equally salvageable.
-			tr.Truncated = true
-			break
-		}
-	}
-	sort.SliceStable(tr.Events, func(i, j int) bool {
-		if tr.Events[i].TS != tr.Events[j].TS {
-			return tr.Events[i].TS < tr.Events[j].TS
-		}
-		return tr.Events[i].Lane < tr.Events[j].Lane
-	})
-	return tr, nil
-}
-
-// parseSymbolSegment appends one symbol batch; reports structural validity.
-func parseSymbolSegment(payload []byte, sym *SymTab) bool {
-	buf := bytes.NewBuffer(payload)
-	n, err := binary.ReadUvarint(buf)
-	if err != nil || n > 1<<24 {
-		return false
-	}
-	base := sym.Len()
-	for i := uint64(0); i < n; i++ {
-		if _, err := binary.ReadUvarint(buf); err != nil { // addr: regenerated
-			return false
-		}
-		nameLen, err := binary.ReadUvarint(buf)
-		if err != nil || nameLen > 1<<16 {
-			return false
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(buf, name); err != nil {
-			return false
-		}
-		if got := sym.Register(string(name)); int(got) != base+int(i) {
-			return false // duplicate across segments
-		}
-	}
-	return buf.Len() == 0
-}
-
-// parseEventSegment appends one event batch; reports structural validity.
-func parseEventSegment(payload []byte, tr *Trace, prevTS *int64) bool {
-	buf := bytes.NewBuffer(payload)
-	n, err := binary.ReadUvarint(buf)
-	if err != nil || n > 1<<32 {
-		return false
-	}
-	nsyms := uint64(tr.Sym.Len())
-	events := make([]Event, 0, min64(n, 1<<20))
-	ts := *prevTS
-	for i := uint64(0); i < n; i++ {
-		kindB, err := buf.ReadByte()
-		if err != nil {
-			return false
-		}
-		e := Event{Kind: EventKind(kindB)}
-		lane, err := binary.ReadUvarint(buf)
-		if err != nil {
-			return false
-		}
-		e.Lane = uint32(lane)
-		dts, err := binary.ReadVarint(buf)
-		if err != nil {
-			return false
-		}
-		ts += dts
-		if ts < 0 {
-			return false
-		}
-		e.TS = time.Duration(ts)
-		switch e.Kind {
-		case KindEnter, KindExit, KindMarker:
-			fid, err := binary.ReadUvarint(buf)
-			if err != nil || fid >= nsyms {
-				return false
-			}
-			e.FuncID = uint32(fid)
-		case KindSample:
-			sid, err := binary.ReadUvarint(buf)
-			if err != nil {
-				return false
-			}
-			e.SensorID = uint32(sid)
-			milli, err := binary.ReadVarint(buf)
-			if err != nil {
-				return false
-			}
-			e.ValueC = float64(milli) / 1000
-		case KindDrop:
-			aux, err := binary.ReadUvarint(buf)
-			if err != nil {
-				return false
-			}
-			e.Aux = aux
-		default:
-			return false
-		}
-		events = append(events, e)
-	}
-	if buf.Len() != 0 {
-		return false
-	}
-	tr.Events = append(tr.Events, events...)
-	*prevTS = ts
-	return true
-}
-
-func writeUvarint(buf *bytes.Buffer, v uint64) {
-	var scratch [binary.MaxVarintLen64]byte
-	buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
-}
-
-func writeVarint(buf *bytes.Buffer, v int64) {
-	var scratch [binary.MaxVarintLen64]byte
-	buf.Write(scratch[:binary.PutVarint(scratch[:], v)])
-}
+// Reading the segmented format lives in scanner.go: Scanner consumes one
+// checksummed segment at a time with torn-tail salvage, and ReadTrace
+// (codec.go) accumulates its batches.

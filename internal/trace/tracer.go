@@ -3,7 +3,6 @@ package trace
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -212,12 +211,7 @@ func (t *Tracer) Snapshot() ([]Event, *SymTab) {
 		all = append(all, l.buf...)
 		l.mu.Unlock()
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].TS != all[j].TS {
-			return all[i].TS < all[j].TS
-		}
-		return all[i].Lane < all[j].Lane
-	})
+	sortEvents(all)
 	return all, t.symtab.clone()
 }
 
@@ -237,12 +231,7 @@ func (t *Tracer) Drain() ([]Event, *SymTab) {
 		l.buf = nil
 		l.mu.Unlock()
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].TS != all[j].TS {
-			return all[i].TS < all[j].TS
-		}
-		return all[i].Lane < all[j].Lane
-	})
+	sortEvents(all)
 	return all, t.symtab.clone()
 }
 

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Varint helpers shared by every TPST writer (the one-shot v1 codec, the
+// segmented v2 writer) so the wire encoding lives in exactly one place.
+// bytes.Buffer and bufio.Writer both satisfy io.Writer; Buffer writes
+// cannot fail, so buffer-backed callers may ignore the error.
+
+// writeUvarint appends v in unsigned varint encoding.
+func writeUvarint(w io.Writer, v uint64) error {
+	var scratch [binary.MaxVarintLen64]byte
+	_, err := w.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+	return err
+}
+
+// writeVarint appends v in zigzag varint encoding.
+func writeVarint(w io.Writer, v int64) error {
+	var scratch [binary.MaxVarintLen64]byte
+	_, err := w.Write(scratch[:binary.PutVarint(scratch[:], v)])
+	return err
+}
+
+// eventCap bounds a preallocation hint derived from an untrusted declared
+// count, so a hostile header cannot force a huge allocation up front.
+func eventCap(declared uint64) int {
+	return int(min(declared, 1<<20))
+}

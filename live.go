@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"tempest/internal/parser"
 	"tempest/internal/sensors"
+	"tempest/internal/stats"
 	"tempest/internal/tempd"
 	"tempest/internal/thermal"
 	"tempest/internal/trace"
@@ -31,15 +33,35 @@ type LiveConfig struct {
 	Unit Unit
 	// NodeID labels the produced trace.
 	NodeID uint32
+	// DrainInterval is how often buffered events are drained from the
+	// tracer into the session's streaming profile builder (default
+	// 500 ms). Draining keeps the session's memory O(profile) rather
+	// than O(events) over arbitrarily long runs, and is what makes
+	// Snapshot cheap.
+	DrainInterval time.Duration
 }
 
 // LiveSession profiles real code on the current machine: an explicit
 // Enter/Exit instrumentation API (the paper's "non-transparent profiling
 // library"), with tempd sampling in the background.
+//
+// The session is streaming end to end: a background loop periodically
+// drains the tracer's lane buffers into an online parser.Builder, so
+// the full event history is never held in memory and an in-progress
+// profile (Snapshot) is available at any moment — the live hot-spot
+// view. Close finishes the builder into the final Profile; the raw
+// trace is not retained (use cmd/tempd to record trace files).
 type LiveSession struct {
 	cfg    LiveConfig
 	tracer *trace.Tracer
 	daemon *tempd.Daemon
+
+	bmu     sync.Mutex
+	builder *parser.Builder
+
+	drainStop chan struct{}
+	drainDone chan struct{}
+
 	// simCPU is non-nil when simulated sensors are in use; Step'ing it
 	// happens on the wall clock inside a background goroutine.
 	simCPU  *thermal.CPU
@@ -87,6 +109,28 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 	}
 	s.tracer = tracer
 	s.daemon = daemon
+	// The builder shares the tracer's live (lock-protected) symbol
+	// table, so drained events always resolve.
+	s.builder = parser.NewBuilder(cfg.NodeID, tracer.SymTab(), parser.Options{Unit: cfg.Unit})
+	drainEvery := cfg.DrainInterval
+	if drainEvery == 0 {
+		drainEvery = 500 * time.Millisecond
+	}
+	s.drainStop = make(chan struct{})
+	s.drainDone = make(chan struct{})
+	go func() {
+		defer close(s.drainDone)
+		tick := time.NewTicker(drainEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.drainStop:
+				return
+			case <-tick.C:
+				s.drain()
+			}
+		}
+	}()
 	if s.simCPU != nil {
 		// Advance the simulated thermal model in real time so the
 		// fallback sensors move plausibly.
@@ -166,8 +210,51 @@ func (s *LiveSession) SetSimUtilization(core int, u float64) error {
 // it below 1 %).
 func (s *LiveSession) TempdBusyFraction() float64 { return s.daemon.BusyFraction() }
 
-// Close stops tempd (the destructor's signal in the paper) and parses the
-// collected trace into a single-node profile.
+// drain moves buffered trace events into the streaming builder.
+func (s *LiveSession) drain() {
+	ev, _ := s.tracer.Drain()
+	s.bmu.Lock()
+	_ = s.builder.Add(ev) // a structural error poisons the builder; Close reports it
+	s.bmu.Unlock()
+}
+
+// Snapshot returns an in-progress profile of the still-running session —
+// the live hot-spot view. Functions currently open are counted as running
+// until the latest observed event. The session keeps recording; call
+// Close for the final profile.
+func (s *LiveSession) Snapshot() (*NodeProfile, error) {
+	if s.closed {
+		return nil, errors.New("tempest: live session already closed")
+	}
+	s.drain()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.builder.Snapshot()
+}
+
+// OpenFunctions lists the functions currently open on any lane — the
+// instantaneous "where is the program right now" of the live view.
+func (s *LiveSession) OpenFunctions() []string {
+	s.drain()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.builder.OpenFunctions()
+}
+
+// SensorStats returns streaming summaries of each sensor's whole
+// timeline so far, in the session's Unit, from O(1) per-sensor state
+// (Med/Mod are NaN).
+func (s *LiveSession) SensorStats() []stats.Summary {
+	s.drain()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.builder.SensorStats()
+}
+
+// Close stops tempd (the destructor's signal in the paper), drains the
+// last buffered events and finishes the streaming builder into a
+// single-node profile. The profile carries no raw traces: events were
+// folded into the builder as the run progressed.
 func (s *LiveSession) Close() (*Profile, error) {
 	if s.closed {
 		return nil, errors.New("tempest: live session already closed")
@@ -176,10 +263,19 @@ func (s *LiveSession) Close() (*Profile, error) {
 	if err := s.daemon.Stop(); err != nil {
 		return nil, err
 	}
+	close(s.drainStop)
+	<-s.drainDone
 	if s.simStop != nil {
 		close(s.simStop)
 		<-s.simDone
 	}
-	tr := s.tracer.Finish()
-	return ParseTraces([]*trace.Trace{tr}, s.cfg.Unit)
+	s.drain()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	np, err := s.builder.Finish()
+	if err != nil {
+		return nil, err
+	}
+	parsed := &parser.Profile{Unit: s.cfg.Unit, Nodes: []parser.NodeProfile{*np}}
+	return &Profile{Profile: parsed, Duration: np.Duration}, nil
 }

@@ -57,6 +57,10 @@ const (
 // Unit selects report temperature units.
 type Unit = parser.Unit
 
+// NodeProfile re-exports one node's parsed (or in-progress) profile —
+// the type LiveSession.Snapshot returns.
+type NodeProfile = parser.NodeProfile
+
 // Units.
 const (
 	Fahrenheit = parser.Fahrenheit
