@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-smoke fuzz-smoke clean
+.PHONY: all build vet test race chaos bench bench-smoke fuzz-smoke collectd-smoke clean
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 # transports, the sampling daemon, the resilient sensor wrappers, the
 # multi-lane tracer and the parallel parser worker pool.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/... ./internal/parser/...
+	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/... ./internal/parser/... ./internal/collect/...
 
 # Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
 # tail + flaky TCP link), plus the per-package chaos tests.
@@ -40,6 +40,12 @@ bench-smoke:
 # ended fuzzing): codec, streaming scanner, and friends.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/trace/
+
+# End-to-end fleet-collector smoke: start tempest-collectd on ephemeral
+# ports, ship the canned trace, and diff /api/hotspots against its
+# golden (pass UPDATE_GOLDEN=1 to regenerate after intentional changes).
+collectd-smoke:
+	UPDATE_GOLDEN=$(UPDATE_GOLDEN) ./scripts/collectd_smoke.sh
 
 clean:
 	$(GO) clean ./...

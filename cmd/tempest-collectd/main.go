@@ -1,0 +1,152 @@
+// Command tempest-collectd is Tempest's fleet collector daemon: it
+// ingests live trace streams (tempest-live -ship) and bulk trace uploads
+// from many nodes at once, maintains a streaming per-node profile for
+// each, and answers cluster-wide hot-spot queries over HTTP.
+//
+// Usage:
+//
+//	tempest-collectd -listen :7077 -http :7078
+//	tempest-collectd -listen :7077 -http :7078 -unit C -shards 8
+//	tempest-collectd -upload trace.tpst -to collector:7077
+//
+// Server mode runs until SIGINT/SIGTERM, then shuts down gracefully
+// (in-flight ingest drains first). On startup it prints the bound
+// addresses as "ingest=HOST:PORT http=HOST:PORT" — with ":0" this is
+// how scripts learn the real ports.
+//
+// Upload mode (-upload/-to) is the client for the bulk path: it streams
+// one recorded trace file to a running collector over TCP and exits.
+// The collector scans it exactly like tempest-parse would, so the
+// resulting per-node profile is identical to an offline parse.
+//
+// Query API (see internal/collect):
+//
+//	curl http://collector:7078/api/nodes
+//	curl http://collector:7078/api/hotspots?k=5
+//	curl http://collector:7078/api/profile/3?format=text
+//	curl http://collector:7078/api/series/3
+//	curl http://collector:7078/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tempest/internal/collect"
+	"tempest/internal/parser"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tempest-collectd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon (or performs one upload). ready, when non-nil,
+// receives the collector once both listeners are bound — the test hook
+// for driving a daemon in-process.
+func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
+	fs := flag.NewFlagSet("tempest-collectd", flag.ContinueOnError)
+	listen := fs.String("listen", ":7077", "ingest TCP address (shippers and bulk uploads)")
+	httpAddr := fs.String("http", ":7078", "HTTP query/metrics address")
+	unit := fs.String("unit", "F", "temperature unit of aggregated profiles: F|C")
+	shards := fs.Int("shards", 0, "ingest shards (0 = default)")
+	upload := fs.String("upload", "", "upload this trace file to a collector and exit (client mode)")
+	to := fs.String("to", "", "collector ingest address for -upload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upload != "" {
+		if *to == "" {
+			return fmt.Errorf("-upload requires -to host:port")
+		}
+		return uploadTrace(*upload, *to)
+	}
+
+	u := parser.Fahrenheit
+	if *unit == "C" || *unit == "c" {
+		u = parser.Celsius
+	}
+	c := collect.New(collect.Options{Unit: u, Shards: *shards})
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	fmt.Fprintf(out, "ingest=%s http=%s\n", ln.Addr(), hln.Addr())
+	if f, ok := out.(interface{ Sync() error }); ok {
+		f.Sync()
+	}
+	if ready != nil {
+		ready <- c
+	}
+
+	srv := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 2)
+	go func() { errc <- c.Serve(ln) }()
+	go func() {
+		if err := srv.Serve(hln); err != http.ErrServerClosed {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tempest-collectd: %v, shutting down\n", s)
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	return c.Close()
+}
+
+// uploadTrace streams one recorded trace file to a collector's ingest
+// port — the network equivalent of handing the file to tempest-parse.
+func uploadTrace(path, addr string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	n, err := io.Copy(conn, f)
+	if err != nil {
+		return fmt.Errorf("upload after %d bytes: %w", n, err)
+	}
+	// Half-close signals EOF to the collector's scanner; waiting for the
+	// peer's close confirms the trace was fully ingested before we exit.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		io.Copy(io.Discard, conn)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tempest/internal/collect"
+)
+
+// startDaemon runs the daemon in-process on ephemeral ports and returns
+// its ingest and HTTP addresses plus a stop function.
+func startDaemon(t *testing.T, extra ...string) (ingest, httpAddr string, done chan error) {
+	t.Helper()
+	var out bytes.Buffer
+	pr, pw := io.Pipe()
+	ready := make(chan *collect.Collector, 1)
+	done = make(chan error, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0"}, extra...)
+	go func() {
+		done <- run(args, io.MultiWriter(&out, pw), ready)
+		pw.Close()
+	}()
+	line := make([]byte, 256)
+	n, err := pr.Read(line)
+	if err != nil {
+		t.Fatalf("daemon never printed addresses: %v", err)
+	}
+	fields := strings.Fields(string(line[:n]))
+	if len(fields) != 2 || !strings.HasPrefix(fields[0], "ingest=") || !strings.HasPrefix(fields[1], "http=") {
+		t.Fatalf("unexpected address line %q", string(line[:n]))
+	}
+	<-ready
+	return strings.TrimPrefix(fields[0], "ingest="), strings.TrimPrefix(fields[1], "http="), done
+}
+
+func TestDaemonUploadAndQuery(t *testing.T) {
+	ingest, httpAddr, done := startDaemon(t)
+
+	// Client mode ships the canned trace into the running daemon.
+	if err := run([]string{"-upload", "testdata/smoke.tpst", "-to", ingest}, io.Discard, nil); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	res, err := http.Get(fmt.Sprintf("http://%s/api/hotspots?k=3", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/api/hotspots: %d %s", res.StatusCode, body)
+	}
+	var resp struct {
+		Functions []struct {
+			Name string `json:"name"`
+		} `json:"functions"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	// halo_exchange executes at each cycle's thermal peak (right after
+	// the compute burn), so it tops the contribution ranking.
+	if len(resp.Functions) != 3 || resp.Functions[0].Name != "halo_exchange" {
+		t.Fatalf("hotspot ranking = %+v, want 3 functions with halo_exchange first", resp.Functions)
+	}
+
+	res, err = http.Get(fmt.Sprintf("http://%s/metrics", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(metrics), "tempest_collect_events_total 150") {
+		t.Errorf("metrics missing ingested events:\n%s", metrics)
+	}
+
+	// SIGTERM shuts the daemon down cleanly.
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	if err := run([]string{"-upload", "testdata/smoke.tpst"}, io.Discard, nil); err == nil {
+		t.Error("-upload without -to accepted")
+	}
+	if err := run([]string{"-upload", "does-not-exist.tpst", "-to", "127.0.0.1:1"}, io.Discard, nil); err == nil {
+		t.Error("missing upload file accepted")
+	}
+	if err := run([]string{"-listen", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

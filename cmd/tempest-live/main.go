@@ -10,11 +10,19 @@
 //	tempest-live -burn 3s -idle 2s -cycles 2
 //	tempest-live -hwmon /sys/class/hwmon -rate 16 -format plot
 //	tempest-live -burn 5s -cycles 3 -watch 1s
+//	tempest-live -ship collector:7077 -node 3
 //
 // With -watch, an in-progress hot-spot snapshot (top functions, their
 // temperatures, what is running right now) is printed to stderr at the
 // given interval while the workload executes — the live view enabled by
 // the streaming profile builder.
+//
+// With -ship, every drained event batch is also streamed to a
+// tempest-collectd at the given address (fleet mode): the link
+// self-heals across disconnects and delivery accounting is printed on
+// exit. Shipping never blocks the workload — if the collector cannot
+// keep up, batches are dropped and counted rather than queued
+// unboundedly.
 package main
 
 import (
@@ -26,7 +34,9 @@ import (
 	"time"
 
 	"tempest"
+	"tempest/internal/collect"
 	"tempest/internal/report"
+	"tempest/internal/trace"
 )
 
 func main() {
@@ -60,6 +70,8 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "report", "output: report|csv|json|plot")
 	unit := fs.String("unit", "F", "temperature unit: F|C")
 	watch := fs.Duration("watch", 0, "print a live hot-spot snapshot to stderr at this interval (0 = off)")
+	ship := fs.String("ship", "", "also stream the trace to a tempest-collectd at this host:port (fleet mode)")
+	node := fs.Uint("node", 0, "node id reported to the collector")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,12 +83,21 @@ func run(args []string, out io.Writer) error {
 		u = tempest.Celsius
 	}
 
-	s, err := tempest.NewLiveSession(tempest.LiveConfig{
+	cfg := tempest.LiveConfig{
 		HwmonRoot:             *hwmon,
 		AllowSimulatedSensors: true,
 		SampleRateHz:          *rate,
 		Unit:                  u,
-	})
+		NodeID:                uint32(*node),
+	}
+	var shipper *collect.Shipper
+	if *ship != "" {
+		shipper = collect.NewShipper(*ship, uint32(*node), 0, collect.ShipperOptions{})
+		cfg.DrainSink = func(ev []trace.Event, sym *trace.SymTab) {
+			_ = shipper.Ship(ev, sym) // drops are accounted and reported on exit
+		}
+	}
+	s, err := tempest.NewLiveSession(cfg)
 	if err != nil {
 		return err
 	}
@@ -123,6 +144,15 @@ func run(args []string, out io.Writer) error {
 	p, err := s.Close()
 	if err != nil {
 		return err
+	}
+	if shipper != nil {
+		shipErr := shipper.Close() // flushes the queue with a deadline
+		st := shipper.Stats()
+		fmt.Fprintf(os.Stderr, "tempest-live: shipped %d/%d segments to %s (%d events, %d dropped, %d reconnects)\n",
+			st.AckedSegments, st.EnqueuedSegments+st.DroppedSegments, *ship, st.EnqueuedEvents, st.DroppedEvents, st.Reconnects)
+		if shipErr != nil {
+			fmt.Fprintln(os.Stderr, "tempest-live: ship:", shipErr)
+		}
 	}
 	switch *format {
 	case "report":

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tempest/internal/collect"
 )
 
 func TestLiveRunSimulated(t *testing.T) {
@@ -54,5 +57,53 @@ func TestLiveRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-format", "pdf", "-burn", "10ms", "-idle", "0", "-rate", "50", "-hwmon", filepath.Join(t.TempDir(), "x")}, &out); err == nil {
 		t.Error("bad format should fail")
+	}
+}
+
+// TestLiveRunShipsToCollector drives the full fleet-mode loop: a live
+// session on simulated sensors whose drained batches stream to an
+// in-process collector, which must end up with this node's profile.
+func TestLiveRunShipsToCollector(t *testing.T) {
+	c := collect.New(collect.Options{})
+	defer c.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Serve(ln)
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "none"),
+		"-rate", "50",
+		"-burn", "100ms",
+		"-idle", "50ms",
+		"-ship", ln.Addr().String(),
+		"-node", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := c.NodeProfile(7)
+	if err != nil {
+		t.Fatalf("collector never saw node 7: %v", err)
+	}
+	var names []string
+	for _, f := range np.Functions {
+		names = append(names, f.Name)
+	}
+	for _, want := range []string{"burn_phase", "idle_phase"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("collector profile missing %q (has %v)", want, names)
+		}
+	}
+	if np.Duration <= 0 || c.Metrics().Events() == 0 {
+		t.Errorf("collector profile empty: duration=%v events=%d", np.Duration, c.Metrics().Events())
 	}
 }

@@ -137,8 +137,12 @@ func runStream(files []string, u parser.Unit, format string, ropts report.Option
 	default:
 		return fmt.Errorf("format %q does not support -stream (use report|csv|json)", format)
 	}
+	// One scanner serves every file: Reset swaps the stream but keeps the
+	// batch and payload buffers, so a many-file parse allocates its decode
+	// buffers once instead of once per file.
+	var sc *trace.Scanner
 	for _, path := range files {
-		np, err := streamFile(path, u)
+		np, err := streamFile(&sc, path, u)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -152,8 +156,9 @@ func runStream(files []string, u parser.Unit, format string, ropts report.Option
 	return nil
 }
 
-// streamFile scans one trace into a profile in O(segment) memory.
-func streamFile(path string, u parser.Unit) (*parser.NodeProfile, error) {
+// streamFile scans one trace into a profile in O(segment) memory,
+// reusing (or creating) the caller's scanner.
+func streamFile(scp **trace.Scanner, path string, u parser.Unit) (*parser.NodeProfile, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -163,9 +168,19 @@ func streamFile(path string, u parser.Unit) (*parser.NodeProfile, error) {
 		defer f.Close()
 		r = f
 	}
-	sc, err := trace.NewScanner(r)
-	if err != nil {
-		return nil, err
+	var sc *trace.Scanner
+	if *scp != nil {
+		sc = *scp
+		if err := sc.Reset(r); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		sc, err = trace.NewScanner(r)
+		if err != nil {
+			return nil, err
+		}
+		*scp = sc
 	}
 	b := parser.NewBuilder(sc.NodeID(), sc.Sym(), parser.Options{Unit: u})
 	for {

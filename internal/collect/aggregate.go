@@ -1,0 +1,128 @@
+package collect
+
+import (
+	"sort"
+
+	"tempest/internal/hotspot"
+	"tempest/internal/parser"
+)
+
+// Fleet aggregation: cluster-wide hot-spot rankings assembled from
+// per-node profile snapshots. The per-(node, function) rankings come
+// straight from internal/hotspot — the same computation the offline
+// tools run — and the fleet merge folds those entries across nodes, so
+// online and offline answers agree by construction.
+
+// FleetFunction is one function's thermal contribution summed across
+// every node that ran it — the cluster-wide answer to "which code should
+// thermal management target first".
+type FleetFunction struct {
+	Name string `json:"name"`
+	// Nodes is how many nodes contributed this function.
+	Nodes int `json:"nodes"`
+	// TotalTimeS is the inclusive time summed across nodes, in seconds.
+	TotalTimeS float64 `json:"total_time_s"`
+	// AvgTemp is the time-weighted mean of per-node averages; MaxTemp is
+	// the hottest observation on any node. Units follow the profile.
+	AvgTemp float64 `json:"avg_temp"`
+	MaxTemp float64 `json:"max_temp"`
+	// Score sums the per-node thermal contributions (degree-seconds
+	// above each node's baseline) — the fleet ranking key.
+	Score float64 `json:"score"`
+}
+
+// sensorNodes filters a fleet profile down to the nodes that actually
+// carry samples on the requested sensor, so one sensorless (or not yet
+// reporting) node cannot fail a fleet-wide query.
+func sensorNodes(p *parser.Profile, sensor int) *parser.Profile {
+	out := &parser.Profile{Unit: p.Unit}
+	for _, np := range p.Nodes {
+		if sensor >= 0 && sensor < len(np.Samples) && len(np.Samples[sensor]) > 0 {
+			out.Nodes = append(out.Nodes, np)
+		}
+	}
+	return out
+}
+
+// HotFunctions ranks per-(node, function) thermal contribution across
+// the fleet via internal/hotspot, skipping nodes without samples on the
+// sensor. k > 0 truncates to the top k entries.
+func HotFunctions(p *parser.Profile, sensor, k int) ([]hotspot.FunctionHeat, error) {
+	fp := sensorNodes(p, sensor)
+	if len(fp.Nodes) == 0 {
+		return []hotspot.FunctionHeat{}, nil
+	}
+	hf, err := hotspot.HotFunctions(fp, sensor)
+	if err != nil {
+		return nil, err
+	}
+	if hf == nil {
+		hf = []hotspot.FunctionHeat{}
+	}
+	if k > 0 && len(hf) > k {
+		hf = hf[:k]
+	}
+	return hf, nil
+}
+
+// HotNodes ranks nodes by average temperature on the sensor via
+// internal/hotspot, skipping nodes without samples. k > 0 truncates.
+func HotNodes(p *parser.Profile, sensor, k int) ([]hotspot.NodeHeat, error) {
+	fp := sensorNodes(p, sensor)
+	if len(fp.Nodes) == 0 {
+		return []hotspot.NodeHeat{}, nil
+	}
+	hn, err := hotspot.HotNodes(fp, sensor)
+	if err != nil {
+		return nil, err
+	}
+	if hn == nil {
+		hn = []hotspot.NodeHeat{}
+	}
+	if k > 0 && len(hn) > k {
+		hn = hn[:k]
+	}
+	return hn, nil
+}
+
+// MergeHotFunctions folds per-(node, function) heat entries into one row
+// per function name: scores and times sum, averages weight by time, and
+// the result is ranked hottest first (score desc, then name). The input
+// must be *untruncated* per-node rankings — merge first, cut k after.
+func MergeHotFunctions(hf []hotspot.FunctionHeat, k int) []FleetFunction {
+	byName := map[string]*FleetFunction{}
+	var order []string
+	for _, f := range hf {
+		ff, ok := byName[f.Name]
+		if !ok {
+			ff = &FleetFunction{Name: f.Name, MaxTemp: f.MaxTemp}
+			byName[f.Name] = ff
+			order = append(order, f.Name)
+		}
+		ff.Nodes++
+		ff.Score += f.Score
+		ff.AvgTemp += f.AvgTemp * f.TotalTimeS // weighted sum; normalised below
+		ff.TotalTimeS += f.TotalTimeS
+		if f.MaxTemp > ff.MaxTemp {
+			ff.MaxTemp = f.MaxTemp
+		}
+	}
+	out := make([]FleetFunction, 0, len(order))
+	for _, name := range order {
+		ff := *byName[name]
+		if ff.TotalTimeS > 0 {
+			ff.AvgTemp /= ff.TotalTimeS
+		}
+		out = append(out, ff)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

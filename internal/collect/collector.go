@@ -1,0 +1,630 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempest/internal/parser"
+	"tempest/internal/trace"
+)
+
+// Options configures a Collector. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// Unit of aggregated statistics (default Fahrenheit, like the paper).
+	Unit parser.Unit
+	// SampleInterval overrides tempd-period auto-detection in per-node
+	// profiles (0 = auto-detect, the offline parser's behaviour).
+	SampleInterval time.Duration
+	// Shards is the number of ingest shards (default 4). Nodes are
+	// hashed across shards by node ID; each shard's worker goroutine
+	// exclusively owns its nodes' Builders, so ingest and query
+	// serialise per shard and never lock across shards.
+	Shards int
+	// QueueLen bounds each shard's ingest queue (default 128); its
+	// instantaneous depth is the shard's lag, exported on /metrics.
+	QueueLen int
+	// Now overrides the clock used for per-node last-seen tracking
+	// (default time.Now) — injectable for deterministic tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 128
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// NodeStatus is one node's ingest-side state, as served by /api/nodes.
+type NodeStatus struct {
+	NodeID    uint32    `json:"node"`
+	Rank      uint32    `json:"rank"`
+	Events    uint64    `json:"events"`
+	Segments  uint64    `json:"segments"`
+	DurationS float64   `json:"duration_s"`
+	Truncated bool      `json:"truncated"`
+	LastSeen  time.Time `json:"last_seen"`
+	Err       string    `json:"error,omitempty"`
+}
+
+// nodeState is one node's ingest state, owned by exactly one shard
+// worker.
+type nodeState struct {
+	id       uint32
+	rank     uint32
+	sym      *trace.SymTab
+	builder  *parser.Builder
+	nextSeq  uint64
+	segments uint64
+	lastSeen time.Time
+	batch    []trace.Event // reused chunk decode buffer
+	err      error         // poisoned: gap in the stream or Builder failure
+}
+
+// shardReq is one request into a shard worker. Exactly one of the
+// operation fields is used; reply always receives one shardResp.
+type shardReq struct {
+	op    shardOp
+	node  uint32
+	rank  uint32
+	seq   uint64
+	chunk []byte        // opChunk: frame payload
+	batch []trace.Event // opEvents: decoded events (bulk mode)
+	sym   *trace.SymTab // opEvents: table the batch's FuncIDs resolve in
+	trunc bool          // opFinishBulk
+	reply chan shardResp
+}
+
+type shardOp int
+
+const (
+	opResume shardOp = iota
+	opChunk
+	opEvents
+	opFinishBulk
+	opSnapshot
+	opStatus
+)
+
+// shardResp carries a shard worker's answer.
+type shardResp struct {
+	resume   uint64
+	dup      bool
+	err      error
+	profiles []*parser.NodeProfile
+	statuses []NodeStatus
+}
+
+// shard owns a disjoint subset of the fleet's nodes. Its worker
+// goroutine is the only code that touches the nodes map and Builders.
+type shard struct {
+	id    int
+	work  chan shardReq
+	nodes map[uint32]*nodeState
+	c     *Collector
+}
+
+// Collector is the fleet ingest service: it accepts shipped chunk
+// streams and bulk trace uploads from many nodes concurrently, folds
+// each node's events into a streaming parser.Builder on one of N
+// hash-partitioned shards, and serves cluster-wide profiles, hot-spot
+// rankings and self-observability through Handler's HTTP API.
+type Collector struct {
+	opts    Options
+	shards  []*shard
+	metrics *Metrics
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// callMu fences shard calls against shutdown: callers hold the read
+	// side for the duration of one worker round-trip; Close takes the
+	// write side before closing the work channels, so no request is
+	// ever sent to a dead worker.
+	callMu sync.RWMutex
+	down   bool
+
+	scanners sync.Pool // *trace.Scanner, Reset per bulk connection
+}
+
+// errCollectorClosed reports a query or ingest call after Close.
+var errCollectorClosed = errors.New("collect: collector closed")
+
+// New returns a running collector (its shard workers are live); attach
+// ingest listeners with Serve and the HTTP API with Handler.
+func New(opts Options) *Collector {
+	opts = opts.withDefaults()
+	c := &Collector{
+		opts:    opts,
+		metrics: newMetrics(opts.Shards),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	c.shards = make([]*shard, opts.Shards)
+	for i := range c.shards {
+		sh := &shard{
+			id:    i,
+			work:  make(chan shardReq, opts.QueueLen),
+			nodes: make(map[uint32]*nodeState),
+			c:     c,
+		}
+		c.shards[i] = sh
+		c.wg.Add(1)
+		go sh.run(&c.wg)
+	}
+	return c
+}
+
+// shardFor hashes a node ID onto its owning shard (FNV-1a, stable
+// across restarts so dashboards keep their shard attribution).
+func (c *Collector) shardFor(node uint32) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= (node >> (8 * i)) & 0xff
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// call routes one request to a shard worker and waits for its reply.
+func (sh *shard) call(req shardReq) shardResp {
+	sh.c.callMu.RLock()
+	defer sh.c.callMu.RUnlock()
+	if sh.c.down {
+		return shardResp{err: errCollectorClosed}
+	}
+	req.reply = make(chan shardResp, 1)
+	sh.work <- req
+	return <-req.reply
+}
+
+// run is the shard worker loop: the single goroutine that owns this
+// shard's builders.
+func (sh *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range sh.work {
+		req.reply <- sh.handle(req)
+	}
+}
+
+// node returns (creating if needed) the state for one node.
+func (sh *shard) node(id, rank uint32) *nodeState {
+	ns, ok := sh.nodes[id]
+	if !ok {
+		sym := trace.NewSymTab()
+		ns = &nodeState{
+			id:      id,
+			rank:    rank,
+			sym:     sym,
+			builder: parser.NewBuilder(id, sym, parser.Options{Unit: sh.c.opts.Unit, SampleInterval: sh.c.opts.SampleInterval}),
+		}
+		sh.nodes[id] = ns
+		sh.c.metrics.nodes.Add(1)
+	}
+	return ns
+}
+
+// handle executes one request against shard-owned state.
+func (sh *shard) handle(req shardReq) shardResp {
+	switch req.op {
+	case opResume:
+		ns := sh.node(req.node, req.rank)
+		ns.lastSeen = sh.c.opts.Now()
+		return shardResp{resume: ns.nextSeq}
+
+	case opChunk:
+		ns := sh.node(req.node, req.rank)
+		ns.lastSeen = sh.c.opts.Now()
+		if req.seq < ns.nextSeq {
+			// Duplicate of a chunk that arrived before the link died;
+			// ack it again so the shipper retires it.
+			return shardResp{resume: ns.nextSeq, dup: true}
+		}
+		if req.seq > ns.nextSeq {
+			// A gap can only mean this collector lost state the shipper
+			// already had acknowledged (restart mid-stream). The symbols
+			// in the hole are unrecoverable, so the node is poisoned
+			// rather than mis-attributed; acking keeps the shipper from
+			// resending forever.
+			ns.err = fmt.Errorf("collect: node %d: sequence gap (%d..%d lost to a collector restart?)", ns.id, ns.nextSeq, req.seq-1)
+			ns.nextSeq = req.seq + 1
+			return shardResp{resume: ns.nextSeq, err: ns.err}
+		}
+		ns.nextSeq = req.seq + 1
+		ns.segments++
+		sh.c.metrics.shardSegments[sh.id].Add(1)
+		if ns.err != nil {
+			return shardResp{resume: ns.nextSeq, err: ns.err}
+		}
+		batch, err := decodeChunk(req.chunk, ns.sym, ns.batch)
+		if err != nil {
+			ns.err = err
+			return shardResp{resume: ns.nextSeq, err: err}
+		}
+		ns.batch = batch[:0]
+		if err := ns.builder.Add(batch); err != nil {
+			ns.err = err
+			return shardResp{resume: ns.nextSeq, err: err}
+		}
+		sh.c.metrics.events.Add(uint64(len(batch)))
+		return shardResp{resume: ns.nextSeq}
+
+	case opEvents:
+		ns := sh.node(req.node, req.rank)
+		ns.lastSeen = sh.c.opts.Now()
+		ns.segments++
+		sh.c.metrics.shardSegments[sh.id].Add(1)
+		if ns.err != nil {
+			return shardResp{err: ns.err}
+		}
+		// Bulk batches carry the upload's own symbol ids; fold them into
+		// the node's cumulative table (idempotent by name) and rewrite in
+		// place — the batch buffer is the caller's, synchronously lent.
+		for i := range req.batch {
+			e := &req.batch[i]
+			switch e.Kind {
+			case trace.KindEnter, trace.KindExit, trace.KindMarker:
+				name, err := req.sym.Name(e.FuncID)
+				if err != nil {
+					ns.err = err
+					return shardResp{err: err}
+				}
+				e.FuncID = ns.sym.Register(name)
+			}
+		}
+		if err := ns.builder.Add(req.batch); err != nil {
+			ns.err = err
+			return shardResp{err: err}
+		}
+		sh.c.metrics.events.Add(uint64(len(req.batch)))
+		return shardResp{}
+
+	case opFinishBulk:
+		ns := sh.node(req.node, req.rank)
+		ns.lastSeen = sh.c.opts.Now()
+		if req.trunc {
+			ns.builder.SetTruncated(true)
+		}
+		return shardResp{}
+
+	case opSnapshot:
+		ids := make([]uint32, 0, len(sh.nodes))
+		for id := range sh.nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		resp := shardResp{}
+		for _, id := range ids {
+			ns := sh.nodes[id]
+			np, err := ns.builder.Snapshot()
+			if err != nil {
+				// A poisoned builder still has a last-good story to tell
+				// via status; skip it in fleet profiles.
+				continue
+			}
+			resp.profiles = append(resp.profiles, np)
+		}
+		return resp
+
+	case opStatus:
+		resp := shardResp{}
+		for _, ns := range sh.nodes {
+			st := NodeStatus{
+				NodeID:    ns.id,
+				Rank:      ns.rank,
+				Events:    ns.builder.Events(),
+				Segments:  ns.segments,
+				DurationS: ns.builder.Duration().Seconds(),
+				LastSeen:  ns.lastSeen,
+			}
+			if ns.err != nil {
+				st.Err = ns.err.Error()
+			}
+			resp.statuses = append(resp.statuses, st)
+		}
+		return resp
+	}
+	return shardResp{err: fmt.Errorf("collect: unknown shard op %d", req.op)}
+}
+
+// Serve accepts ingest connections on ln until the collector is closed
+// or the listener fails. Each connection is either a shipped chunk
+// stream (hello magic) or a bulk trace upload (TPST magic).
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("collect: collector closed")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		c.conns[conn] = struct{}{}
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go func() {
+			defer c.wg.Done()
+			c.serveConn(conn)
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn dispatches one ingest connection by its magic.
+func (c *Collector) serveConn(conn net.Conn) {
+	defer conn.Close()
+	c.metrics.connections.Add(1)
+	br := bufio.NewReader(newCountingReader(conn, &c.metrics.bytes))
+	magic, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	switch binary.LittleEndian.Uint32(magic) {
+	case helloMagic:
+		br.Discard(4)
+		c.serveShipStream(conn, br)
+	default:
+		// Anything else is handed to the trace scanner, which enforces
+		// the TPST magic itself and yields a precise error.
+		c.serveBulk(conn, br)
+	}
+}
+
+// serveShipStream handles one shipper connection: resume handshake, then
+// frames, each acked with the node's next expected sequence number.
+func (c *Collector) serveShipStream(conn net.Conn, br *bufio.Reader) {
+	h, err := readHelloTail(br)
+	if err != nil {
+		c.metrics.ingestErrors.Add(1)
+		return
+	}
+	sh := c.shardFor(h.NodeID)
+	resp := sh.call(shardReq{op: opResume, node: h.NodeID, rank: h.Rank})
+	var ackBuf [8]byte
+	binary.LittleEndian.PutUint64(ackBuf[:], resp.resume)
+	if _, err := conn.Write(ackBuf[:]); err != nil {
+		return
+	}
+	var frameBuf []byte
+	for {
+		seq, payload, buf, err := readFrame(br, frameBuf)
+		frameBuf = buf
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.metrics.ingestErrors.Add(1)
+			}
+			return
+		}
+		c.metrics.segments.Add(1)
+		resp := sh.call(shardReq{op: opChunk, node: h.NodeID, rank: h.Rank, seq: seq, chunk: payload})
+		if resp.dup {
+			c.metrics.dedupDrops.Add(1)
+		}
+		if resp.err != nil {
+			c.metrics.ingestErrors.Add(1)
+		}
+		binary.LittleEndian.PutUint64(ackBuf[:], resp.resume)
+		if _, err := conn.Write(ackBuf[:]); err != nil {
+			return
+		}
+	}
+}
+
+// serveBulk ingests one complete trace stream (the offline file format,
+// v1 or v2) from the connection — `tempest-collectd -upload` and piped
+// tempd output use this path. The per-connection scanner comes from a
+// pool and is Reset onto the stream, so bulk ingest reuses decode
+// buffers across connections instead of reallocating them.
+func (c *Collector) serveBulk(conn net.Conn, br *bufio.Reader) {
+	var sc *trace.Scanner
+	if pooled := c.scanners.Get(); pooled != nil {
+		sc = pooled.(*trace.Scanner)
+		if err := sc.Reset(br); err != nil {
+			c.metrics.ingestErrors.Add(1)
+			c.scanners.Put(sc)
+			return
+		}
+	} else {
+		var err error
+		sc, err = trace.NewScanner(br)
+		if err != nil {
+			c.metrics.ingestErrors.Add(1)
+			return
+		}
+	}
+	defer c.scanners.Put(sc)
+	sh := c.shardFor(sc.NodeID())
+	failed := false
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			c.metrics.ingestErrors.Add(1)
+			return
+		}
+		c.metrics.segments.Add(1)
+		// The worker call is synchronous, so handing it the scanner's
+		// reused batch buffer is safe: the builder retains nothing.
+		resp := sh.call(shardReq{op: opEvents, node: sc.NodeID(), rank: sc.Rank(), batch: batch, sym: sc.Sym()})
+		if resp.err != nil {
+			c.metrics.ingestErrors.Add(1)
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		sh.call(shardReq{op: opFinishBulk, node: sc.NodeID(), rank: sc.Rank(), trunc: sc.Truncated()})
+	}
+}
+
+// IngestTrace folds a whole in-memory trace into the collector through
+// the same shard path as network ingest — the programmatic loader for
+// tests and local files.
+func (c *Collector) IngestTrace(tr *trace.Trace) error {
+	if tr == nil {
+		return errors.New("collect: nil trace")
+	}
+	sh := c.shardFor(tr.NodeID)
+	// Re-encode through a chunk so symbol registration follows the same
+	// dense-id path as shipped streams.
+	payload, _, err := encodeChunk(tr.Events, tr.Sym, 0)
+	if err != nil {
+		return err
+	}
+	resp := sh.call(shardReq{op: opResume, node: tr.NodeID, rank: tr.Rank})
+	c.metrics.segments.Add(1)
+	resp = sh.call(shardReq{op: opChunk, node: tr.NodeID, rank: tr.Rank, seq: resp.resume, chunk: payload})
+	if resp.err != nil {
+		return resp.err
+	}
+	c.metrics.bytes.Add(uint64(len(payload)) + frameHdrLen)
+	if tr.Truncated {
+		sh.call(shardReq{op: opFinishBulk, node: tr.NodeID, rank: tr.Rank, trunc: true})
+	}
+	return nil
+}
+
+// Nodes lists every known node's ingest status, sorted by node ID.
+func (c *Collector) Nodes() []NodeStatus {
+	var out []NodeStatus
+	for _, sh := range c.shards {
+		out = append(out, sh.call(shardReq{op: opStatus}).statuses...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	if out == nil {
+		out = []NodeStatus{}
+	}
+	return out
+}
+
+// Profile assembles the fleet-wide profile from a live snapshot of every
+// node's builder, nodes sorted by ID — the online equivalent of
+// parser.ParseAll over the same traces.
+func (c *Collector) Profile() *parser.Profile {
+	var nps []*parser.NodeProfile
+	for _, sh := range c.shards {
+		nps = append(nps, sh.call(shardReq{op: opSnapshot}).profiles...)
+	}
+	sort.Slice(nps, func(i, j int) bool { return nps[i].NodeID < nps[j].NodeID })
+	p := &parser.Profile{Unit: c.opts.Unit}
+	for _, np := range nps {
+		p.Nodes = append(p.Nodes, *np)
+	}
+	return p
+}
+
+// NodeProfile snapshots one node's in-progress profile.
+func (c *Collector) NodeProfile(id uint32) (*parser.NodeProfile, error) {
+	resp := c.shardFor(id).call(shardReq{op: opSnapshot})
+	for _, np := range resp.profiles {
+		if np.NodeID == id {
+			return np, nil
+		}
+	}
+	return nil, fmt.Errorf("collect: unknown node %d", id)
+}
+
+// Metrics exposes the collector's self-observability counters.
+func (c *Collector) Metrics() *Metrics { return c.metrics }
+
+// Close shuts the collector down: the ingest listener stops, open
+// connections are torn down, and shard workers exit after draining
+// in-flight requests. Close is idempotent.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ln := c.ln
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	// Connection handlers exit once their conns die; only then is it
+	// safe to close the shard queues they feed.
+	c.connWait()
+	c.callMu.Lock()
+	c.down = true
+	for _, sh := range c.shards {
+		close(sh.work)
+	}
+	c.callMu.Unlock()
+	c.wg.Wait()
+	return nil
+}
+
+// connWait blocks until all connection handlers have returned. Shard
+// workers are still live here, so handlers never block on a dead queue.
+func (c *Collector) connWait() {
+	for {
+		c.mu.Lock()
+		n := len(c.conns)
+		c.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// countingReader tallies bytes read into an ingest byte counter.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func newCountingReader(r io.Reader, n *atomic.Uint64) *countingReader {
+	return &countingReader{r: r, n: n}
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(uint64(n))
+	return n, err
+}

@@ -1,0 +1,182 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tempest/internal/parser"
+	"tempest/internal/report"
+)
+
+// Handler returns the collector's HTTP query API:
+//
+//	GET /healthz              liveness probe
+//	GET /metrics              Prometheus text-format self-observability
+//	GET /api/nodes            per-node ingest status (JSON array)
+//	GET /api/profile/{node}   one node's live profile (JSON; ?format=text
+//	                          for the paper's report layout)
+//	GET /api/hotspots         fleet hot-spot rankings (?k= top-K,
+//	                          ?sensor= sensor index, default 0)
+//	GET /api/series/{node}    one node's sample series as streaming CSV
+//
+// Every response is computed from a live snapshot: queries never block
+// ingest beyond one synchronous pass through each shard's worker.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /api/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Nodes())
+	})
+	mux.HandleFunc("GET /api/profile/{node}", func(w http.ResponseWriter, r *http.Request) {
+		np, ok := c.nodeParam(w, r)
+		if !ok {
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			report.WriteNode(w, np, report.Options{Labels: true})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		report.WriteJSON(w, &parser.Profile{Unit: c.opts.Unit, Nodes: []parser.NodeProfile{*np}})
+	})
+	mux.HandleFunc("GET /api/series/{node}", func(w http.ResponseWriter, r *http.Request) {
+		np, ok := c.nodeParam(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		cs, err := report.NewSeriesCSVStream(w)
+		if err != nil {
+			return
+		}
+		cs.Node(np)
+	})
+	mux.HandleFunc("GET /api/hotspots", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		k, err := intParam(q.Get("k"), 10)
+		if err != nil {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+		sensor, err := intParam(q.Get("sensor"), 0)
+		if err != nil || sensor < 0 {
+			http.Error(w, "bad sensor parameter", http.StatusBadRequest)
+			return
+		}
+		resp, err := c.Hotspots(sensor, k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// HotspotsResponse is the /api/hotspots body: the fleet's hottest code
+// three ways — per-(node, function), merged per function across nodes,
+// and per node.
+type HotspotsResponse struct {
+	K      int    `json:"k"`
+	Sensor int    `json:"sensor"`
+	Unit   string `json:"unit"`
+	// Functions ranks (node, function) pairs by thermal contribution —
+	// the paper's per-node hot-spot answer, fleet-wide.
+	Functions []apiFunction `json:"functions"`
+	// Merged folds Functions across nodes into one row per function.
+	Merged []FleetFunction `json:"merged"`
+	// Nodes ranks whole nodes by average temperature.
+	Nodes []apiNode `json:"nodes"`
+}
+
+// apiFunction and apiNode pin the JSON field names of internal/hotspot's
+// result types, so the API contract survives internal renames.
+type apiFunction struct {
+	Node       uint32  `json:"node"`
+	Name       string  `json:"name"`
+	AvgTemp    float64 `json:"avg_temp"`
+	MaxTemp    float64 `json:"max_temp"`
+	TotalTimeS float64 `json:"total_time_s"`
+	Score      float64 `json:"score"`
+}
+
+type apiNode struct {
+	NodeID     uint32  `json:"node"`
+	Avg        float64 `json:"avg"`
+	Max        float64 `json:"max"`
+	TrendPerS  float64 `json:"trend_per_s"`
+	Volatility float64 `json:"volatility"`
+}
+
+// Hotspots computes the /api/hotspots answer from a live fleet snapshot.
+func (c *Collector) Hotspots(sensor, k int) (*HotspotsResponse, error) {
+	p := c.Profile()
+	// Merge from the untruncated ranking, then cut both to k.
+	full, err := HotFunctions(p, sensor, 0)
+	if err != nil {
+		return nil, err
+	}
+	merged := MergeHotFunctions(full, k)
+	if k > 0 && len(full) > k {
+		full = full[:k]
+	}
+	hn, err := HotNodes(p, sensor, k)
+	if err != nil {
+		return nil, err
+	}
+	resp := &HotspotsResponse{
+		K:         k,
+		Sensor:    sensor,
+		Unit:      c.opts.Unit.String(),
+		Functions: make([]apiFunction, len(full)),
+		Merged:    merged,
+		Nodes:     make([]apiNode, len(hn)),
+	}
+	for i, f := range full {
+		resp.Functions[i] = apiFunction{Node: f.Node, Name: f.Name, AvgTemp: f.AvgTemp, MaxTemp: f.MaxTemp, TotalTimeS: f.TotalTimeS, Score: f.Score}
+	}
+	for i, n := range hn {
+		resp.Nodes[i] = apiNode{NodeID: n.NodeID, Avg: n.Avg, Max: n.Max, TrendPerS: n.TrendPerS, Volatility: n.Volatility}
+	}
+	return resp, nil
+}
+
+// nodeParam resolves the {node} path segment to a live profile snapshot,
+// writing the HTTP error itself when it can't.
+func (c *Collector) nodeParam(w http.ResponseWriter, r *http.Request) (*parser.NodeProfile, bool) {
+	id, err := strconv.ParseUint(r.PathValue("node"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad node id", http.StatusBadRequest)
+		return nil, false
+	}
+	np, err := c.NodeProfile(uint32(id))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil, false
+	}
+	return np, true
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

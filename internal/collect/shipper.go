@@ -1,0 +1,450 @@
+package collect
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tempest/internal/trace"
+)
+
+// ErrQueueFull reports that a shipped batch was dropped because the
+// bounded send queue was at capacity (the collector link is down or
+// slower than the node produces events).
+var ErrQueueFull = errors.New("collect: ship queue full, batch dropped")
+
+// ErrShipperClosed reports a Ship call after Close.
+var ErrShipperClosed = errors.New("collect: shipper closed")
+
+// ShipperOptions tunes the node-side shipping client. The zero value
+// selects the defaults noted per field.
+type ShipperOptions struct {
+	// QueueLen bounds the unacknowledged chunk queue (default 256).
+	// When the queue is full, Ship drops the batch and accounts for it
+	// (Stats().DroppedSegments / DroppedEvents) instead of blocking the
+	// instrumented program — backpressure never propagates into the
+	// profiled code path.
+	QueueLen int
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// DialBackoffBase/DialBackoffMax shape the jitterless reconnect
+	// backoff: the delay starts at base and doubles up to max (defaults
+	// 20ms / 1s). The shipper redials forever; only Close stops it.
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// HandshakeTimeout bounds the hello/resume exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s).
+	WriteTimeout time.Duration
+	// FlushTimeout bounds how long Close waits for the queue to drain
+	// (default 5s).
+	FlushTimeout time.Duration
+	// Dial overrides the dial function — the fault-injection hook
+	// (default net.DialTimeout; matches faultinject.Dialer).
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// Sleep overrides backoff sleeping (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (o ShipperOptions) withDefaults() ShipperOptions {
+	if o.QueueLen == 0 {
+		o.QueueLen = 256
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.DialBackoffBase == 0 {
+		o.DialBackoffBase = 20 * time.Millisecond
+	}
+	if o.DialBackoffMax == 0 {
+		o.DialBackoffMax = time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.FlushTimeout == 0 {
+		o.FlushTimeout = 5 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = net.DialTimeout
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// ShipperStats is the shipper's cumulative accounting.
+type ShipperStats struct {
+	// EnqueuedSegments/EnqueuedEvents made it into the send queue.
+	EnqueuedSegments uint64
+	EnqueuedEvents   uint64
+	// AckedSegments were confirmed delivered by the collector.
+	AckedSegments uint64
+	// DroppedSegments/DroppedEvents were lost: rejected by a full queue,
+	// or still undelivered when Close's flush deadline expired.
+	DroppedSegments uint64
+	DroppedEvents   uint64
+	// Resends counts frames rewritten after a connection died.
+	Resends uint64
+	// Reconnects counts connection (re-)establishments after the first.
+	Reconnects uint64
+	// DialFailures counts failed dial attempts.
+	DialFailures uint64
+}
+
+// chunk is one queued, already-encoded frame payload.
+type chunk struct {
+	seq     uint64
+	payload []byte
+	events  int
+	sent    bool // sent at least once on some connection
+}
+
+// Shipper streams trace batches from one node to a collector. It is the
+// node side of fleet mode: Ship encodes a drained event batch into a
+// self-contained chunk and enqueues it; a background sender maintains
+// the connection (dial backoff, reconnect, resend from the collector's
+// resume cursor) and retires chunks as the collector acknowledges them.
+// Chunks survive in the queue until acknowledged, so a link that dies
+// mid-frame loses nothing — the collector's sequence cursor drops the
+// duplicate halves.
+//
+// Shutdown contract: Close flushes the bounded queue with a deadline
+// (ShipperOptions.FlushTimeout). It blocks until every enqueued chunk is
+// acknowledged or the deadline expires, then reports loss explicitly:
+// a nil error means the collector holds everything that was ever
+// enqueued; otherwise the error wraps ErrQueueFull drops and/or the
+// flush-deadline remainder, and Stats().DroppedSegments/DroppedEvents
+// hold the exact counts. A tempest-live exit therefore never loses
+// shipped data silently.
+type Shipper struct {
+	addr   string
+	nodeID uint32
+	rank   uint32
+	opts   ShipperOptions
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []chunk // unacked, FIFO by seq
+	cursor     int     // index into queue of the next chunk to send
+	nextSeq    uint64
+	symsSent   int
+	pendingDrp uint64 // events dropped but not yet accounted in a shipped KindDrop
+	closing    bool   // Ship rejects new work; sender drains then exits
+	stopped    bool   // sender must exit now; undelivered chunks are lost
+	connBroken bool   // current connection died; sender must redial
+	conn       net.Conn
+	stats      ShipperStats
+
+	done chan struct{}
+}
+
+// NewShipper starts a shipper for one node's stream to the collector at
+// addr. The background sender runs until Close.
+func NewShipper(addr string, nodeID, rank uint32, opts ShipperOptions) *Shipper {
+	s := &Shipper{
+		addr:   addr,
+		nodeID: nodeID,
+		rank:   rank,
+		opts:   opts.withDefaults(),
+		done:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// Ship encodes one drained batch (plus any symbols registered since the
+// previous call) and enqueues it. It never blocks on the network: when
+// the bounded queue is full the batch is dropped, accounted in Stats,
+// and ErrQueueFull returned; the next accepted batch carries a KindDrop
+// event so the collector-side profile records the loss too. Batches must
+// arrive in record order (per-lane order is the Builder's contract);
+// LiveSession's drain loop guarantees this.
+func (s *Shipper) Ship(events []trace.Event, sym *trace.SymTab) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		s.stats.DroppedSegments++
+		s.stats.DroppedEvents += uint64(len(events))
+		return ErrShipperClosed
+	}
+	if len(events) == 0 && (sym == nil || sym.Len() == s.symsSent) {
+		return nil
+	}
+	if len(s.queue) >= s.opts.QueueLen {
+		s.stats.DroppedSegments++
+		s.stats.DroppedEvents += uint64(len(events))
+		s.pendingDrp += uint64(len(events))
+		return ErrQueueFull
+	}
+	if s.pendingDrp > 0 && len(events) > 0 {
+		// Account the loss inside the stream itself: the collector's
+		// Builder folds this into the profile's DroppedEvents.
+		drop := trace.Event{Kind: trace.KindDrop, TS: events[0].TS, Lane: events[0].Lane, Aux: s.pendingDrp}
+		events = append([]trace.Event{drop}, events...)
+		s.pendingDrp = 0
+	}
+	payload, symCount, err := encodeChunk(events, sym, s.symsSent)
+	if err != nil {
+		s.stats.DroppedSegments++
+		s.stats.DroppedEvents += uint64(len(events))
+		return err
+	}
+	s.symsSent = symCount
+	s.queue = append(s.queue, chunk{seq: s.nextSeq, payload: payload, events: len(events)})
+	s.nextSeq++
+	s.stats.EnqueuedSegments++
+	s.stats.EnqueuedEvents += uint64(len(events))
+	s.cond.Broadcast()
+	return nil
+}
+
+// Stats returns a snapshot of the shipper's accounting.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Queued reports the number of unacknowledged chunks.
+func (s *Shipper) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close flushes and stops the shipper. It blocks until every enqueued
+// chunk is acknowledged by the collector or FlushTimeout expires —
+// whichever comes first — then tears the connection down. The returned
+// error is nil only if nothing was ever dropped: otherwise it reports
+// the queue-full drops accumulated while running and any chunks the
+// flush deadline abandoned (also visible in Stats). Close is idempotent;
+// concurrent Ship calls return ErrShipperClosed.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.done
+		return s.closeErr()
+	}
+	s.closing = true
+	s.cond.Broadcast()
+	deadline := time.AfterFunc(s.opts.FlushTimeout, func() {
+		s.mu.Lock()
+		s.abortLocked()
+		s.mu.Unlock()
+	})
+	for len(s.queue) > 0 && !s.stopped {
+		s.cond.Wait()
+	}
+	s.abortLocked()
+	s.mu.Unlock()
+	deadline.Stop()
+	<-s.done
+	return s.closeErr()
+}
+
+// abortLocked forces the sender to exit, counting undelivered chunks as
+// dropped. Callers hold s.mu.
+func (s *Shipper) abortLocked() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, c := range s.queue {
+		s.stats.DroppedSegments++
+		s.stats.DroppedEvents += uint64(c.events)
+	}
+	s.queue = nil
+	s.cursor = 0
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.cond.Broadcast()
+}
+
+// closeErr summarises loss after shutdown.
+func (s *Shipper) closeErr() error {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	if st.DroppedSegments == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %d segments (%d events) undelivered", ErrQueueFull, st.DroppedSegments, st.DroppedEvents)
+}
+
+// run is the background sender: connect, handshake, stream frames,
+// repeat on failure until stopped.
+func (s *Shipper) run() {
+	defer close(s.done)
+	first := true
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closing && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped || (s.closing && len(s.queue) == 0) {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		conn := s.connect()
+		if conn == nil {
+			return // stopped while dialling
+		}
+		if !first {
+			s.mu.Lock()
+			s.stats.Reconnects++
+			s.mu.Unlock()
+		}
+		first = false
+		resume, err := s.handshake(conn)
+		if err != nil {
+			conn.Close()
+			// A dial that succeeds but whose handshake dies (a proxy that
+			// accepts and drops, a collector mid-restart) must not spin.
+			s.opts.Sleep(s.opts.DialBackoffBase)
+			continue
+		}
+		s.mu.Lock()
+		s.conn = conn
+		s.connBroken = false
+		// Trim everything the collector already has.
+		for len(s.queue) > 0 && s.queue[0].seq < resume {
+			s.retireHeadLocked()
+		}
+		s.cursor = 0
+		s.mu.Unlock()
+
+		ackDone := make(chan struct{})
+		go s.readAcks(conn, ackDone)
+		s.sendLoop(conn)
+		conn.Close()
+		<-ackDone
+		s.mu.Lock()
+		s.conn = nil
+		s.cursor = 0 // resend unacked chunks on the next connection
+		s.mu.Unlock()
+	}
+}
+
+// retireHeadLocked pops the acknowledged queue head. Callers hold s.mu.
+func (s *Shipper) retireHeadLocked() {
+	s.queue = s.queue[1:]
+	if s.cursor > 0 {
+		s.cursor--
+	}
+	s.stats.AckedSegments++
+}
+
+// connect dials with capped exponential backoff until it succeeds or the
+// shipper is stopped (returns nil).
+func (s *Shipper) connect() net.Conn {
+	backoff := s.opts.DialBackoffBase
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			return nil
+		}
+		if attempt > 0 {
+			s.opts.Sleep(backoff)
+			if backoff *= 2; backoff > s.opts.DialBackoffMax {
+				backoff = s.opts.DialBackoffMax
+			}
+		}
+		conn, err := s.opts.Dial("tcp", s.addr, s.opts.DialTimeout)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.DialFailures++
+			s.mu.Unlock()
+			continue
+		}
+		return conn
+	}
+}
+
+// handshake sends the hello and reads the collector's resume cursor.
+func (s *Shipper) handshake(conn net.Conn) (uint64, error) {
+	if s.opts.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := writeHello(conn, hello{NodeID: s.nodeID, Rank: s.rank}); err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// sendLoop streams queued frames over one connection until it breaks,
+// the shipper stops, or a graceful close finishes draining.
+func (s *Shipper) sendLoop(conn net.Conn) {
+	for {
+		s.mu.Lock()
+		for s.cursor >= len(s.queue) && !s.stopped && !s.connBroken {
+			if s.closing && len(s.queue) == 0 {
+				break
+			}
+			s.cond.Wait()
+		}
+		if s.stopped || s.connBroken || (s.closing && len(s.queue) == 0) {
+			s.mu.Unlock()
+			return
+		}
+		c := s.queue[s.cursor]
+		resend := c.sent
+		s.queue[s.cursor].sent = true
+		s.cursor++
+		if resend {
+			s.stats.Resends++
+		}
+		s.mu.Unlock()
+
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		if err := writeFrame(conn, c.seq, c.payload); err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// readAcks retires queue heads as the collector acknowledges them; on
+// connection death it flags the sender to redial.
+func (s *Shipper) readAcks(conn net.Conn, done chan<- struct{}) {
+	defer close(done)
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			s.mu.Lock()
+			s.connBroken = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		ack := binary.LittleEndian.Uint64(buf[:])
+		s.mu.Lock()
+		for len(s.queue) > 0 && s.queue[0].seq < ack {
+			s.retireHeadLocked()
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,303 @@
+// Package collect is Tempest's fleet collector: the service side of
+// cluster-scale hot-spot profiling.
+//
+// The paper's workflow is per-node and offline — every rank writes a
+// trace file and a parser merges the files after the run. collect keeps
+// the same data model but moves it online: each node runs a Shipper that
+// frames drained trace batches over a self-healing TCP link, and a
+// long-running Collector ingests streams from many nodes at once,
+// folding each into that node's streaming parser.Builder and serving
+// fleet-wide profiles, hot-spot rankings and self-observability over
+// HTTP. A profile assembled from shipped batches is identical to one
+// parsed offline from the equivalent trace file: the Builder is the
+// single implementation of both.
+//
+// Wire protocol (ship mode), little-endian:
+//
+//	hello   magic uint32 'TPCH', version uint16 = 1,
+//	        nodeID uvarint, rank uvarint        (shipper → collector)
+//	resume  uint64                              (collector → shipper:
+//	        next chunk sequence number it expects from this node)
+//	frame   seq uint64, payloadLen uint32, crc32(payload) uint32, payload
+//	        (shipper → collector, repeated)
+//	ack     uint64                              (collector → shipper after
+//	        every frame: next expected sequence number)
+//
+// Each frame payload is one self-contained chunk: the symbols registered
+// since the previous chunk, then a batch of events whose timestamp
+// deltas restart at zero (the first delta is the absolute timestamp).
+// Chunks therefore decode against nothing but the node's cumulative
+// symbol table — a chunk resent after a reconnect is byte-identical and
+// the collector's per-node sequence cursor drops duplicates, so the
+// decoded stream is exactly-once and in-order no matter how many times
+// the link dies.
+//
+// A connection that opens with the TPST trace magic instead of the hello
+// magic is a bulk upload: the collector scans it as a complete trace
+// file (v1 or v2), rescanning per connection with a pooled, Reset
+// trace.Scanner.
+package collect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"tempest/internal/trace"
+)
+
+const (
+	// helloMagic opens a ship-mode connection ("TPCH" little-endian).
+	helloMagic   = 0x48435054
+	wireVersion  = 1
+	frameHdrLen  = 16 // seq 8 + len 4 + crc 4
+	maxChunkLen  = 1 << 26
+	maxHelloName = 1 << 16
+)
+
+// errWire reports a malformed ship-mode stream; the connection carrying
+// it is dropped and the shipper redials.
+var errWire = fmt.Errorf("collect: malformed wire data")
+
+// hello identifies one shipping node.
+type hello struct {
+	NodeID uint32
+	Rank   uint32
+}
+
+// writeHello frames the ship-mode greeting.
+func writeHello(w io.Writer, h hello) error {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(helloMagic))
+	binary.Write(&buf, binary.LittleEndian, uint16(wireVersion))
+	var scratch [binary.MaxVarintLen64]byte
+	buf.Write(scratch[:binary.PutUvarint(scratch[:], uint64(h.NodeID))])
+	buf.Write(scratch[:binary.PutUvarint(scratch[:], uint64(h.Rank))])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readHelloTail parses the hello after its 4-byte magic has already been
+// consumed (the collector peeks the magic to dispatch ship vs bulk mode).
+func readHelloTail(br io.ByteReader) (hello, error) {
+	var h hello
+	var ver uint16
+	lo, err := readByte(br)
+	if err != nil {
+		return h, err
+	}
+	hi, err := readByte(br)
+	if err != nil {
+		return h, err
+	}
+	ver = uint16(lo) | uint16(hi)<<8
+	if ver != wireVersion {
+		return h, fmt.Errorf("%w: hello version %d", errWire, ver)
+	}
+	node, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("%w: hello node id: %v", errWire, err)
+	}
+	rank, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("%w: hello rank: %v", errWire, err)
+	}
+	h.NodeID = uint32(node)
+	h.Rank = uint32(rank)
+	return h, nil
+}
+
+func readByte(br io.ByteReader) (byte, error) {
+	b, err := br.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("%w: short hello: %v", errWire, err)
+	}
+	return b, nil
+}
+
+// writeFrame emits one chunk frame as a single buffer, so a mid-frame
+// connection death never leaves the peer a torn prefix it could misparse
+// (it re-syncs from the sequence cursor after reconnect either way).
+func writeFrame(w io.Writer, seq uint64, payload []byte) error {
+	frame := make([]byte, frameHdrLen+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], seq)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHdrLen:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one chunk frame into buf (grown as needed), returning
+// the sequence number and payload. The payload aliases buf and is valid
+// until the next call.
+func readFrame(r io.Reader, buf []byte) (seq uint64, payload, newBuf []byte, err error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	seq = binary.LittleEndian.Uint64(hdr[0:8])
+	plen := binary.LittleEndian.Uint32(hdr[8:12])
+	sum := binary.LittleEndian.Uint32(hdr[12:16])
+	if plen > maxChunkLen {
+		return 0, nil, buf, fmt.Errorf("%w: frame length %d", errWire, plen)
+	}
+	if uint32(cap(buf)) < plen {
+		buf = make([]byte, plen)
+	}
+	payload = buf[:plen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, buf, fmt.Errorf("%w: frame checksum mismatch", errWire)
+	}
+	return seq, payload, buf, nil
+}
+
+// encodeChunk serialises the symbols registered at ids [fromSym, sym.Len())
+// plus one event batch into a self-contained chunk. Timestamp deltas
+// restart at zero, so the chunk decodes with no cross-chunk state beyond
+// the cumulative symbol table.
+func encodeChunk(events []trace.Event, sym *trace.SymTab, fromSym int) (payload []byte, symCount int, err error) {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) { buf.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	sv := func(v int64) { buf.Write(scratch[:binary.PutVarint(scratch[:], v)]) }
+
+	names := sym.Names()
+	if fromSym > len(names) {
+		return nil, 0, fmt.Errorf("collect: symbol cursor %d beyond table of %d", fromSym, len(names))
+	}
+	fresh := names[fromSym:]
+	uv(uint64(len(fresh)))
+	for i, name := range fresh {
+		addr, err := sym.Addr(uint32(fromSym + i))
+		if err != nil {
+			return nil, 0, err
+		}
+		uv(addr)
+		uv(uint64(len(name)))
+		buf.WriteString(name)
+	}
+
+	uv(uint64(len(events)))
+	var prevTS int64
+	for i, e := range events {
+		if err := e.Valid(); err != nil {
+			return nil, 0, fmt.Errorf("collect: event %d: %w", i, err)
+		}
+		buf.WriteByte(byte(e.Kind))
+		uv(uint64(e.Lane))
+		ts := int64(e.TS)
+		sv(ts - prevTS)
+		prevTS = ts
+		switch e.Kind {
+		case trace.KindEnter, trace.KindExit, trace.KindMarker:
+			uv(uint64(e.FuncID))
+		case trace.KindSample:
+			uv(uint64(e.SensorID))
+			// Quantised exactly like the trace codec, so a shipped sample
+			// decodes to the value a trace file round-trips to.
+			sv(int64(math.Round(e.ValueC * 1000)))
+		case trace.KindDrop:
+			uv(e.Aux)
+		}
+	}
+	return buf.Bytes(), len(names), nil
+}
+
+// decodeChunk folds one chunk into the node's cumulative symbol table and
+// decodes its events into batch (reused across calls). New symbols must
+// continue the table densely — a gap means lost chunks (a collector
+// restart mid-stream) and poisons the node rather than mis-attributing
+// samples.
+func decodeChunk(payload []byte, sym *trace.SymTab, batch []trace.Event) ([]trace.Event, error) {
+	buf := bytes.NewBuffer(payload)
+	nsyms, err := binary.ReadUvarint(buf)
+	if err != nil || nsyms > 1<<24 {
+		return nil, fmt.Errorf("%w: chunk symbol count", errWire)
+	}
+	base := sym.Len()
+	for i := uint64(0); i < nsyms; i++ {
+		if _, err := binary.ReadUvarint(buf); err != nil { // addr: regenerated on Register
+			return nil, fmt.Errorf("%w: chunk symbol %d addr", errWire, i)
+		}
+		nameLen, err := binary.ReadUvarint(buf)
+		if err != nil || nameLen > maxHelloName {
+			return nil, fmt.Errorf("%w: chunk symbol %d name length", errWire, i)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(buf, name); err != nil {
+			return nil, fmt.Errorf("%w: chunk symbol %d name", errWire, i)
+		}
+		if got := sym.Register(string(name)); int(got) != base+int(i) {
+			return nil, fmt.Errorf("%w: chunk symbol %q re-registered (lost chunk?)", errWire, name)
+		}
+	}
+
+	n, err := binary.ReadUvarint(buf)
+	if err != nil || n > 1<<32 {
+		return nil, fmt.Errorf("%w: chunk event count", errWire)
+	}
+	nsymsNow := uint64(sym.Len())
+	batch = batch[:0]
+	var ts int64
+	for i := uint64(0); i < n; i++ {
+		kindB, err := buf.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk event %d kind", errWire, i)
+		}
+		e := trace.Event{Kind: trace.EventKind(kindB)}
+		lane, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk event %d lane", errWire, i)
+		}
+		e.Lane = uint32(lane)
+		dts, err := binary.ReadVarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk event %d Δts", errWire, i)
+		}
+		ts += dts
+		if ts < 0 {
+			return nil, fmt.Errorf("%w: chunk event %d negative timestamp", errWire, i)
+		}
+		e.TS = time.Duration(ts)
+		switch e.Kind {
+		case trace.KindEnter, trace.KindExit, trace.KindMarker:
+			fid, err := binary.ReadUvarint(buf)
+			if err != nil || fid >= nsymsNow {
+				return nil, fmt.Errorf("%w: chunk event %d func id", errWire, i)
+			}
+			e.FuncID = uint32(fid)
+		case trace.KindSample:
+			sid, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: chunk event %d sensor id", errWire, i)
+			}
+			e.SensorID = uint32(sid)
+			milli, err := binary.ReadVarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: chunk event %d sample value", errWire, i)
+			}
+			e.ValueC = float64(milli) / 1000
+		case trace.KindDrop:
+			aux, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: chunk event %d drop count", errWire, i)
+			}
+			e.Aux = aux
+		default:
+			return nil, fmt.Errorf("%w: chunk event %d unknown kind %d", errWire, i, kindB)
+		}
+		batch = append(batch, e)
+	}
+	if buf.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing chunk bytes", errWire, buf.Len())
+	}
+	return batch, nil
+}

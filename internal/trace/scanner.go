@@ -66,42 +66,80 @@ type Scanner struct {
 // the symbol table and event count). The header is strict in both
 // versions: a torn header is ErrBadFormat, not a salvageable trace.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
-	}
-	if magic != formatMagic {
-		return nil, fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
-	}
-	var version uint16
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
-	}
-	if version != formatVersion && version != formatVersionSeg {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
-	}
-	nodeID, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: node id: %v", ErrBadFormat, err)
-	}
-	rank, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: rank: %v", ErrBadFormat, err)
-	}
-	s := &Scanner{
-		br:      br,
-		version: version,
-		nodeID:  uint32(nodeID),
-		rank:    uint32(rank),
-		sym:     NewSymTab(),
-	}
-	if version == formatVersion {
-		if err := s.readV1Preamble(); err != nil {
-			return nil, err
-		}
+	s := &Scanner{}
+	if err := s.Reset(r); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// Reset rewinds the scanner onto a fresh stream, reading and validating
+// its header exactly like NewScanner: all decode state (version, node
+// identity, timestamps, truncation verdict) is discarded and a new
+// symbol table is allocated, but the internal batch and payload buffers
+// — the scanner's only large allocations — are retained. Long-running
+// consumers that scan many streams back to back (the collector rescanning
+// per connection, tempest-parse walking a file list) therefore pay the
+// decode-buffer allocation once, not per stream.
+//
+// The previous stream's SymTab is never mutated again after Reset, so
+// builders holding it stay valid. A header error poisons the scanner
+// (Next keeps returning it) until the next successful Reset.
+func (s *Scanner) Reset(r io.Reader) error {
+	if s.br == nil {
+		s.br = bufio.NewReader(r)
+	} else {
+		s.br.Reset(r)
+	}
+	s.version = 0
+	s.nodeID = 0
+	s.rank = 0
+	s.sym = NewSymTab()
+	s.declared = 0
+	s.decoded = 0
+	s.prevTS = 0
+	s.truncated = false
+	s.done = false
+	s.err = nil
+	if err := s.readHeader(); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// readHeader consumes and validates the stream header (and, for version
+// 1, the preamble).
+func (s *Scanner) readHeader() error {
+	var magic uint32
+	if err := binary.Read(s.br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if magic != formatMagic {
+		return fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
+	}
+	var version uint16
+	if err := binary.Read(s.br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
+	}
+	if version != formatVersion && version != formatVersionSeg {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	nodeID, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return fmt.Errorf("%w: node id: %v", ErrBadFormat, err)
+	}
+	rank, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return fmt.Errorf("%w: rank: %v", ErrBadFormat, err)
+	}
+	s.version = version
+	s.nodeID = uint32(nodeID)
+	s.rank = uint32(rank)
+	if version == formatVersion {
+		return s.readV1Preamble()
+	}
+	return nil
 }
 
 // readV1Preamble consumes the one-shot format's symbol table and event

@@ -234,3 +234,154 @@ func TestScannerBatchReusedBetweenCalls(t *testing.T) {
 		t.Error("batch backing array not reused — streaming reads would allocate per segment")
 	}
 }
+
+func TestScannerResetRescansNewStream(t *testing.T) {
+	// Reset must make the scanner equivalent to a fresh NewScanner on the
+	// new stream: header re-read, fresh symbol table, counters cleared.
+	orig := sampleTrace(t)
+	var v1, v2 bytes.Buffer
+	if err := orig.Write(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteSegmented(&v2, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewScanner(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]Event(nil), drainScanner(t, sc)...)
+	firstSym := sc.Sym()
+
+	if err := sc.Reset(bytes.NewReader(v2.Bytes())); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if sc.Version() != 2 {
+		t.Errorf("after Reset onto v2 stream, Version() = %d", sc.Version())
+	}
+	if sc.Events() != 0 {
+		t.Errorf("Events() = %d after Reset, want 0", sc.Events())
+	}
+	second := drainScanner(t, sc)
+	sortEvents(second)
+	want, err := ReadTrace(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want.Events) {
+		t.Errorf("rescan events differ:\n got %+v\nwant %+v", second, want.Events)
+	}
+	// The first stream's symbol table must survive the Reset: holders of
+	// the old scan's results keep resolving against it.
+	if !reflect.DeepEqual(firstSym.Names(), orig.Sym.Names()) {
+		t.Errorf("old SymTab mutated by Reset: %v", firstSym.Names())
+	}
+	if sc.Sym() == firstSym {
+		t.Error("Reset reused the previous stream's SymTab")
+	}
+	sortEvents(first)
+	if !reflect.DeepEqual(first, orig.Events) {
+		t.Errorf("first scan corrupted by Reset")
+	}
+}
+
+func TestScannerResetAfterHeaderError(t *testing.T) {
+	orig := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainScanner(t, sc)
+
+	// A Reset onto garbage fails and poisons the scanner...
+	if err := sc.Reset(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("Reset accepted a bogus header")
+	}
+	if _, err := sc.Next(); err == nil || err == io.EOF {
+		t.Fatalf("Next after failed Reset = %v, want a persistent error", err)
+	}
+	// ...until the next successful Reset revives it.
+	if err := sc.Reset(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("recovery Reset: %v", err)
+	}
+	got := drainScanner(t, sc)
+	if !reflect.DeepEqual(got, orig.Events) {
+		t.Error("scan after recovery Reset differs")
+	}
+}
+
+// benchScannerTrace builds a multi-segment trace for the Reset benchmark.
+func benchScannerTrace(b *testing.B) []byte {
+	b.Helper()
+	clk := vclock.NewVirtualClock()
+	tr, err := NewTracer(Config{Clock: clk, NodeID: 7, LaneBufferCap: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lane := tr.NewLane()
+	f := tr.RegisterFunc("bench_fn")
+	for i := 0; i < 4096; i++ {
+		clk.Advance(time.Microsecond)
+		lane.Enter(f)
+		tr.Sample(0, 40+float64(i%10))
+		_ = lane.Exit(f)
+	}
+	var buf bytes.Buffer
+	if err := tr.Finish().WriteSegmented(&buf, 512); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkScannerPerStream compares the per-stream setup cost of a
+// fresh NewScanner against Reset on a retained one — the difference is
+// the batch/payload buffers Reset keeps (satellite: collector bulk
+// ingest rescans per connection).
+func BenchmarkScannerPerStream(b *testing.B) {
+	raw := benchScannerTrace(b)
+	scan := func(b *testing.B, sc *Scanner) {
+		for {
+			_, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		r := bytes.NewReader(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			sc, err := NewScanner(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scan(b, sc)
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		r := bytes.NewReader(raw)
+		sc, err := NewScanner(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scan(b, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			if err := sc.Reset(r); err != nil {
+				b.Fatal(err)
+			}
+			scan(b, sc)
+		}
+	})
+}

@@ -39,6 +39,13 @@ type LiveConfig struct {
 	// than O(events) over arbitrarily long runs, and is what makes
 	// Snapshot cheap.
 	DrainInterval time.Duration
+	// DrainSink, when set, receives every drained batch along with the
+	// tracer's live symbol table — the fleet-mode hook: tempest-live
+	// wires a collect.Shipper here. Batches arrive in record order,
+	// serialised under the session's builder lock, and the slice is not
+	// retained by the session after the call. The sink must not block
+	// for long; it runs on the drain loop.
+	DrainSink func(events []trace.Event, sym *trace.SymTab)
 }
 
 // LiveSession profiles real code on the current machine: an explicit
@@ -210,11 +217,18 @@ func (s *LiveSession) SetSimUtilization(core int, u float64) error {
 // it below 1 %).
 func (s *LiveSession) TempdBusyFraction() float64 { return s.daemon.BusyFraction() }
 
-// drain moves buffered trace events into the streaming builder.
+// drain moves buffered trace events into the streaming builder and, in
+// fleet mode, hands the same batch to the DrainSink. The whole step runs
+// under the builder lock: Drain and Add must be atomic with respect to
+// concurrent drains, or two drains could interleave and feed the builder
+// a lane's events out of order.
 func (s *LiveSession) drain() {
-	ev, _ := s.tracer.Drain()
 	s.bmu.Lock()
+	ev, sym := s.tracer.Drain()
 	_ = s.builder.Add(ev) // a structural error poisons the builder; Close reports it
+	if s.cfg.DrainSink != nil {
+		s.cfg.DrainSink(ev, sym)
+	}
 	s.bmu.Unlock()
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# collectd_smoke.sh — end-to-end smoke test for the fleet collector.
+#
+# Builds tempest-collectd, starts it on ephemeral ports, ships the canned
+# trace (cmd/tempest-collectd/testdata/smoke.tpst) through the bulk
+# ingest path, then checks the HTTP surface:
+#   * /api/hotspots?k=5 must match the committed golden response
+#     (cmd/tempest-collectd/testdata/hotspots.golden)
+#   * /metrics must show non-zero ingest counters
+#   * /healthz must answer ok
+#
+# Run `make collectd-smoke UPDATE_GOLDEN=1` after intentionally changing
+# the hotspot computation or response shape to regenerate the golden.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+UPDATE_GOLDEN=${UPDATE_GOLDEN:-}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> building tempest-collectd"
+$GO build -o "$workdir/tempest-collectd" ./cmd/tempest-collectd
+
+echo "==> starting collector on ephemeral ports"
+"$workdir/tempest-collectd" -listen 127.0.0.1:0 -http 127.0.0.1:0 \
+    >"$workdir/addr" 2>"$workdir/collectd.log" &
+daemon_pid=$!
+
+# The daemon prints "ingest=HOST:PORT http=HOST:PORT" once bound.
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "collectd died:"; cat "$workdir/collectd.log"; exit 1; }
+    sleep 0.05
+done
+[ -s "$workdir/addr" ] || { echo "collectd never printed its addresses"; exit 1; }
+read -r ingest_kv http_kv <"$workdir/addr"
+INGEST=${ingest_kv#ingest=}
+HTTP=${http_kv#http=}
+echo "    ingest=$INGEST http=$HTTP"
+
+echo "==> shipping canned trace"
+"$workdir/tempest-collectd" -upload cmd/tempest-collectd/testdata/smoke.tpst -to "$INGEST"
+
+echo "==> checking /healthz"
+curl -fsS "http://$HTTP/healthz" | grep -qx ok
+
+echo "==> checking /api/hotspots?k=5 against golden"
+curl -fsS "http://$HTTP/api/hotspots?k=5" >"$workdir/hotspots.json"
+golden=cmd/tempest-collectd/testdata/hotspots.golden
+if [ -n "$UPDATE_GOLDEN" ]; then
+    cp "$workdir/hotspots.json" "$golden"
+    echo "    golden updated"
+else
+    diff -u "$golden" "$workdir/hotspots.json"
+fi
+
+echo "==> checking /metrics counters are live"
+curl -fsS "http://$HTTP/metrics" >"$workdir/metrics"
+for metric in tempest_collect_segments_total tempest_collect_events_total \
+              tempest_collect_bytes_total tempest_collect_connections_total \
+              tempest_collect_nodes; do
+    val=$(awk -v m="$metric" '$1 == m { print $2 }' "$workdir/metrics")
+    if [ -z "$val" ] || [ "$val" = "0" ]; then
+        echo "metric $metric is missing or zero after ingest:"
+        cat "$workdir/metrics"
+        exit 1
+    fi
+    echo "    $metric=$val"
+done
+
+echo "==> collectd smoke OK"
