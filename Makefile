@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-smoke fuzz-smoke collectd-smoke clean
+.PHONY: all build vet tempest-vet test race chaos bench bench-smoke fuzz-smoke collectd-smoke clean
 
-all: vet build test
+all: vet tempest-vet build test
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariant checks (internal/analysis passes): Enter/Exit
+# pairing, wall-clock bans in virtual-time packages, lock annotations,
+# wire-frame seq/crc discipline, NaN comparisons. Must exit 0.
+tempest-vet:
+	$(GO) run ./cmd/tempest-vet ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real concurrency: the MPI
-# transports, the sampling daemon, the resilient sensor wrappers, the
-# multi-lane tracer and the parallel parser worker pool.
+# Race-detector pass over the whole module. Everything here runs real
+# concurrency somewhere (tracer lanes, tempd, transports, parser pool,
+# collector, auto-instrument hooks), so nothing is hand-picked.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/tempd/... ./internal/sensors/... ./internal/trace/... ./internal/parser/... ./internal/collect/...
+	$(GO) test -race ./...
 
 # Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
 # tail + flaky TCP link), plus the per-package chaos tests.
@@ -37,9 +43,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Pipeline|ParseAll' -benchtime=1x -benchmem ./internal/parser/
 
 # Run every fuzz target once over its checked-in seed corpus (no open-
-# ended fuzzing): codec, streaming scanner, and friends.
+# ended fuzzing): codec, streaming scanner, and the collector's ship-mode
+# frame decoder.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/
+	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/collect/
 
 # End-to-end fleet-collector smoke: start tempest-collectd on ephemeral
 # ports, ship the canned trace, and diff /api/hotspots against its

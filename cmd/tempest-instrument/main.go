@@ -1,0 +1,109 @@
+// Command tempest-instrument rewrites a Go package so every function
+// records entry/exit through tempest's trace runtime — the source-level
+// reproduction of building with `gcc -finstrument-functions` (paper
+// §3.1), with the registration table standing in for the symbol lookup
+// the original does against the ELF symbol table.
+//
+// Usage:
+//
+//	tempest-instrument -o DIR ./pkg     # copy mode: rewritten package in DIR
+//	tempest-instrument -w ./pkg         # in-place: build-tagged twins next to originals
+//	tempest-instrument -n ./pkg         # dry run: list what would be instrumented
+//
+// In-place mode leaves a plain `go build` byte-identical to the
+// uninstrumented package; `go build -tags tempest_instr` selects the
+// instrumented twins. Filter with -match / -exclude (regexps over
+// symbols like "pkg.(*T).M").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"tempest/internal/instrumenter"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tempest-instrument", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		outDir  = fs.String("o", "", "copy mode: write the rewritten package to this `dir`")
+		inPlace = fs.Bool("w", false, "in-place mode: add build-tagged instrumented twins beside the originals")
+		dryRun  = fs.Bool("n", false, "dry run: report what would be instrumented, write nothing")
+		match   = fs.String("match", "", "only instrument symbols matching this `regexp`")
+		exclude = fs.String("exclude", "", "skip symbols matching this `regexp`")
+		tag     = fs.String("tag", instrumenter.DefaultBuildTag, "build `tag` for in-place twins")
+		quiet   = fs.Bool("q", false, "suppress the per-function listing")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tempest-instrument [-o dir | -w | -n] [-match re] [-exclude re] package-dir")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	modes := 0
+	for _, on := range []bool{*outDir != "", *inPlace, *dryRun} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "tempest-instrument: exactly one of -o, -w, -n is required")
+		return 2
+	}
+
+	opts := instrumenter.Options{OutDir: *outDir, BuildTag: *tag}
+	var err error
+	if *match != "" {
+		if opts.Match, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(os.Stderr, "tempest-instrument: -match: %v\n", err)
+			return 2
+		}
+	}
+	if *exclude != "" {
+		if opts.Exclude, err = regexp.Compile(*exclude); err != nil {
+			fmt.Fprintf(os.Stderr, "tempest-instrument: -exclude: %v\n", err)
+			return 2
+		}
+	}
+	if *dryRun {
+		// A dry run plans as copy mode into a throwaway path so in-place
+		// constraints are not required to be absent.
+		opts.OutDir = os.TempDir()
+	}
+
+	res, err := instrumenter.Instrument(fs.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tempest-instrument: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		for _, fn := range res.Funcs {
+			fmt.Println(fn)
+		}
+	}
+	if *dryRun {
+		fmt.Fprintf(os.Stderr, "tempest-instrument: would instrument %d functions in %s\n", len(res.Funcs), res.PkgPath)
+		return 0
+	}
+	if len(res.Files) == 0 {
+		fmt.Fprintf(os.Stderr, "tempest-instrument: %s already instrumented; nothing to do\n", res.PkgPath)
+		return 0
+	}
+	if err := instrumenter.Apply(res); err != nil {
+		fmt.Fprintf(os.Stderr, "tempest-instrument: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tempest-instrument: instrumented %d functions in %s (%d files)\n",
+		len(res.Funcs), res.PkgPath, len(res.Files))
+	return 0
+}

@@ -1,0 +1,100 @@
+// Command tempest-vet runs Tempest's invariant suite — the project's
+// custom static analyses — over a set of packages, in the style of
+// go vet:
+//
+//	tempest-vet ./...                      # whole repo, all passes
+//	tempest-vet -passes wallclock,naneq ./internal/...
+//	tempest-vet -tests ./internal/trace    # include in-package _test.go
+//	tempest-vet -list                      # catalogue of passes
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure
+// (including type errors in the target packages). Individual findings
+// can be silenced with a `//tempest:ignore <pass>` comment on or above
+// the flagged line; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tempest/internal/analysis"
+	"tempest/internal/analysis/passes"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tempest-vet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		passList = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		tests    = fs.Bool("tests", false, "also analyse in-package _test.go files")
+		list     = fs.Bool("list", false, "print the pass catalogue and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tempest-vet [flags] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := passes.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *passList != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*passList, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(os.Stderr, "tempest-vet: unknown pass %q (known: %s)\n", name, strings.Join(known, ", "))
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: ".", IncludeTests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tempest-vet: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tempest-vet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tempest-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tempest"
+	workload "tempest/examples/autoinstr/workload_instr"
+	"tempest/internal/instrumenter"
+	"tempest/internal/trace"
+)
+
+const (
+	iters     = 32
+	workers   = 4
+	perWorker = 8
+	mixRounds = 3 // workload.Run calls Mix(3)
+)
+
+func newSession(t *testing.T) *tempest.LiveSession {
+	t.Helper()
+	s, err := tempest.NewLiveSession(tempest.LiveConfig{
+		HwmonRoot:             t.TempDir(), // empty: force the simulated sensors
+		AllowSimulatedSensors: true,
+		SampleRateHz:          50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func callCounts(t *testing.T, p *tempest.Profile) map[string]int64 {
+	t.Helper()
+	counts := map[string]int64{}
+	for _, f := range p.Nodes[0].Functions {
+		counts[f.Name] = f.Calls
+	}
+	return counts
+}
+
+// runAuto profiles the committed rewriter output with zero manual
+// instrumentation: the injected prologues are the only hooks.
+func runAuto(t *testing.T) map[string]int64 {
+	s := newSession(t)
+	s.EnableAutoInstrument()
+	_ = workload.Run(iters)
+	_ = workload.Parallel(workers, perWorker)
+	prof, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return callCounts(t, prof)
+}
+
+// runManual replays the workload's exact call tree through hand-written
+// Lane instrumentation — the paper's "non-transparent" library style —
+// producing the reference profile the rewriter output must match.
+func runManual(t *testing.T) map[string]int64 {
+	s := newSession(t)
+	lane := s.Lane()
+
+	spin := func(l *trace.Lane) { _ = l.Instrument("workload.Spin", func() {}) }
+	step := func(l *trace.Lane) {
+		_ = l.Instrument("workload.Step", func() { spin(l) })
+	}
+
+	_ = lane.Instrument("workload.Run", func() {
+		for i := 0; i < iters; i++ {
+			step(lane)
+		}
+		_ = lane.Instrument("workload.Mix", func() {
+			for r := 0; r < mixRounds; r++ {
+				spin(lane)
+			}
+		})
+	})
+	_ = lane.Instrument("workload.Parallel", func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wl := s.Lane() // one lane per goroutine, as the tracer requires
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					step(wl)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+
+	prof, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return callCounts(t, prof)
+}
+
+// TestAutoMatchesManualCallCounts is the dogfood acceptance check: the
+// auto-instrumented workload and its hand-instrumented twin must report
+// identical per-function call counts.
+func TestAutoMatchesManualCallCounts(t *testing.T) {
+	auto := runAuto(t)
+	manual := runManual(t)
+
+	names := []string{"workload.Run", "workload.Step", "workload.Mix", "workload.Spin", "workload.Parallel"}
+	want := map[string]int64{
+		"workload.Run":      1,
+		"workload.Mix":      1,
+		"workload.Parallel": 1,
+		"workload.Step":     iters + workers*perWorker,
+		"workload.Spin":     iters + workers*perWorker + mixRounds,
+	}
+	for _, name := range names {
+		if auto[name] != manual[name] {
+			t.Errorf("%s: auto %d calls, manual %d calls", name, auto[name], manual[name])
+		}
+		if auto[name] != want[name] {
+			t.Errorf("%s: auto %d calls, want %d", name, auto[name], want[name])
+		}
+	}
+}
+
+// TestCommittedCopyMatchesRewriter regenerates workload_instr from
+// workload and byte-compares it with the committed copy, so the two
+// cannot drift apart silently.
+func TestCommittedCopyMatchesRewriter(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "regen")
+	res, err := instrumenter.Instrument("workload", instrumenter.Options{OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := instrumenter.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("regeneration produced no files")
+	}
+	for _, e := range entries {
+		fresh, err := os.ReadFile(filepath.Join(out, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err := os.ReadFile(filepath.Join("workload_instr", e.Name()))
+		if err != nil {
+			t.Fatalf("committed copy missing %s — rerun: go run ./cmd/tempest-instrument -o examples/autoinstr/workload_instr examples/autoinstr/workload", e.Name())
+		}
+		if string(fresh) != string(committed) {
+			t.Errorf("%s drifted from rewriter output — regenerate workload_instr", e.Name())
+		}
+	}
+}
+
+// TestBurstDoesNotDropEvents pins the failure mode the demo first hit:
+// fine-grained auto-instrumentation emits tens of thousands of events
+// per drain tick, which overflows the default lane buffer and desyncs
+// the profile. With LaneBufferCap sized for the burst, nothing drops.
+func TestBurstDoesNotDropEvents(t *testing.T) {
+	s, err := tempest.NewLiveSession(tempest.LiveConfig{
+		HwmonRoot:             t.TempDir(),
+		AllowSimulatedSensors: true,
+		SampleRateHz:          50,
+		LaneBufferCap:         1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableAutoInstrument()
+	_ = workload.Run(20_000) // ~80k events on one lane, within one drain tick
+	prof, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := prof.Nodes[0]
+	if node.DroppedEvents != 0 {
+		t.Fatalf("dropped %d events despite sized lane buffer", node.DroppedEvents)
+	}
+	counts := callCounts(t, prof)
+	if counts["workload.Step"] != 20_000 {
+		t.Fatalf("workload.Step calls = %d, want 20000", counts["workload.Step"])
+	}
+}
+
+// TestAutoInstrumentDetachesOnClose guards the session teardown path:
+// after Close, prologues must be inert again.
+func TestAutoInstrumentDetachesOnClose(t *testing.T) {
+	s := newSession(t)
+	s.EnableAutoInstrument()
+	_ = workload.Spin(10)
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic or record into the closed session.
+	_ = workload.Spin(10)
+}

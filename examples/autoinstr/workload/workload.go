@@ -1,0 +1,70 @@
+// Package workload is the uninstrumented dogfood target for
+// cmd/tempest-instrument: examples/autoinstr/workload_instr is this
+// package passed through the rewriter (copy mode) and committed, and
+// the autoinstr tests assert that profiling the rewritten copy yields
+// the same per-function call counts as instrumenting this package by
+// hand.
+//
+// All work is deterministic — fixed call fan-out, no time or
+// randomness — so the two profiles are comparable call-for-call.
+package workload
+
+import "sync"
+
+// Spin burns a deterministic number of integer operations.
+func Spin(n int) uint64 {
+	var acc uint64 = 1
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}
+
+// Step is the inner-loop body Run fans out to.
+func Step(i int) uint64 {
+	return Spin(200 + i%16)
+}
+
+// Mix is a second top-level phase so the profile has more than one
+// leaf.
+func Mix(rounds int) uint64 {
+	var acc uint64
+	for r := 0; r < rounds; r++ {
+		acc ^= Spin(64)
+	}
+	return acc
+}
+
+// Run executes the serial phase: iters Steps then one Mix.
+func Run(iters int) uint64 {
+	var acc uint64
+	for i := 0; i < iters; i++ {
+		acc ^= Step(i)
+	}
+	return acc ^ Mix(3)
+}
+
+// Parallel runs workers goroutines, each calling Step perWorker times —
+// the per-goroutine-lane exercise.
+func Parallel(workers, perWorker int) uint64 {
+	var (
+		mu  sync.Mutex
+		acc uint64
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local uint64
+			for i := 0; i < perWorker; i++ {
+				local ^= Step(w + i)
+			}
+			mu.Lock()
+			acc ^= local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return acc
+}

@@ -1,0 +1,159 @@
+// Package instrument is the runtime half of Tempest's automatic
+// source-level instrumentation — the Go stand-in for the paper's
+// `gcc -finstrument-functions` entry/exit hooks.
+//
+// cmd/tempest-instrument rewrites a package so that every selected
+// function begins with
+//
+//	defer instrument.Trace(tempestInstrSlots[i])()
+//
+// next to a generated registration block
+//
+//	var tempestInstrSlots = instrument.Register("pkg/path", []string{...})
+//
+// The package is inert until a profiling session attaches a tracer
+// (LiveSession.EnableAutoInstrument, or Attach directly): before that,
+// Trace is a few atomic loads and a no-op closure, so instrumented
+// binaries run unprofiled at negligible cost — the same property the
+// paper gets from shipping separate instrumented builds, without the
+// separate build.
+//
+// Lanes are allocated per goroutine (keyed by goroutine id), matching
+// the tracer's one-lane-per-worker model, so instrumented code may be
+// freely concurrent.
+package instrument
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tempest/internal/trace"
+)
+
+var (
+	regMu sync.Mutex
+	// names is the global slot table: Register appends, Attach interns
+	// into the tracer's symbol table.
+	names []string
+	// active is the currently attached binding, nil when disabled.
+	active atomic.Pointer[binding]
+)
+
+// binding connects the slot table to one tracer.
+type binding struct {
+	tracer *trace.Tracer
+	mu     sync.Mutex
+	fids   []uint32 // guarded by mu; slot → tracer function id
+	lanes  sync.Map // goroutine id (uint64) → *trace.Lane
+}
+
+// Register interns a package's instrumented function names and returns
+// their slot indices. It is called from generated init-time code and is
+// safe before, during and after Attach.
+func Register(pkgPath string, fnNames []string) []int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	base := len(names)
+	names = append(names, fnNames...)
+	slots := make([]int, len(fnNames))
+	for i := range slots {
+		slots[i] = base + i
+	}
+	if b := active.Load(); b != nil {
+		b.extend(names)
+	}
+	return slots
+}
+
+// Attach enables auto-instrumentation against tr. Any previously
+// attached tracer is replaced. Passing nil detaches.
+func Attach(tr *trace.Tracer) {
+	if tr == nil {
+		active.Store(nil)
+		return
+	}
+	b := &binding{tracer: tr}
+	regMu.Lock()
+	b.extend(names)
+	regMu.Unlock()
+	active.Store(b)
+}
+
+// Detach disables auto-instrumentation if tr is the attached tracer
+// (nil detaches unconditionally). Sessions call this on Close so a dying
+// session never strands hooks pointing at a stopped tracer.
+func Detach(tr *trace.Tracer) {
+	b := active.Load()
+	if b == nil {
+		return
+	}
+	if tr == nil || b.tracer == tr {
+		active.CompareAndSwap(b, nil)
+	}
+}
+
+// Attached reports whether any tracer is currently bound.
+func Attached() bool { return active.Load() != nil }
+
+// extend interns every known name, growing the slot→fid table.
+func (b *binding) extend(all []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.fids); i < len(all); i++ {
+		b.fids = append(b.fids, b.tracer.RegisterFunc(all[i]))
+	}
+}
+
+// noop is returned when instrumentation is detached.
+var noop = func() {}
+
+// Trace is the injected prologue hook: it records function entry on the
+// calling goroutine's lane and returns the matching exit hook for defer.
+// With no tracer attached it costs one atomic load.
+func Trace(slot int) func() {
+	b := active.Load()
+	if b == nil {
+		return noop
+	}
+	b.mu.Lock()
+	if slot < 0 || slot >= len(b.fids) {
+		b.mu.Unlock()
+		return noop
+	}
+	fid := b.fids[slot]
+	b.mu.Unlock()
+	lane := b.lane(goroutineID())
+	// Balanced by construction: the returned closure is the Exit and
+	// callers defer it.
+	lane.Enter(fid) //tempest:ignore enterexit
+	return func() { _ = lane.Exit(fid) }
+}
+
+// lane returns (or allocates) the lane for one goroutine.
+func (b *binding) lane(gid uint64) *trace.Lane {
+	if l, ok := b.lanes.Load(gid); ok {
+		return l.(*trace.Lane)
+	}
+	l, _ := b.lanes.LoadOrStore(gid, b.tracer.NewLane())
+	return l.(*trace.Lane)
+}
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine 123 [running]: …"). The ~µs cost is the price of
+// transparent per-goroutine lanes without threading context through
+// instrumented signatures; it is far below the per-sample costs the
+// paper budgets for (§3.2), and only paid while a tracer is attached.
+func goroutineID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,135 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"tempest/internal/analysis"
+	"tempest/internal/analysis/passes"
+)
+
+// TestLoadModulePackage exercises the source loader against a real
+// module package, including type information.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "."}, "./internal/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "tempest/internal/trace" {
+		t.Fatalf("unexpected packages %+v", pkgs)
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Scope().Lookup("Lane") == nil {
+		t.Fatal("trace.Lane not in package scope: type-check produced no objects")
+	}
+	if len(pkg.Files) == 0 || len(pkg.TypesInfo.Defs) == 0 {
+		t.Fatal("loaded package is missing syntax or type info")
+	}
+}
+
+// TestLoadWholeRepo proves the loader digests every package in the
+// module, mains and examples included.
+func TestLoadWholeRepo(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "."}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 25 {
+		t.Fatalf("expected the full repo (>=25 packages), got %d", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("loader descended into testdata: %s", p.Dir)
+		}
+	}
+}
+
+// TestRepoIsVetClean is the in-process twin of the CI tempest-vet step:
+// the invariant suite must stay clean over the whole repository.
+func TestRepoIsVetClean(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "."}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, passes.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestIgnoreDirective checks line coverage of //tempest:ignore: the
+// directive's own line and the next line, for the named pass only.
+func TestIgnoreDirective(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "."}, "./internal/vclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vclock.RealClock carries two sanctioned wall-clock reads; with the
+	// wallclock pass they must stay silent, and a pass of a different
+	// name must NOT be silenced by them.
+	var wallclock *analysis.Analyzer
+	for _, a := range passes.All() {
+		if a.Name == "wallclock" {
+			wallclock = a
+		}
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{wallclock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("ignore directives did not suppress RealClock findings: %v", findings)
+	}
+
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports once per file to prove foreign passes are not silenced",
+		Run: func(p *analysis.Pass) error {
+			for _, f := range p.Files {
+				p.Reportf(f.Name.Pos(), "probe finding")
+			}
+			return nil
+		},
+	}
+	findings, err = analysis.Run(pkgs, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("probe pass was unexpectedly suppressed")
+	}
+}
+
+// TestPathMatches pins the suffix-matching contract fixtures rely on.
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path, target string
+		want         bool
+	}{
+		{"tempest/internal/vclock", "internal/vclock", true},
+		{"internal/vclock", "internal/vclock", true},
+		{"tempest/internal/vclock2", "internal/vclock", false},
+		{"vclock", "internal/vclock", false},
+	}
+	for _, c := range cases {
+		if got := analysis.PathMatches(c.path, []string{c.target}); got != c.want {
+			t.Errorf("PathMatches(%q, %q) = %v, want %v", c.path, c.target, got, c.want)
+		}
+	}
+}
+
+// TestFindingString pins the diagnostic format the Makefile/CI greps.
+func TestFindingString(t *testing.T) {
+	f := analysis.Finding{
+		Position: token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "wallclock",
+		Message:  "no",
+	}
+	if got, want := f.String(), "x.go:3:7: [wallclock] no"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+// Package analysistest runs an Analyzer over fixture packages and checks
+// its diagnostics against // want comments — a stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<pkg>/ next to the pass being tested,
+// in the upstream layout. A fixture line carrying an expected diagnostic
+// ends with a want comment holding one regexp per expected finding:
+//
+//	lane.Enter(fid) // want `not matched by an Exit`
+//
+// Fixture packages may import each other by bare path and may import real
+// module packages ("tempest/internal/trace"), so seeded violations are
+// type-checked against the genuine Lane, Registry, … types rather than
+// mocks.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tempest/internal/analysis"
+)
+
+// Run loads each fixture pattern with testdata/src as the extra import
+// root, applies the analyzer, and reports any mismatch between produced
+// and expected diagnostics as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: ".", ExtraRoot: filepath.Join(testdata, "src")}, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("patterns %v matched no fixture packages", patterns)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, func(pos token.Position, exp *expectation) {
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], exp)
+			})
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Position.Filename, f.Position.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.used && exp.re.MatchString(f.Message) {
+				exp.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.re)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants extracts the want expectations of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, add func(token.Position, *expectation)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			patterns, err := parseWant(rest)
+			if err != nil {
+				t.Fatalf("%s: bad want comment: %v", pos, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+				}
+				add(pos, &expectation{re: re})
+			}
+		}
+	}
+}
+
+// parseWant splits a want payload into its quoted or backquoted regexps.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(s); {
+		switch s[i] {
+		case ' ', '\t':
+			i++
+		case '`':
+			end := strings.IndexByte(s[i+1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[i+1:i+1+end])
+			i += end + 2
+		case '"':
+			// Scan to the closing unescaped quote, then unquote.
+			j := i + 1
+			for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			lit, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			i = j + 1
+		default:
+			return nil, fmt.Errorf("unexpected character %q in want comment %q", s[i], s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

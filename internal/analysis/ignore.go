@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "tempest:ignore"
+
+// ignoreSet records, per file, the lines on which each pass is silenced.
+type ignoreSet struct {
+	// byFile maps filename → line → set of silenced pass names ("all"
+	// silences every pass).
+	byFile map[string]map[int]map[string]bool
+}
+
+// suppressed reports whether a finding from pass at pos is silenced.
+func (s ignoreSet) suppressed(pass string, pos token.Position) bool {
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[pos.Line]
+	if names == nil {
+		return false
+	}
+	return names["all"] || names[pass]
+}
+
+// collectIgnores scans every comment in the package for
+// //tempest:ignore directives. A directive covers its own line and the
+// line immediately below it, so both trailing and leading comment
+// placement work:
+//
+//	origin: time.Now(), //tempest:ignore wallclock
+//
+//	//tempest:ignore wallclock
+//	origin := time.Now()
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{byFile: map[string]map[int]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				args := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(args) == 0 {
+					args = []string{"all"}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set.byFile[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					names := lines[line]
+					if names == nil {
+						names = map[string]bool{}
+						lines[line] = names
+					}
+					for _, a := range args {
+						names[a] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,499 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package with syntax.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is any directory inside the target module (default ".").
+	Dir string
+	// IncludeTests also parses in-package _test.go files. External
+	// (package foo_test) files are never loaded.
+	IncludeTests bool
+	// ExtraRoot, when set, resolves imports that are neither module
+	// packages nor known stdlib packages against this directory,
+	// GOPATH-style — the analysistest harness points it at
+	// testdata/src so fixture packages can import each other and the
+	// real module packages at once.
+	ExtraRoot string
+}
+
+// Load parses and type-checks the packages matched by patterns and every
+// module-internal dependency, resolving standard-library imports through
+// the toolchain's export data (`go list -export`, fully offline). A
+// pattern is a module-relative directory ("./internal/trace"), a
+// recursive form ("./..."), or — with ExtraRoot set — a bare import path
+// under that root ("a", "internal/collect").
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	modDir, modPath, err := findModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportData(modDir)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		modDir:  modDir,
+		modPath: modPath,
+		exports: exports,
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		pkg, err := l.loadDir(d.dir, d.importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || seen[pkg.PkgPath] {
+			continue // no buildable files, or duplicate pattern match
+		}
+		seen[pkg.PkgPath] = true
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// loader resolves and caches packages for one Load call.
+type loader struct {
+	cfg     LoadConfig
+	fset    *token.FileSet
+	modDir  string
+	modPath string
+	exports map[string]string // import path → export data file
+	std     types.Importer
+	loaded  map[string]*Package
+	loading map[string]bool // cycle detection
+}
+
+type target struct {
+	dir        string
+	importPath string
+}
+
+// expand resolves patterns to directories plus their import paths.
+func (l *loader) expand(patterns []string) ([]target, error) {
+	var out []target
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			walked, err := l.walk(l.modDir, l.modPath)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, walked...)
+		case strings.HasSuffix(p, "/..."):
+			base := strings.TrimSuffix(p, "/...")
+			dir, ip, err := l.resolvePattern(base)
+			if err != nil {
+				return nil, err
+			}
+			walked, err := l.walk(dir, ip)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, walked...)
+		default:
+			dir, ip, err := l.resolvePattern(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, target{dir, ip})
+		}
+	}
+	return out, nil
+}
+
+// resolvePattern maps one non-recursive pattern to (dir, importPath).
+func (l *loader) resolvePattern(p string) (string, string, error) {
+	clean := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(p, "./")))
+	if clean == "." {
+		return l.modDir, l.modPath, nil
+	}
+	if clean == l.modPath || strings.HasPrefix(clean, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(clean, l.modPath), "/")
+		return filepath.Join(l.modDir, filepath.FromSlash(rel)), clean, nil
+	}
+	// Fixture root wins over module directories of the same name:
+	// analysistest names its fixtures after the real packages they stand
+	// in for ("internal/vclock") so suffix-scoped passes fire on them.
+	if l.cfg.ExtraRoot != "" {
+		if dir := filepath.Join(l.cfg.ExtraRoot, filepath.FromSlash(clean)); isDir(dir) {
+			return dir, clean, nil
+		}
+	}
+	if dir := filepath.Join(l.modDir, filepath.FromSlash(clean)); isDir(dir) {
+		return dir, l.modPath + "/" + clean, nil
+	}
+	return "", "", fmt.Errorf("analysis: pattern %q matches no directory", p)
+}
+
+// walk finds every package directory under root, skipping testdata,
+// hidden and underscore directories.
+func (l *loader) walk(root, rootImport string) ([]target, error) {
+	var out []target
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := rootImport
+		if rel != "." {
+			ip = rootImport + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, target{path, ip})
+		return nil
+	})
+	return out, err
+}
+
+// Import implements types.Importer: module-internal and extra-root
+// packages are type-checked from source; everything else comes from the
+// toolchain's export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == "C" {
+		return nil, errors.New("analysis: cgo packages are not supported")
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.modDir, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no buildable Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	if _, ok := l.exports[path]; ok {
+		return l.std.Import(path)
+	}
+	if l.cfg.ExtraRoot != "" {
+		if dir := filepath.Join(l.cfg.ExtraRoot, filepath.FromSlash(path)); isDir(dir) {
+			pkg, err := l.loadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			if pkg == nil {
+				return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+			}
+			return pkg.Types, nil
+		}
+	}
+	// Last resort: a stdlib package the module itself doesn't depend on.
+	if file, err := listExport(l.modDir, path); err == nil && file != "" {
+		l.exports[path] = file
+		return l.std.Import(path)
+	}
+	return nil, fmt.Errorf("analysis: cannot resolve import %q", path)
+}
+
+// lookupExport feeds the gc importer export data files.
+func (l *loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		var err error
+		if file, err = listExport(l.modDir, path); err != nil || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// loadDir parses and type-checks the package in dir. It returns (nil,
+// nil) when the directory holds no buildable Go files.
+func (l *loader) loadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.loaded[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, names, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		l.loaded[importPath] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		for i, e := range typeErrs {
+			if i > 0 {
+				b.WriteString("\n\t")
+			}
+			b.WriteString(e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type errors in %s (%s):\n\t%s", importPath, names[0], b.String())
+	}
+	pkg := &Package{
+		PkgPath:   importPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.loaded[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable Go files of one directory, honouring
+// build constraints via go/build file matching.
+func (l *loader) parseDir(dir string) ([]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := build.Default
+	var files []*ast.File
+	var fileNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.cfg.IncludeTests {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		fileNames = append(fileNames, name)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	// Keep one package per directory: drop external-test files
+	// (package foo_test) and, if mixed, anything not matching the
+	// majority package name of the non-test files.
+	pkgName := ""
+	for i, f := range files {
+		if !strings.HasSuffix(fileNames[i], "_test.go") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	if pkgName == "" {
+		pkgName = strings.TrimSuffix(files[0].Name.Name, "_test")
+	}
+	var kept []*ast.File
+	var keptNames []string
+	for i, f := range files {
+		if f.Name.Name != pkgName {
+			continue
+		}
+		kept = append(kept, f)
+		keptNames = append(keptNames, fileNames[i])
+	}
+	return kept, []string{pkgName}, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path. The instrumenter shares it to derive
+// import paths for registration blocks.
+func FindModule(dir string) (modDir, modPath string, err error) {
+	return findModule(dir)
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// exportCache memoises the `go list -export` sweep per module directory:
+// analysistest invokes Load once per test case and the sweep is by far
+// the slowest step.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]map[string]string
+}{m: map[string]map[string]string{}}
+
+// exportData maps every dependency of the module to its compiled export
+// data file, produced offline from the local build cache.
+func exportData(modDir string) (map[string]string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if m, ok := exportCache.m[modDir]; ok {
+		return m, nil
+	}
+	out, err := runGoList(modDir, "-deps", "-export", "-json=ImportPath,Export,Standard", "./...")
+	if err != nil {
+		return nil, err
+	}
+	m, err := parseGoList(out)
+	if err != nil {
+		return nil, err
+	}
+	exportCache.m[modDir] = m
+	return m, nil
+}
+
+// listExport fetches export data for a single package on demand.
+func listExport(modDir, path string) (string, error) {
+	out, err := runGoList(modDir, "-export", "-json=ImportPath,Export,Standard", path)
+	if err != nil {
+		return "", err
+	}
+	m, err := parseGoList(out)
+	if err != nil {
+		return "", err
+	}
+	return m[path], nil
+}
+
+func runGoList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w\n%s", err, stderr.String())
+	}
+	return stdout.Bytes(), nil
+}
+
+func parseGoList(out []byte) (map[string]string, error) {
+	m := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var entry struct {
+			ImportPath string
+			Export     string
+			Standard   bool
+		}
+		if err := dec.Decode(&entry); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %w", err)
+		}
+		if entry.Export != "" {
+			m[entry.ImportPath] = entry.Export
+		}
+	}
+	return m, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+			return true
+		}
+	}
+	return false
+}

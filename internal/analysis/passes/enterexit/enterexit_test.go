@@ -1,0 +1,12 @@
+package enterexit_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/enterexit"
+)
+
+func TestEnterExit(t *testing.T) {
+	analysistest.Run(t, enterexit.Analyzer, "a")
+}

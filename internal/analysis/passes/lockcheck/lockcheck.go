@@ -1,0 +1,167 @@
+// Package lockcheck enforces documented lock discipline. A struct field
+// annotated `// guarded by <mu>` may only be touched inside functions
+// that visibly acquire that mutex on the same object (x.mu.Lock() or
+// x.mu.RLock() for a field accessed as x.field). The check is
+// deliberately function-local and flow-insensitive — it proves the lock
+// was *taken somewhere in the function*, not that it is held at the
+// access — but that is exactly the class of mistake that survives review:
+// a new method reading a shared field with no locking at all.
+//
+// Conventions honoured:
+//   - composite-literal writes (construction, before the value escapes)
+//     are exempt;
+//   - functions whose name ends in "Locked" are exempt (the caller-holds-
+//     the-lock idiom);
+//   - intentional lock-free reads carry //tempest:ignore lockcheck.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tempest/internal/analysis"
+)
+
+// Analyzer implements the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "fields documented with `// guarded by <mu>` must only be accessed in functions " +
+		"that lock <mu> on the same object (or are named *Locked)",
+	Run: run,
+}
+
+// guardedRe extracts the mutex name from a field comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated field object to its mutex path.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardComment(field.Doc)
+				if mu == "" {
+					mu = guardComment(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardComment(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// checkFunc reports guarded-field accesses in fd that lack a matching
+// Lock call in the same function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	// locks collects every "<base>.<path>.Lock/RLock()" call, keyed by
+	// the full locked expression ("l.mu", "c.state.mu").
+	locks := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		locks[analysis.ExprString(sel.X)] = true
+		return true
+	})
+
+	// inLiteral tracks composite-literal nesting during the walk.
+	var visit func(n ast.Node, inLiteral bool)
+	visit = func(n ast.Node, inLiteral bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.CompositeLit:
+			inLiteral = true
+		case *ast.FuncLit:
+			// A nested closure re-enters non-literal context.
+			inLiteral = false
+		case *ast.SelectorExpr:
+			checkAccess(pass, v, guarded, locks, inLiteral)
+		}
+		children(n, func(c ast.Node) { visit(c, inLiteral) })
+	}
+	visit(fd.Body, false)
+}
+
+// checkAccess validates one x.field selector.
+func checkAccess(pass *analysis.Pass, sel *ast.SelectorExpr, guarded map[types.Object]string, locks map[string]bool, inLiteral bool) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	mu, ok := guarded[obj]
+	if !ok || inLiteral {
+		return
+	}
+	base := analysis.ExprString(sel.X)
+	want := base + "." + mu
+	if locks[want] {
+		return
+	}
+	pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but this function never calls %s.Lock or %s.RLock (rename it *Locked if the caller holds the lock)",
+		base, sel.Sel.Name, mu, want, want)
+}
+
+// children invokes fn for each immediate child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

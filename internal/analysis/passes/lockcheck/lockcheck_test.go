@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+// Fixture for the lockcheck pass.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok int
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	// guarded by rw
+	v float64
+}
+
+func (c *counter) bad() int {
+	return c.n // want `guarded by mu`
+}
+
+func (c *counter) badWrite(x int) {
+	c.n = x // want `guarded by mu`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) unguardedField() int {
+	return c.ok
+}
+
+// The *Locked suffix promises the caller holds the lock.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+// Construction happens before the value is shared.
+func newCounter(start int) *counter {
+	return &counter{n: start}
+}
+
+func (g *gauge) read() float64 {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+func (g *gauge) race() float64 {
+	return g.v // want `guarded by rw`
+}
+
+// Locking a different object of the same type does not count.
+func transfer(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n += b.n // want `guarded by mu`
+}
+
+func (c *counter) suppressed() int {
+	// Approximate reads are fine here by design.
+	return c.n //tempest:ignore lockcheck
+}

@@ -1,0 +1,90 @@
+// Package naneq enforces the sensor NaN contract's comparison rules.
+// Registry.ReadAll reports failed sensor slots as NaN rather than an
+// error, so downstream code is full of float comparisons against values
+// that are NaN by design. Two comparison shapes are always wrong:
+//
+//   - x == math.NaN() / x != math.NaN(): NaN compares unequal to
+//     everything including itself, so the expression is constant.
+//   - x == x / x != x on floats: a disguised (and easily inverted) NaN
+//     probe; math.IsNaN says what is meant.
+package naneq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tempest/internal/analysis"
+)
+
+// Analyzer implements the naneq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "naneq",
+	Doc: "flag comparisons against math.NaN() (always false/true) and floating-point " +
+		"self-comparison: the sensor ReadAll NaN contract requires math.IsNaN",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if isNaNCall(pass, cmp.X) || isNaNCall(pass, cmp.Y) {
+				result := "false"
+				if cmp.Op == token.NEQ {
+					result = "true"
+				}
+				pass.Reportf(cmp.Pos(), "comparison with math.NaN() is always %s; use math.IsNaN", result)
+				return true
+			}
+			if isFloat(pass, cmp.X) && analysis.ExprString(cmp.X) == analysis.ExprString(cmp.Y) && !hasCall(cmp.X) {
+				pass.Reportf(cmp.Pos(), "floating-point self-comparison %s %s %s is a hidden NaN probe; use math.IsNaN",
+					analysis.ExprString(cmp.X), cmp.Op, analysis.ExprString(cmp.Y))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNaNCall reports whether e is a direct call of math.NaN.
+func isNaNCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math" && obj.Name() == "NaN"
+}
+
+// isFloat reports whether e has floating-point type.
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// hasCall reports whether e contains any call — two calls of the same
+// function may legitimately differ, so self-comparison only fires on
+// pure variable/selector/index expressions.
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package naneq_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/naneq"
+)
+
+func TestNaNEq(t *testing.T) {
+	analysistest.Run(t, naneq.Analyzer, "a")
+}

@@ -1,0 +1,39 @@
+// Fixture for the naneq pass: the ReadAll NaN contract's comparison
+// rules.
+package a
+
+import "math"
+
+func eqNaN(x float64) bool {
+	return x == math.NaN() // want `always false`
+}
+
+func neqNaN(x float64) bool {
+	return x != math.NaN() // want `always true`
+}
+
+func selfNeq(x float64) bool {
+	return x != x // want `hidden NaN probe`
+}
+
+func selfEq(readings []float64) bool {
+	return readings[0] == readings[0] // want `hidden NaN probe`
+}
+
+func ok(x float64) bool {
+	return math.IsNaN(x)
+}
+
+// Integer self-comparison is pointless but not a NaN bug.
+func okInt(n int) bool {
+	return n == n
+}
+
+// Two calls of the same function may legitimately differ.
+func okCalls(f func() float64) bool {
+	return f() == f()
+}
+
+func suppressed(x float64) bool {
+	return x != x //tempest:ignore naneq
+}

@@ -1,0 +1,22 @@
+// Package passes registers the Tempest invariant suite.
+package passes
+
+import (
+	"tempest/internal/analysis"
+	"tempest/internal/analysis/passes/enterexit"
+	"tempest/internal/analysis/passes/lockcheck"
+	"tempest/internal/analysis/passes/naneq"
+	"tempest/internal/analysis/passes/seqwire"
+	"tempest/internal/analysis/passes/wallclock"
+)
+
+// All returns every analyzer in the suite, in reporting-name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		enterexit.Analyzer,
+		lockcheck.Analyzer,
+		naneq.Analyzer,
+		seqwire.Analyzer,
+		wallclock.Analyzer,
+	}
+}

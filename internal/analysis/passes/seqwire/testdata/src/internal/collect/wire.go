@@ -1,0 +1,67 @@
+// Fixture standing in for the collector wire protocol: frame builders
+// here must set both a sequence number and a payload checksum.
+package collect
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+func writeGood(w io.Writer, seq uint64, payload []byte) error {
+	frame := make([]byte, 16+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], seq)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	copy(frame[16:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+func writeGoodViaVar(w io.Writer, nextSeq uint64, payload []byte) error {
+	sum := crc32.ChecksumIEEE(payload)
+	frame := make([]byte, 16+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], nextSeq)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[12:16], sum)
+	copy(frame[16:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+func writeNoSeq(w io.Writer, payload []byte) error {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	_, err := w.Write(frame) // want `without a sequence number`
+	return err
+}
+
+func writeNoCRC(w io.Writer, seq uint64, payload []byte) error {
+	frame := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], seq)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[12:], payload)
+	_, err := w.Write(frame) // want `without a checksum`
+	return err
+}
+
+func writeCRCDropped(w io.Writer, seq uint64, payload []byte) error {
+	sum := crc32.ChecksumIEEE(payload)
+	_ = sum
+	frame := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], seq)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[12:], payload)
+	_, err := w.Write(frame) // want `computed but never stored`
+	return err
+}
+
+// Not a frame builder: plain payload write, no header stores.
+func passthrough(w io.Writer, payload []byte) error {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,28 @@
+// Fixture standing in for the MPI TCP transport: frames need a sequence
+// number for resend dedup, but TCP already guarantees integrity, so no
+// checksum is demanded.
+package mpi
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func sendGood(w io.Writer, seq uint64, tag int64, data []byte) error {
+	frame := make([]byte, 20+len(data))
+	binary.LittleEndian.PutUint64(frame[0:8], uint64(tag))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+	binary.LittleEndian.PutUint32(frame[16:20], uint32(len(data)))
+	copy(frame[20:], data)
+	_, err := w.Write(frame)
+	return err
+}
+
+func sendNoSeq(w io.Writer, tag int64, data []byte) error {
+	frame := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint64(frame[0:8], uint64(tag))
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(data)))
+	copy(frame[12:], data)
+	_, err := w.Write(frame) // want `without a sequence number`
+	return err
+}

@@ -1,0 +1,32 @@
+// Fixture standing in for a virtual-time package (its import path
+// suffix-matches the wallclock target list).
+package vclock
+
+import "time"
+
+func bad() int64 {
+	return time.Now().UnixNano() // want `time.Now would read the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since would read the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep would block on the wall clock`
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker would tick on the wall clock`
+}
+
+// Pure duration arithmetic and formatting stay legal.
+func ok(d time.Duration) string {
+	return (3 * d).String()
+}
+
+// sanctioned is the documented escape hatch.
+func sanctioned() time.Time {
+	//tempest:ignore wallclock
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Fixture outside the virtual-time target list: wall-clock use is fine.
+package othertime
+
+import "time"
+
+func polling() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

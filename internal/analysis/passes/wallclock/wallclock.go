@@ -1,0 +1,64 @@
+// Package wallclock forbids wall-clock reads inside the virtual-time
+// packages. The simulated cluster's whole guarantee — byte-identical
+// runs for equal seeds — rests on every timestamp flowing from a
+// vclock.Clock; a stray time.Now or time.Sleep silently reintroduces
+// host-machine nondeterminism that only shows up as flaky golden tests.
+package wallclock
+
+import (
+	"go/ast"
+
+	"tempest/internal/analysis"
+)
+
+// targets are the packages that must stay on virtual time.
+var targets = []string{"internal/cluster", "internal/vclock", "internal/thermal"}
+
+// banned is the set of time-package functions that read or wait on the
+// wall clock. Pure-value helpers (time.Duration arithmetic,
+// time.Unix construction) remain allowed.
+var banned = map[string]string{
+	"Now":       "read the wall clock",
+	"Since":     "read the wall clock",
+	"Until":     "read the wall clock",
+	"Sleep":     "block on the wall clock",
+	"After":     "block on the wall clock",
+	"Tick":      "tick on the wall clock",
+	"NewTicker": "tick on the wall clock",
+	"NewTimer":  "tick on the wall clock",
+	"AfterFunc": "schedule on the wall clock",
+}
+
+// Analyzer implements the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep and friends in virtual-time packages " +
+		"(internal/cluster, internal/vclock, internal/thermal): simulated runs must be deterministic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), targets) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			verb, isBanned := banned[obj.Name()]
+			if !isBanned {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s would %s inside virtual-time package %s; use a vclock.Clock",
+				obj.Name(), verb, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

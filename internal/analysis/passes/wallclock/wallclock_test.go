@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "internal/vclock", "othertime")
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExprString renders an expression in canonical single-line Go syntax —
+// the passes use it as a cheap structural-equality key (matching
+// Enter/Exit fids, lock receivers, frame buffers).
+func ExprString(e ast.Expr) string { return types.ExprString(e) }
+
+// PathMatches reports whether the package path is, or ends with, one of
+// the targets. Suffix matching lets analysistest fixtures stand in for
+// real packages: fixture path "internal/vclock" matches target
+// "internal/vclock" exactly, and the real "tempest/internal/vclock"
+// matches it as a suffix.
+func PathMatches(pkgPath string, targets []string) bool {
+	for _, t := range targets {
+		if pkgPath == t || strings.HasSuffix(pkgPath, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverNamed returns the receiver's named type for a method object,
+// unwrapping any pointer, or nil for non-methods.
+func ReceiverNamed(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsMethodOn reports whether obj is a method named name on the type
+// typeName defined in a package whose path matches pkgSuffix.
+func IsMethodOn(obj types.Object, pkgSuffix, typeName, name string) bool {
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	named := ReceiverNamed(obj)
+	if named == nil || named.Obj() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == pkgSuffix || strings.HasSuffix(pkg.Path(), "/"+pkgSuffix)
+}

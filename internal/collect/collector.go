@@ -130,9 +130,9 @@ type Collector struct {
 	metrics *Metrics
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	ln     net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 	wg     sync.WaitGroup
 
 	// callMu fences shard calls against shutdown: callers hold the read
@@ -140,7 +140,7 @@ type Collector struct {
 	// write side before closing the work channels, so no request is
 	// ever sent to a dead worker.
 	callMu sync.RWMutex
-	down   bool
+	down   bool // guarded by callMu
 
 	scanners sync.Pool // *trace.Scanner, Reset per bulk connection
 }

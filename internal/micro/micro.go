@@ -10,6 +10,8 @@ package micro
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"tempest/internal/cluster"
@@ -33,12 +35,13 @@ func Burn(rc *cluster.Rank, d time.Duration) error {
 		for i := 0; i < 1000; i++ {
 			sink = sink*1.0000001 + float64(i%7)
 		}
-		burnSink = sink
+		burnSink.Store(math.Float64bits(sink))
 	})
 }
 
-// burnSink defeats dead-code elimination of Burn's loop.
-var burnSink float64
+// burnSink defeats dead-code elimination of Burn's loop; atomic because
+// every concurrently-running rank burns through it.
+var burnSink atomic.Uint64
 
 // TimerWait models setting a timer and sleeping until it expires: idle
 // utilisation for d (the CPU cools, as Figure 2b shows after foo1).

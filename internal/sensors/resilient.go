@@ -3,6 +3,7 @@ package sensors
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -261,7 +262,7 @@ func (r *Resilient) readWithRetry(probing bool) (float64, error) {
 // vet checks a successful reading for plausibility and stuck values.
 // Called with the lock held.
 func (r *Resilient) vet(v float64) error {
-	if v != v || v < r.cfg.MinC || v > r.cfg.MaxC {
+	if math.IsNaN(v) || v < r.cfg.MinC || v > r.cfg.MaxC {
 		return fmt.Errorf("%w: %s reported %.2f °C (plausible range [%.0f, %.0f])",
 			ErrImplausible, r.Sensor.Name(), v, r.cfg.MinC, r.cfg.MaxC)
 	}

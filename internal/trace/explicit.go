@@ -12,8 +12,9 @@ package trace
 
 import "time"
 
-// lastTS returns the timestamp of the lane's most recent event (0 if none).
-func (l *Lane) lastTS() time.Duration {
+// lastTSLocked returns the timestamp of the lane's most recent event (0
+// if none). Callers must hold l.mu.
+func (l *Lane) lastTSLocked() time.Duration {
 	if len(l.buf) == 0 {
 		return 0
 	}
@@ -24,7 +25,7 @@ func (l *Lane) lastTS() time.Duration {
 // clamp before record acquires it, so take the lock briefly here instead.
 func (l *Lane) clampTS(ts time.Duration) time.Duration {
 	l.mu.Lock()
-	if last := l.lastTS(); ts < last {
+	if last := l.lastTSLocked(); ts < last {
 		ts = last
 	}
 	l.mu.Unlock()

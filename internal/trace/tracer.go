@@ -46,10 +46,10 @@ type Lane struct {
 	tracer *Tracer
 	id     uint32
 	mu     sync.Mutex
-	buf    []Event
+	buf    []Event // guarded by mu
 	cap    int
 	stack  []uint32
-	drops  uint64 // pending drop count to fold into the next recorded event
+	drops  uint64 // guarded by mu; pending drop count to fold into the next recorded event
 }
 
 // ErrStackMismatch is returned by Exit when the exiting function does not

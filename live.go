@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"tempest/instrument"
 	"tempest/internal/parser"
 	"tempest/internal/sensors"
 	"tempest/internal/stats"
@@ -39,6 +40,12 @@ type LiveConfig struct {
 	// than O(events) over arbitrarily long runs, and is what makes
 	// Snapshot cheap.
 	DrainInterval time.Duration
+	// LaneBufferCap bounds each tracer lane's buffered events between
+	// drains (default 65536). Auto-instrumented code traces every
+	// function call and can outrun the default between two drain ticks,
+	// which surfaces as DroppedEvents and a desynced profile; raise this
+	// (or lower DrainInterval) for fine-grained instrumentation.
+	LaneBufferCap int
 	// DrainSink, when set, receives every drained batch along with the
 	// tracer's live symbol table — the fleet-mode hook: tempest-live
 	// wires a collect.Shipper here. Batches arrive in record order,
@@ -103,7 +110,11 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 		return nil, err
 	}
 
-	tracer, err := trace.NewTracer(trace.Config{Clock: vclock.NewRealClock(), NodeID: cfg.NodeID})
+	tracer, err := trace.NewTracer(trace.Config{
+		Clock:         vclock.NewRealClock(),
+		NodeID:        cfg.NodeID,
+		LaneBufferCap: cfg.LaneBufferCap,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +210,17 @@ func FuncName(fn func()) string {
 	return name
 }
 
+// EnableAutoInstrument binds code rewritten by cmd/tempest-instrument to
+// this session: every `defer instrument.Trace(...)()` prologue in the
+// process starts recording into the session's tracer on the calling
+// goroutine's lane. Close detaches automatically. Only one session can
+// be attached at a time; enabling replaces any previous binding.
+func (s *LiveSession) EnableAutoInstrument() { instrument.Attach(s.tracer) }
+
+// DisableAutoInstrument unbinds auto-instrumented code from this session
+// (a no-op if another session holds the binding).
+func (s *LiveSession) DisableAutoInstrument() { instrument.Detach(s.tracer) }
+
 // Marker drops an annotation into the trace.
 func (s *LiveSession) Marker(name string) { s.tracer.Marker(name) }
 
@@ -274,6 +296,9 @@ func (s *LiveSession) Close() (*Profile, error) {
 		return nil, errors.New("tempest: live session already closed")
 	}
 	s.closed = true
+	// Unhook auto-instrumented code first so prologues stop feeding a
+	// tracer whose session is going away.
+	instrument.Detach(s.tracer)
 	if err := s.daemon.Stop(); err != nil {
 		return nil, err
 	}
