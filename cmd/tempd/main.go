@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"tempest/internal/introspect"
 	"tempest/internal/sensors"
 	"tempest/internal/tempd"
 	"tempest/internal/thermal"
@@ -41,12 +42,18 @@ func run(args []string) error {
 	simulate := fs.Bool("simulate", true, "fall back to simulated sensors when no hwmon chips exist")
 	burn := fs.Bool("burn", false, "with simulated sensors: drive core 0 at full utilisation")
 	flushEvery := fs.Duration("flush", time.Second, "crash-safe flush interval (0 = write once at exit)")
+	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := introspect.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := introspect.NewLogger(os.Stderr, lvl)
 
 	reg := sensors.NewRegistry(sensors.NewHwmonProvider(*hwmon))
-	err := reg.Discover()
+	err = reg.Discover()
 	var cpu *thermal.CPU
 	var mu sync.Mutex
 	if err == sensors.ErrNoSensors && *simulate {
@@ -75,8 +82,9 @@ func run(args []string) error {
 	// we go: if the process is killed mid-run, the file holds a salvageable
 	// prefix instead of nothing (ReadTrace's recovery mode).
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			return err
 		}
@@ -87,9 +95,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	ir := introspect.Default()
+	flushSeconds := ir.Distribution("tempest_tempd_flush_seconds", "Drain-and-write latency per crash-safe checkpoint.")
+	fsyncSeconds := ir.Distribution("tempest_tempd_fsync_seconds", "fsync latency per crash-safe checkpoint (file output only).")
+	ir.FuncCounter("tempest_tempd_trace_bytes_total", "Trace bytes written, header included.", func() float64 { return float64(tw.Bytes()) })
+	ir.FuncCounter("tempest_tempd_trace_segments_total", "Trace segments written.", func() float64 { return float64(tw.Segments()) })
+	ir.FuncCounter("tempest_tempd_trace_events_total", "Trace events flushed.", func() float64 { return float64(tw.Events()) })
 	flush := func() error {
+		start := time.Now()
 		ev, sym := tracer.Drain()
-		return tw.Flush(ev, sym)
+		if err := tw.Flush(ev, sym); err != nil {
+			return err
+		}
+		flushSeconds.ObserveSince(start)
+		if f != nil {
+			// A checkpoint is only crash-safe once it is on the platter,
+			// not in the page cache.
+			syncStart := time.Now()
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			fsyncSeconds.ObserveSince(syncStart)
+		}
+		logger.Debug("flushed checkpoint", "events", len(ev), "trace_bytes", tw.Bytes(), "segments", tw.Segments())
+		return nil
 	}
 
 	d, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: *rate})

@@ -12,7 +12,12 @@
 // Server mode runs until SIGINT/SIGTERM, then shuts down gracefully
 // (in-flight ingest drains first). On startup it prints the bound
 // addresses as "ingest=HOST:PORT http=HOST:PORT" — with ":0" this is
-// how scripts learn the real ports.
+// how scripts learn the real ports. With -debug-addr a third
+// "debug=HOST:PORT" token is appended for the debug server, which serves
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and the
+// full metric set (public plus internal) under /debug/introspect
+// (?format=json|prometheus). The debug surface is opt-in and should stay
+// on a loopback or otherwise firewalled address.
 //
 // Upload mode (-upload/-to) is the client for the bulk path: it streams
 // one recorded trace file to a running collector over TCP and exits.
@@ -30,17 +35,20 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"tempest/internal/collect"
+	"tempest/internal/introspect"
 	"tempest/internal/parser"
 )
 
@@ -62,9 +70,16 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	shards := fs.Int("shards", 0, "ingest shards (0 = default)")
 	upload := fs.String("upload", "", "upload this trace file to a collector and exit (client mode)")
 	to := fs.String("to", "", "collector ingest address for -upload")
+	debugAddr := fs.String("debug-addr", "", "opt-in debug HTTP address (pprof, /debug/vars, /debug/introspect); keep it loopback")
+	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := introspect.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := introspect.NewLogger(os.Stderr, lvl)
 	if *upload != "" {
 		if *to == "" {
 			return fmt.Errorf("-upload requires -to host:port")
@@ -76,7 +91,7 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	if *unit == "C" || *unit == "c" {
 		u = parser.Celsius
 	}
-	c := collect.New(collect.Options{Unit: u, Shards: *shards})
+	c := collect.New(collect.Options{Unit: u, Shards: *shards, Logger: logger})
 	defer c.Close()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -88,16 +103,30 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 		ln.Close()
 		return err
 	}
-	fmt.Fprintf(out, "ingest=%s http=%s\n", ln.Addr(), hln.Addr())
+	var dln net.Listener
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			hln.Close()
+			return err
+		}
+		debugSrv = &http.Server{Handler: debugMux(c)}
+		fmt.Fprintf(out, "ingest=%s http=%s debug=%s\n", ln.Addr(), hln.Addr(), dln.Addr())
+	} else {
+		fmt.Fprintf(out, "ingest=%s http=%s\n", ln.Addr(), hln.Addr())
+	}
 	if f, ok := out.(interface{ Sync() error }); ok {
 		f.Sync()
 	}
 	if ready != nil {
 		ready <- c
 	}
+	logger.Info("collector started", "ingest", ln.Addr().String(), "http", hln.Addr().String(), "debug", *debugAddr)
 
 	srv := &http.Server{Handler: c.Handler()}
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	go func() { errc <- c.Serve(ln) }()
 	go func() {
 		if err := srv.Serve(hln); err != http.ErrServerClosed {
@@ -106,6 +135,15 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 		}
 		errc <- nil
 	}()
+	if debugSrv != nil {
+		go func() {
+			if err := debugSrv.Serve(dln); err != http.ErrServerClosed {
+				errc <- err
+				return
+			}
+			errc <- nil
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -113,7 +151,7 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "tempest-collectd: %v, shutting down\n", s)
+		logger.Info("shutting down", "signal", s.String())
 	case err := <-errc:
 		if err != nil {
 			return err
@@ -122,7 +160,27 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
+	}
 	return c.Close()
+}
+
+// debugMux assembles the opt-in debug surface: pprof profiling, expvar's
+// /debug/vars (the collector's registries published alongside cmdline and
+// memstats), and /debug/introspect's renderings of every metric.
+func debugMux(c *collect.Collector) *http.ServeMux {
+	regs := c.IntrospectRegistries()
+	introspect.PublishExpvar("tempest", regs...)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/introspect", introspect.Handler(regs...))
+	return mux
 }
 
 // uploadTrace streams one recorded trace file to a collector's ingest

@@ -15,8 +15,9 @@ import (
 )
 
 // startDaemon runs the daemon in-process on ephemeral ports and returns
-// its ingest and HTTP addresses plus a stop function.
-func startDaemon(t *testing.T, extra ...string) (ingest, httpAddr string, done chan error) {
+// its ingest, HTTP and (when -debug-addr was passed) debug addresses plus
+// a stop function.
+func startDaemon(t *testing.T, extra ...string) (ingest, httpAddr, debugAddr string, done chan error) {
 	t.Helper()
 	var out bytes.Buffer
 	pr, pw := io.Pipe()
@@ -33,15 +34,24 @@ func startDaemon(t *testing.T, extra ...string) (ingest, httpAddr string, done c
 		t.Fatalf("daemon never printed addresses: %v", err)
 	}
 	fields := strings.Fields(string(line[:n]))
-	if len(fields) != 2 || !strings.HasPrefix(fields[0], "ingest=") || !strings.HasPrefix(fields[1], "http=") {
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "ingest=") || !strings.HasPrefix(fields[1], "http=") {
 		t.Fatalf("unexpected address line %q", string(line[:n]))
 	}
+	if len(fields) == 3 {
+		if !strings.HasPrefix(fields[2], "debug=") {
+			t.Fatalf("unexpected third address token %q", fields[2])
+		}
+		debugAddr = strings.TrimPrefix(fields[2], "debug=")
+	}
 	<-ready
-	return strings.TrimPrefix(fields[0], "ingest="), strings.TrimPrefix(fields[1], "http="), done
+	return strings.TrimPrefix(fields[0], "ingest="), strings.TrimPrefix(fields[1], "http="), debugAddr, done
 }
 
 func TestDaemonUploadAndQuery(t *testing.T) {
-	ingest, httpAddr, done := startDaemon(t)
+	ingest, httpAddr, debugAddr, done := startDaemon(t)
+	if debugAddr != "" {
+		t.Fatalf("debug address %q printed without -debug-addr", debugAddr)
+	}
 
 	// Client mode ships the canned trace into the running daemon.
 	if err := run([]string{"-upload", "testdata/smoke.tpst", "-to", ingest}, io.Discard, nil); err != nil {
@@ -82,6 +92,57 @@ func TestDaemonUploadAndQuery(t *testing.T) {
 	}
 
 	// SIGTERM shuts the daemon down cleanly.
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+// TestDaemonDebugSurface boots with -debug-addr and checks all three
+// debug endpoints answer: pprof's index, expvar's /debug/vars (with the
+// published tempest variable), and /debug/introspect in both renderings.
+func TestDaemonDebugSurface(t *testing.T) {
+	_, _, debugAddr, done := startDaemon(t, "-debug-addr", "127.0.0.1:0")
+	if debugAddr == "" {
+		t.Fatal("-debug-addr did not print a debug= address token")
+	}
+
+	getBody := func(path string) string {
+		t.Helper()
+		res, err := http.Get(fmt.Sprintf("http://%s%s", debugAddr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer res.Body.Close()
+		body, _ := io.ReadAll(res.Body)
+		if res.StatusCode != 200 {
+			t.Fatalf("GET %s: %d %s", path, res.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := getBody("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.300s", body)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(getBody("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["tempest"]; !ok {
+		t.Error("/debug/vars missing the published tempest variable")
+	}
+	if body := getBody("/debug/introspect"); !strings.Contains(body, "tempest_collect_segments_total") {
+		t.Errorf("/debug/introspect one-pager missing counters:\n%.300s", body)
+	}
+	if body := getBody("/debug/introspect?format=prometheus"); !strings.Contains(body, "# TYPE tempest_collect_fold_seconds summary") {
+		t.Errorf("/debug/introspect?format=prometheus missing debug-only families:\n%.300s", body)
+	}
+
 	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
 	select {
 	case err := <-done:

@@ -23,6 +23,11 @@
 // exit. Shipping never blocks the workload — if the collector cannot
 // keep up, batches are dropped and counted rather than queued
 // unboundedly.
+//
+// With -status, a one-page self-report — sampling health, drain
+// behaviour, lane buffer high water, measured instrumentation overhead
+// (§3.4 bounds it below 7 %), and every introspection metric — is
+// printed to stderr after the workload finishes.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 
 	"tempest"
 	"tempest/internal/collect"
+	"tempest/internal/introspect"
 	"tempest/internal/report"
 	"tempest/internal/trace"
 )
@@ -72,9 +78,16 @@ func run(args []string, out io.Writer) error {
 	watch := fs.Duration("watch", 0, "print a live hot-spot snapshot to stderr at this interval (0 = off)")
 	ship := fs.String("ship", "", "also stream the trace to a tempest-collectd at this host:port (fleet mode)")
 	node := fs.Uint("node", 0, "node id reported to the collector")
+	status := fs.Bool("status", false, "print a one-page self-observability report to stderr after the run")
+	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := introspect.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := introspect.NewLogger(os.Stderr, lvl)
 	if *cycles < 1 || *burn < 0 || *idle < 0 {
 		return fmt.Errorf("invalid workload shape")
 	}
@@ -140,14 +153,23 @@ func run(args []string, out io.Writer) error {
 		close(watchStop)
 		<-watchDone
 	}
+	if *status {
+		if err := s.WriteSelfReport(os.Stderr); err != nil {
+			return err
+		}
+	}
+	logger.Debug("closing live session", "tempd_busy_fraction", s.TempdBusyFraction())
 	fmt.Fprintf(os.Stderr, "tempest-live: tempd busy fraction %.5f\n", s.TempdBusyFraction())
 	p, err := s.Close()
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "tempest-live: instrumentation overhead %.4f%% of wall clock\n", p.OverheadFraction*100)
 	if shipper != nil {
 		shipErr := shipper.Close() // flushes the queue with a deadline
 		st := shipper.Stats()
+		logger.Info("ship accounting", "acked", st.AckedSegments, "enqueued", st.EnqueuedSegments,
+			"dropped", st.DroppedSegments, "reconnects", st.Reconnects, "resends", st.Resends)
 		fmt.Fprintf(os.Stderr, "tempest-live: shipped %d/%d segments to %s (%d events, %d dropped, %d reconnects)\n",
 			st.AckedSegments, st.EnqueuedSegments+st.DroppedSegments, *ship, st.EnqueuedEvents, st.DroppedEvents, st.Reconnects)
 		if shipErr != nil {

@@ -30,6 +30,24 @@ func TestLiveRunSimulated(t *testing.T) {
 	}
 }
 
+func TestLiveRunStatusReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "none"),
+		"-rate", "50",
+		"-burn", "50ms",
+		"-idle", "0",
+		"-status",
+		"-log-level", "debug",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-log-level", "loud"}, &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}
+
 func TestLiveRunFormats(t *testing.T) {
 	for _, format := range []string{"csv", "json", "plot"} {
 		var out bytes.Buffer

@@ -6,12 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"tempest/internal/introspect"
 	"tempest/internal/parser"
 	"tempest/internal/trace"
 )
@@ -35,6 +36,10 @@ type Options struct {
 	// Now overrides the clock used for per-node last-seen tracking
 	// (default time.Now) — injectable for deterministic tests.
 	Now func() time.Time
+	// Logger receives structured warnings for conditions that would
+	// otherwise be invisible (response encode failures, aborted
+	// streams). Default: slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +51,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -169,6 +177,14 @@ func New(opts Options) *Collector {
 		c.wg.Add(1)
 		go sh.run(&c.wg)
 	}
+	// Registered after the shard segment counters so the /metrics family
+	// order matches the original hand-rolled exposition byte for byte.
+	for i, sh := range c.shards {
+		sh := sh
+		c.metrics.reg.FuncL("tempest_collect_shard_queue_depth", fmt.Sprintf("shard=%q", fmt.Sprint(i)),
+			"Requests waiting in each shard's ingest queue (lag).",
+			func() float64 { return float64(len(sh.work)) })
+	}
 	return c
 }
 
@@ -253,13 +269,18 @@ func (sh *shard) handle(req shardReq) shardResp {
 		if ns.err != nil {
 			return shardResp{resume: ns.nextSeq, err: ns.err}
 		}
+		decodeStart := time.Now()
 		batch, err := decodeChunk(req.chunk, ns.sym, ns.batch)
+		sh.c.metrics.decodeSeconds.ObserveSince(decodeStart)
 		if err != nil {
 			ns.err = err
 			return shardResp{resume: ns.nextSeq, err: err}
 		}
 		ns.batch = batch[:0]
-		if err := ns.builder.Add(batch); err != nil {
+		foldStart := time.Now()
+		err = ns.builder.Add(batch)
+		sh.c.metrics.foldSeconds.ObserveSince(foldStart)
+		if err != nil {
 			ns.err = err
 			return shardResp{resume: ns.nextSeq, err: err}
 		}
@@ -289,7 +310,10 @@ func (sh *shard) handle(req shardReq) shardResp {
 				e.FuncID = ns.sym.Register(name)
 			}
 		}
-		if err := ns.builder.Add(req.batch); err != nil {
+		foldStart := time.Now()
+		err := ns.builder.Add(req.batch)
+		sh.c.metrics.foldSeconds.ObserveSince(foldStart)
+		if err != nil {
 			ns.err = err
 			return shardResp{err: err}
 		}
@@ -389,7 +413,7 @@ func (c *Collector) Serve(ln net.Listener) error {
 func (c *Collector) serveConn(conn net.Conn) {
 	defer conn.Close()
 	c.metrics.connections.Add(1)
-	br := bufio.NewReader(newCountingReader(conn, &c.metrics.bytes))
+	br := bufio.NewReader(newCountingReader(conn, c.metrics.bytes))
 	magic, err := br.Peek(4)
 	if err != nil {
 		return
@@ -616,10 +640,10 @@ func (c *Collector) connWait() {
 // countingReader tallies bytes read into an ingest byte counter.
 type countingReader struct {
 	r io.Reader
-	n *atomic.Uint64
+	n *introspect.Counter
 }
 
-func newCountingReader(r io.Reader, n *atomic.Uint64) *countingReader {
+func newCountingReader(r io.Reader, n *introspect.Counter) *countingReader {
 	return &countingReader{r: r, n: n}
 }
 

@@ -1,0 +1,254 @@
+package collect
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestHandlersWriteOnAllReturnPaths statically checks every HTTP handler
+// registered in this package: along every return path (including falling
+// off the end), the handler must have touched the ResponseWriter — a
+// write, a status, or a call that was handed the writer — or ended in a
+// panic. This is the class of bug the silent-200 /api/series regression
+// belonged to: an early `return` leaving the client a well-formed empty
+// response that lies about success.
+func TestHandlersWriteOnAllReturnPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "HandleFunc" || len(call.Args) != 2 {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok || len(lit.Type.Params.List) != 2 {
+				return true
+			}
+			wName := lit.Type.Params.List[0].Names[0].Name
+			checked++
+			for _, v := range checkHandlerPaths(lit.Body, wName) {
+				t.Errorf("%s: handler return path without a response write", fset.Position(v))
+			}
+			return true
+		})
+	}
+	if checked < 6 {
+		t.Fatalf("found only %d registered handlers; the scan is broken", checked)
+	}
+}
+
+// checkHandlerPaths walks a handler body and returns the positions of
+// exits (returns or fall-through) not preceded by a write to the
+// response writer. Writer taint spreads through assignments (wrapping w
+// in another writer keeps it tracked); w.Header() alone is not a write.
+func checkHandlerPaths(body *ast.BlockStmt, wName string) []token.Pos {
+	tainted := map[string]bool{wName: true}
+	var violations []token.Pos
+	written := checkStmts(body.List, false, tainted, &violations)
+	if !written {
+		violations = append(violations, body.Rbrace)
+	}
+	return violations
+}
+
+// checkStmts scans a statement list with the "has written yet" state,
+// recording violating exits. It returns the state at the end of the list.
+func checkStmts(stmts []ast.Stmt, written bool, tainted map[string]bool, out *[]token.Pos) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ReturnStmt:
+			if !written {
+				*out = append(*out, s.Pos())
+			}
+			return true // the list terminates here; no fall-through
+		case *ast.ExprStmt:
+			if isPanic(s.X) {
+				return true // panic is an accepted terminator
+			}
+			written = written || stmtWrites(s, tainted)
+		case *ast.AssignStmt:
+			written = written || stmtWrites(s, tainted)
+			propagateTaint(s, tainted)
+		case *ast.IfStmt:
+			entry := written || stmtWrites(s.Init, tainted) || exprWrites(s.Cond, tainted)
+			checkStmts(s.Body.List, entry, tainted, out)
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					checkStmts(e.List, entry, tainted, out)
+				case *ast.IfStmt:
+					checkStmts([]ast.Stmt{e}, entry, tainted, out)
+				}
+			}
+			written = entry
+		case *ast.BlockStmt:
+			written = checkStmts(s.List, written, tainted, out)
+		case *ast.ForStmt:
+			checkStmts(s.Body.List, written || stmtWrites(s, tainted), tainted, out)
+			written = written || stmtWrites(s, tainted)
+		case *ast.RangeStmt:
+			checkStmts(s.Body.List, written || stmtWrites(s, tainted), tainted, out)
+			written = written || stmtWrites(s, tainted)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			entry := written || stmtWrites(st, tainted)
+			ast.Inspect(st, func(n ast.Node) bool {
+				if cc, ok := n.(*ast.CaseClause); ok {
+					checkStmts(cc.Body, entry, tainted, out)
+					return false
+				}
+				return true
+			})
+			written = entry
+		default:
+			written = written || stmtWrites(st, tainted)
+		}
+	}
+	return written
+}
+
+// propagateTaint marks assignment targets whose right side mentions a
+// tainted writer (wrappers around w stay tracked).
+func propagateTaint(s *ast.AssignStmt, tainted map[string]bool) {
+	rhsTainted := false
+	for _, r := range s.Rhs {
+		if mentionsTainted(r, tainted) {
+			rhsTainted = true
+		}
+	}
+	if !rhsTainted {
+		return
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+			tainted[id.Name] = true
+		}
+	}
+}
+
+// stmtWrites reports whether the statement contains a call that could
+// write the response: any call taking a tainted writer as an argument or
+// receiver, except a bare Header() access.
+func stmtWrites(n ast.Node, tainted map[string]bool) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // nested handlers are checked separately
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && tainted[id.Name] {
+				if sel.Sel.Name != "Header" {
+					found = true
+				}
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if mentionsTainted(arg, tainted) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprWrites(e ast.Expr, tainted map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	return stmtWrites(&ast.ExprStmt{X: e}, tainted)
+}
+
+// mentionsTainted reports whether the expression references a tainted
+// writer outside a .Header selector.
+func mentionsTainted(e ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Header" {
+			if id, ok := sel.X.(*ast.Ident); ok && tainted[id.Name] {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && tainted[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// The checker itself must reject the bug shape it exists for: a handler
+// that validates, forgets the error write, and returns.
+func TestHandlerPathCheckerCatchesSilentReturn(t *testing.T) {
+	src := `package p
+import "net/http"
+func reg(mux *http.ServeMux) {
+	mux.HandleFunc("GET /bad", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("k") == "" {
+			return // silent 200: no error written
+		}
+		w.Write([]byte("ok"))
+	})
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "bad.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			violations = checkHandlerPaths(lit.Body, "w")
+			return false
+		}
+		return true
+	})
+	if len(violations) != 1 {
+		t.Fatalf("checker found %d violations in the known-bad handler, want 1: %v",
+			len(violations), fmt.Sprint(violations))
+	}
+	if pos := fset.Position(violations[0]); pos.Line != 6 {
+		t.Errorf("violation at %v, want line 6 (the silent return)", pos)
+	}
+}

@@ -10,6 +10,21 @@ import (
 	"tempest/internal/report"
 )
 
+// countingResponseWriter tracks whether (and how much of) a streaming
+// response body has been written, so handler error paths can tell "no
+// byte sent yet — a clean 500 is still possible" from "mid-stream — the
+// only honest move is aborting the connection".
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // Handler returns the collector's HTTP query API:
 //
 //	GET /healthz              liveness probe
@@ -34,7 +49,7 @@ func (c *Collector) Handler() http.Handler {
 		c.WriteMetrics(w)
 	})
 	mux.HandleFunc("GET /api/nodes", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Nodes())
+		c.writeJSON(w, "/api/nodes", c.Nodes())
 	})
 	mux.HandleFunc("GET /api/profile/{node}", func(w http.ResponseWriter, r *http.Request) {
 		np, ok := c.nodeParam(w, r)
@@ -55,16 +70,30 @@ func (c *Collector) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		cs, err := report.NewSeriesCSVStream(w)
-		if err != nil {
+		cw := &countingResponseWriter{ResponseWriter: w}
+		cs, err := report.NewSeriesCSVStream(cw)
+		if err == nil {
+			err = cs.Node(np)
+		}
+		if err == nil {
 			return
 		}
-		cs.Node(np)
+		// A silent empty 200 used to hide both failure modes here. Before
+		// the first body byte a real 500 is still possible; after it, the
+		// status line is already on the wire, so abort the connection and
+		// let the client's short read tell the truth.
+		c.metrics.streamErrors.Add(1)
+		c.opts.Logger.Warn("series response failed", "route", "/api/series", "node", np.NodeID, "bytes", cw.n, "err", err)
+		if cw.n == 0 {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		panic(http.ErrAbortHandler)
 	})
 	mux.HandleFunc("GET /api/hotspots", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		k, err := intParam(q.Get("k"), 10)
-		if err != nil {
+		if err != nil || k < 0 {
 			http.Error(w, "bad k parameter", http.StatusBadRequest)
 			return
 		}
@@ -78,7 +107,7 @@ func (c *Collector) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, resp)
+		c.writeJSON(w, "/api/hotspots", resp)
 	})
 	return mux
 }
@@ -174,9 +203,15 @@ func intParam(s string, def int) (int, error) {
 	return strconv.Atoi(s)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v as the response body. Encode failures (unmarshalable
+// value, or the client hanging up mid-write) can't change the status line
+// any more, but they are counted and logged instead of vanishing.
+func (c *Collector) writeJSON(w http.ResponseWriter, route string, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		c.metrics.encodeErrors.Add(1)
+		c.opts.Logger.Warn("response encode failed", "route", route, "err", err)
+	}
 }

@@ -1,0 +1,113 @@
+package collect
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// failingWriter wraps a ResponseRecorder and fails Write after allowing
+// the first `allow` bytes through — the shape of a client hanging up (or
+// a row formatter failing) partway into a streaming response.
+type failingWriter struct {
+	*httptest.ResponseRecorder
+	allow   int
+	written int
+}
+
+func (fw *failingWriter) Write(p []byte) (int, error) {
+	if fw.written >= fw.allow {
+		return 0, errors.New("stream write failed")
+	}
+	n := len(p)
+	if fw.written+n > fw.allow {
+		n = fw.allow - fw.written
+	}
+	fw.ResponseRecorder.Write(p[:n])
+	fw.written += n
+	return n, errors.New("stream write failed")
+}
+
+// A series request whose very first write fails must produce a real 500,
+// not a silent empty 200, and count as a stream error.
+func TestSeriesWriteFailureBeforeFirstByteIs500(t *testing.T) {
+	c := goldenCollector(t, 1)
+	h := c.Handler()
+	fw := &failingWriter{ResponseRecorder: httptest.NewRecorder(), allow: 0}
+	req := httptest.NewRequest("GET", "/api/series/1", nil)
+	h.ServeHTTP(fw, req)
+	if fw.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", fw.Code)
+	}
+	if got := c.Metrics().StreamAborts(); got != 1 {
+		t.Errorf("StreamAborts = %d, want 1", got)
+	}
+}
+
+// After the first body byte the status line is gone; the handler must
+// abort the connection (http.ErrAbortHandler) rather than pretend the
+// truncated CSV is complete.
+func TestSeriesWriteFailureMidStreamAborts(t *testing.T) {
+	c := goldenCollector(t, 1)
+	h := c.Handler()
+	fw := &failingWriter{ResponseRecorder: httptest.NewRecorder(), allow: 10}
+	req := httptest.NewRequest("GET", "/api/series/1", nil)
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Errorf("recovered %v, want http.ErrAbortHandler", r)
+		}
+		if got := c.Metrics().StreamAborts(); got != 1 {
+			t.Errorf("StreamAborts = %d, want 1", got)
+		}
+	}()
+	h.ServeHTTP(fw, req)
+	t.Error("mid-stream failure did not abort")
+}
+
+// A healthy series request still streams CSV — the error plumbing must
+// not disturb the success path.
+func TestSeriesSuccessStillStreams(t *testing.T) {
+	c := goldenCollector(t, 1)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/api/series/1")
+	if code != 200 || !strings.HasPrefix(body, "time_s,node,sensor,") {
+		t.Fatalf("series success path broke: %d %.60s", code, body)
+	}
+	if c.Metrics().StreamAborts() != 0 {
+		t.Error("clean stream counted as aborted")
+	}
+}
+
+// writeJSON failures (unencodable value, dead client) must be counted
+// rather than silently discarded.
+func TestWriteJSONEncodeFailureCounted(t *testing.T) {
+	c := goldenCollector(t, 0)
+	rec := httptest.NewRecorder()
+	c.writeJSON(rec, "/test", make(chan int)) // channels cannot marshal
+	if got := c.Metrics().EncodeErrors(); got != 1 {
+		t.Errorf("EncodeErrors = %d, want 1", got)
+	}
+	rec2 := httptest.NewRecorder()
+	c.writeJSON(rec2, "/test", map[string]int{"ok": 1})
+	if got := c.Metrics().EncodeErrors(); got != 1 {
+		t.Errorf("EncodeErrors after clean encode = %d, want 1", got)
+	}
+}
+
+// Negative k regression: /api/hotspots?k=-5 used to slip past intParam
+// and hit the ranking code with a nonsense cut.
+func TestHotspotsNegativeKRejected(t *testing.T) {
+	c := goldenCollector(t, 1)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/api/hotspots?k=-5")
+	if code != http.StatusBadRequest {
+		t.Fatalf("k=-5 status = %d, want 400 (body %.80s)", code, body)
+	}
+	if !strings.Contains(body, "bad k parameter") {
+		t.Errorf("k=-5 body = %.80s", body)
+	}
+}

@@ -155,6 +155,7 @@ func TestHTTPNodesAndProfileAndSeries(t *testing.T) {
 		"/api/profile/bad":        400,
 		"/api/series/bad":         400,
 		"/api/hotspots?k=x":       400,
+		"/api/hotspots?k=-5":      400,
 		"/api/hotspots?sensor=-1": 400,
 		"/nope":                   404,
 	} {

@@ -3,83 +3,101 @@ package collect
 import (
 	"fmt"
 	"io"
-	"sync/atomic"
+
+	"tempest/internal/introspect"
 )
 
-// Metrics is the collector's self-observability: ingest counters
-// exported in Prometheus text exposition format on /metrics. All fields
-// are monotonic counters except the nodes gauge and the per-shard queue
-// depths (sampled live at render time).
+// Metrics is the collector's self-observability, backed by two
+// introspect registries:
+//
+//   - reg holds the public /metrics families, registered in the exact
+//     order the original hand-rolled exposition printed them, so the
+//     Prometheus text output is byte-compatible with earlier releases
+//     (the golden tests pin it); and
+//   - debug holds the finer-grained instrumentation added later —
+//     builder fold latency, response encode failures, series stream
+//     aborts — exposed only on the opt-in debug surfaces
+//     (/debug/introspect, /debug/vars) so the public contract never
+//     grows by accident.
+//
+// All fields are monotonic counters except the nodes gauge and the
+// per-shard queue depths (sampled live at render time).
 type Metrics struct {
-	segments     atomic.Uint64 // frames + bulk event segments accepted off the wire
-	events       atomic.Uint64 // events folded into builders
-	bytes        atomic.Uint64 // ingest bytes read off connections
-	dedupDrops   atomic.Uint64 // duplicate chunks dropped by sequence cursor
-	ingestErrors atomic.Uint64 // malformed frames, stream gaps, builder poisonings
-	connections  atomic.Uint64 // ingest connections accepted
-	nodes        atomic.Uint64 // distinct nodes ever seen (gauge, grows only)
+	reg   *introspect.Registry
+	debug *introspect.Registry
 
-	shardSegments []atomic.Uint64 // segments processed per shard
+	segments     *introspect.Counter // frames + bulk event segments accepted off the wire
+	events       *introspect.Counter // events folded into builders
+	bytes        *introspect.Counter // ingest bytes read off connections
+	dedupDrops   *introspect.Counter // duplicate chunks dropped by sequence cursor
+	ingestErrors *introspect.Counter // malformed frames, stream gaps, builder poisonings
+	connections  *introspect.Counter // ingest connections accepted
+	nodes        *introspect.Counter // distinct nodes ever seen (gauge, grows only)
+
+	shardSegments []*introspect.Counter // segments processed per shard
+
+	// Debug-surface metrics (not on /metrics).
+	foldSeconds   *introspect.Distribution // builder fold latency per segment
+	encodeErrors  *introspect.Counter      // JSON response encode/write failures
+	streamErrors  *introspect.Counter      // mid-stream response failures (aborted connections)
+	decodeSeconds *introspect.Distribution // chunk decode latency
 }
 
 func newMetrics(shards int) *Metrics {
-	return &Metrics{shardSegments: make([]atomic.Uint64, shards)}
+	r := introspect.New()
+	m := &Metrics{reg: r, debug: introspect.New()}
+	m.segments = r.Counter("tempest_collect_segments_total", "Trace segments (shipped chunks and bulk batches) ingested.")
+	m.events = r.Counter("tempest_collect_events_total", "Trace events folded into per-node profiles.")
+	m.bytes = r.Counter("tempest_collect_bytes_total", "Bytes read from ingest connections.")
+	m.dedupDrops = r.Counter("tempest_collect_dedup_dropped_total", "Duplicate chunks dropped by the per-node sequence cursor.")
+	m.ingestErrors = r.Counter("tempest_collect_ingest_errors_total", "Malformed frames, stream gaps and poisoned-node ingest failures.")
+	m.connections = r.Counter("tempest_collect_connections_total", "Ingest connections accepted.")
+	m.nodes = r.CounterGauge("tempest_collect_nodes", "Distinct nodes the collector has seen.")
+	m.shardSegments = make([]*introspect.Counter, shards)
+	for i := range m.shardSegments {
+		m.shardSegments[i] = r.CounterL("tempest_collect_shard_segments_total",
+			fmt.Sprintf("shard=%q", fmt.Sprint(i)), "Segments processed per ingest shard.")
+	}
+	m.foldSeconds = m.debug.Distribution("tempest_collect_fold_seconds", "Builder fold latency per ingested segment.")
+	m.decodeSeconds = m.debug.Distribution("tempest_collect_decode_seconds", "Chunk decode latency per shipped frame.")
+	m.encodeErrors = m.debug.Counter("tempest_collect_response_encode_errors_total", "JSON API responses whose encode or write failed.")
+	m.streamErrors = m.debug.Counter("tempest_collect_stream_abort_total", "Streaming API responses aborted after the first byte.")
+	return m
 }
 
 // Segments reports total segments ingested.
-func (m *Metrics) Segments() uint64 { return m.segments.Load() }
+func (m *Metrics) Segments() uint64 { return m.segments.Value() }
 
 // Events reports total events folded into builders.
-func (m *Metrics) Events() uint64 { return m.events.Load() }
+func (m *Metrics) Events() uint64 { return m.events.Value() }
 
 // Bytes reports total ingest bytes read.
-func (m *Metrics) Bytes() uint64 { return m.bytes.Load() }
+func (m *Metrics) Bytes() uint64 { return m.bytes.Value() }
 
 // DedupDrops reports duplicate chunks dropped after reconnect resends.
-func (m *Metrics) DedupDrops() uint64 { return m.dedupDrops.Load() }
+func (m *Metrics) DedupDrops() uint64 { return m.dedupDrops.Value() }
 
 // IngestErrors reports malformed or unprocessable ingest data.
-func (m *Metrics) IngestErrors() uint64 { return m.ingestErrors.Load() }
+func (m *Metrics) IngestErrors() uint64 { return m.ingestErrors.Value() }
 
-// WriteMetrics renders the collector's self-observability in Prometheus
-// text exposition format: ingest volume (segments, events, bytes),
-// reliability counters (dedup drops, errors), fleet size, and per-shard
-// throughput and instantaneous queue depth (lag).
+// EncodeErrors reports JSON API responses whose encode or write failed.
+func (m *Metrics) EncodeErrors() uint64 { return m.encodeErrors.Value() }
+
+// StreamAborts reports streaming responses aborted mid-body.
+func (m *Metrics) StreamAborts() uint64 { return m.streamErrors.Value() }
+
+// WriteMetrics renders the collector's public self-observability in
+// Prometheus text exposition format: ingest volume (segments, events,
+// bytes), reliability counters (dedup drops, errors), fleet size, and
+// per-shard throughput and instantaneous queue depth (lag). The output
+// is the public registry's exposition; finer-grained debug metrics live
+// on /debug/introspect.
 func (c *Collector) WriteMetrics(w io.Writer) error {
-	m := c.metrics
-	type row struct {
-		name, help, typ string
-		value           uint64
-	}
-	rows := []row{
-		{"tempest_collect_segments_total", "Trace segments (shipped chunks and bulk batches) ingested.", "counter", m.segments.Load()},
-		{"tempest_collect_events_total", "Trace events folded into per-node profiles.", "counter", m.events.Load()},
-		{"tempest_collect_bytes_total", "Bytes read from ingest connections.", "counter", m.bytes.Load()},
-		{"tempest_collect_dedup_dropped_total", "Duplicate chunks dropped by the per-node sequence cursor.", "counter", m.dedupDrops.Load()},
-		{"tempest_collect_ingest_errors_total", "Malformed frames, stream gaps and poisoned-node ingest failures.", "counter", m.ingestErrors.Load()},
-		{"tempest_collect_connections_total", "Ingest connections accepted.", "counter", m.connections.Load()},
-		{"tempest_collect_nodes", "Distinct nodes the collector has seen.", "gauge", m.nodes.Load()},
-	}
-	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.typ, r.name, r.value); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "# HELP tempest_collect_shard_segments_total Segments processed per ingest shard.\n# TYPE tempest_collect_shard_segments_total counter\n"); err != nil {
-		return err
-	}
-	for i := range m.shardSegments {
-		if _, err := fmt.Fprintf(w, "tempest_collect_shard_segments_total{shard=\"%d\"} %d\n", i, m.shardSegments[i].Load()); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "# HELP tempest_collect_shard_queue_depth Requests waiting in each shard's ingest queue (lag).\n# TYPE tempest_collect_shard_queue_depth gauge\n"); err != nil {
-		return err
-	}
-	for i, sh := range c.shards {
-		if _, err := fmt.Fprintf(w, "tempest_collect_shard_queue_depth{shard=\"%d\"} %d\n", i, len(sh.work)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.metrics.reg.WritePrometheus(w)
+}
+
+// IntrospectRegistries exposes the collector's metric registries, public
+// first — the daemon mounts these on its -debug-addr surfaces.
+func (c *Collector) IntrospectRegistries() []*introspect.Registry {
+	return []*introspect.Registry{c.metrics.reg, c.metrics.debug}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"tempest/internal/introspect"
 	"tempest/internal/trace"
 )
 
@@ -48,6 +49,10 @@ type ShipperOptions struct {
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Sleep overrides backoff sleeping (default time.Sleep).
 	Sleep func(time.Duration)
+	// Introspect receives the shipper's self-observability metrics (queue
+	// depth, resend/reconnect counters, ack round-trip latency). Nil means
+	// the process-wide introspect.Default() registry.
+	Introspect *introspect.Registry
 }
 
 func (o ShipperOptions) withDefaults() ShipperOptions {
@@ -105,7 +110,8 @@ type chunk struct {
 	seq     uint64
 	payload []byte
 	events  int
-	sent    bool // sent at least once on some connection
+	sent    bool      // sent at least once on some connection
+	sentAt  time.Time // when the latest send hit the wire (for ack RTT)
 }
 
 // Shipper streams trace batches from one node to a collector. It is the
@@ -144,6 +150,8 @@ type Shipper struct {
 	conn       net.Conn
 	stats      ShipperStats
 
+	ackRTT *introspect.Distribution // send-to-ack latency per retired chunk
+
 	done chan struct{}
 }
 
@@ -158,8 +166,37 @@ func NewShipper(addr string, nodeID, rank uint32, opts ShipperOptions) *Shipper 
 		done:   make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.registerIntrospect()
 	go s.run()
 	return s
+}
+
+// registerIntrospect wires the shipper's accounting into its introspect
+// registry. Counters are sampled from Stats at render time (FuncCounter),
+// so a re-created shipper in the same process rebinds the series rather
+// than double-counting.
+func (s *Shipper) registerIntrospect() {
+	ir := s.opts.Introspect
+	if ir == nil {
+		ir = introspect.Default()
+	}
+	s.ackRTT = ir.Distribution("tempest_ship_ack_rtt_seconds", "Send-to-ack round trip per acknowledged chunk.")
+	ir.Func("tempest_ship_queue_depth", "Unacknowledged chunks in the shipper's bounded send queue.",
+		func() float64 { return float64(s.Queued()) })
+	for _, m := range []struct {
+		name, help string
+		get        func(ShipperStats) uint64
+	}{
+		{"tempest_ship_enqueued_segments_total", "Chunks accepted into the send queue.", func(st ShipperStats) uint64 { return st.EnqueuedSegments }},
+		{"tempest_ship_acked_segments_total", "Chunks the collector confirmed delivered.", func(st ShipperStats) uint64 { return st.AckedSegments }},
+		{"tempest_ship_dropped_segments_total", "Chunks lost to a full queue or the close deadline.", func(st ShipperStats) uint64 { return st.DroppedSegments }},
+		{"tempest_ship_resends_total", "Frames rewritten after a connection died.", func(st ShipperStats) uint64 { return st.Resends }},
+		{"tempest_ship_reconnects_total", "Connection re-establishments after the first.", func(st ShipperStats) uint64 { return st.Reconnects }},
+		{"tempest_ship_dial_failures_total", "Failed dial attempts.", func(st ShipperStats) uint64 { return st.DialFailures }},
+	} {
+		get := m.get
+		ir.FuncCounter(m.name, m.help, func() float64 { return float64(get(s.Stats())) })
+	}
 }
 
 // Ship encodes one drained batch (plus any symbols registered since the
@@ -341,6 +378,9 @@ func (s *Shipper) run() {
 
 // retireHeadLocked pops the acknowledged queue head. Callers hold s.mu.
 func (s *Shipper) retireHeadLocked() {
+	if at := s.queue[0].sentAt; !at.IsZero() {
+		s.ackRTT.Observe(time.Since(at).Seconds())
+	}
 	s.queue = s.queue[1:]
 	if s.cursor > 0 {
 		s.cursor--
@@ -410,6 +450,7 @@ func (s *Shipper) sendLoop(conn net.Conn) {
 		c := s.queue[s.cursor]
 		resend := c.sent
 		s.queue[s.cursor].sent = true
+		s.queue[s.cursor].sentAt = time.Now()
 		s.cursor++
 		if resend {
 			s.stats.Resends++

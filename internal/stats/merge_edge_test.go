@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sameFloat treats NaN as equal to NaN — merge tests need to assert that
+// a NaN-poisoned statistic stays NaN through both code paths.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+// Merging into a zero-value Accumulator (not NewAccumulator) must behave
+// exactly like merging into a fresh retaining one: the zero value is
+// documented ready to use.
+func TestMergeIntoZeroValueAccumulator(t *testing.T) {
+	var a Accumulator
+	b := NewAccumulator(true)
+	b.AddAll([]float64{3, 1, 2})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Summarize([]float64{3, 1, 2})
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max || got.Var != want.Var {
+		t.Errorf("zero-value merge Summary = %+v, want %+v", got, want)
+	}
+
+	// Merging an empty accumulator into an empty zero value is a no-op.
+	var c, d Accumulator
+	if err := c.Merge(&d); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 0 {
+		t.Errorf("empty-into-empty merge produced N=%d", c.N())
+	}
+}
+
+// NaN samples must degrade the accumulator exactly as they degrade batch
+// Summarize: min/max keep the IEEE comparison semantics (a NaN first
+// sample pins them to NaN, a later NaN leaves them alone), mean and
+// variance go NaN either way.
+func TestAccumulatorNaNMatchesBatch(t *testing.T) {
+	cases := map[string][]float64{
+		"nan_first":  {math.NaN(), 2, 5},
+		"nan_middle": {2, math.NaN(), 5},
+		"nan_only":   {math.NaN()},
+	}
+	for name, samples := range cases {
+		acc := NewAccumulator(false)
+		acc.AddAll(samples)
+		got, err := acc.Summary()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := Summarize(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.N != want.N {
+			t.Errorf("%s: N = %d, want %d", name, got.N, want.N)
+		}
+		if !sameFloat(got.Min, want.Min) || !sameFloat(got.Max, want.Max) {
+			t.Errorf("%s: Min/Max = %v/%v, batch %v/%v", name, got.Min, got.Max, want.Min, want.Max)
+		}
+		if !sameFloat(got.Avg, want.Avg) || !sameFloat(got.Var, want.Var) {
+			t.Errorf("%s: Avg/Var = %v/%v, batch %v/%v", name, got.Avg, got.Var, want.Avg, want.Var)
+		}
+	}
+}
+
+// Merging two halves that each contain a NaN must agree with summarising
+// the concatenation: everything NaN except N.
+func TestMergeNaNPropagates(t *testing.T) {
+	a := NewAccumulator(false)
+	b := NewAccumulator(false)
+	a.AddAll([]float64{1, math.NaN()})
+	b.AddAll([]float64{4, 9})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Summary()
+	if got.N != 4 {
+		t.Errorf("merged N = %d, want 4", got.N)
+	}
+	if !math.IsNaN(got.Avg) || !math.IsNaN(got.Var) {
+		t.Errorf("NaN did not poison merged moments: Avg=%v Var=%v", got.Avg, got.Var)
+	}
+}
+
+// Retention-mode mismatch must fail in both directions and leave the
+// destination untouched.
+func TestMergeRetentionMismatchBothWays(t *testing.T) {
+	retain := NewAccumulator(true)
+	retain.AddAll([]float64{1, 2})
+	stream := NewAccumulator(false)
+	stream.AddAll([]float64{8, 9})
+	if err := retain.Merge(stream); err == nil {
+		t.Error("retain.Merge(stream) should fail")
+	}
+	if err := stream.Merge(retain); err == nil {
+		t.Error("stream.Merge(retain) should fail")
+	}
+	if retain.N() != 2 || stream.N() != 2 {
+		t.Errorf("failed merge mutated state: retain N=%d stream N=%d", retain.N(), stream.N())
+	}
+}
+
+// Min/max picked by a merge are exact input values, and the Chan et al.
+// variance combination agrees with batch Summarize to floating-point
+// noise — on deterministic data, tight enough to assert hard.
+func TestMergeMinMaxVarianceMatchBatch(t *testing.T) {
+	left := []float64{104.5, 98.25, 101.0, 99.75}
+	right := []float64{97.5, 105.25, 100.0}
+	a := NewAccumulator(false)
+	b := NewAccumulator(false)
+	a.AddAll(left)
+	b.AddAll(right)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]float64(nil), left...), right...)
+	want, _ := Summarize(all)
+	if a.Min() != want.Min || a.Max() != want.Max {
+		t.Errorf("merged Min/Max = %v/%v, batch %v/%v", a.Min(), a.Max(), want.Min, want.Max)
+	}
+	if diff := math.Abs(a.Variance() - want.Var); diff > 1e-12 {
+		t.Errorf("merged Var = %v, batch %v (diff %g)", a.Variance(), want.Var, diff)
+	}
+}

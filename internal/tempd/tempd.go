@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tempest/internal/introspect"
 	"tempest/internal/sensors"
 	"tempest/internal/stats"
 	"tempest/internal/trace"
@@ -44,6 +45,10 @@ type Config struct {
 	Tracer *trace.Tracer
 	// RateHz is the sampling frequency; 0 defaults to DefaultRateHz.
 	RateHz float64
+	// Introspect receives the daemon's self-observability metrics (sensor
+	// read latency, tick lag, sample counters, busy fraction). Nil means
+	// the process-wide introspect.Default() registry.
+	Introspect *introspect.Registry
 }
 
 // Daemon samples sensors into a trace.
@@ -61,6 +66,11 @@ type Daemon struct {
 
 	accMu     sync.Mutex
 	sensorAcc []*stats.Accumulator // per-sensor streaming °C summaries
+
+	readSeconds *introspect.Distribution // registry ReadAll latency per round
+	tickLag     *introspect.Distribution // delay between tick fire and loop wakeup
+	mSamples    *introspect.Counter
+	mFailures   *introspect.Counter
 
 	mu       sync.Mutex
 	started  time.Time
@@ -93,14 +103,24 @@ func New(cfg Config) (*Daemon, error) {
 	for i := range acc {
 		acc[i] = stats.NewAccumulator(false)
 	}
-	return &Daemon{
+	d := &Daemon{
 		reg:        cfg.Registry,
 		tracer:     cfg.Tracer,
 		interval:   time.Duration(float64(time.Second) / rate),
 		perSensor:  make([]atomic.Uint64, cfg.Registry.Len()),
 		lastHealth: make([]sensors.Health, cfg.Registry.Len()),
 		sensorAcc:  acc,
-	}, nil
+	}
+	ir := cfg.Introspect
+	if ir == nil {
+		ir = introspect.Default()
+	}
+	d.readSeconds = ir.Distribution("tempest_tempd_read_seconds", "Sensor registry ReadAll latency per sampling round.")
+	d.tickLag = ir.Distribution("tempest_tempd_tick_lag_seconds", "Delay between the sampling tick firing and the loop waking up.")
+	d.mSamples = ir.Counter("tempest_tempd_samples_total", "Sample events recorded across all sensors.")
+	d.mFailures = ir.Counter("tempest_tempd_read_failures_total", "Sensor read failures (NaN slots) across all sensors.")
+	ir.Func("tempest_tempd_busy_fraction", "Fraction of wall time spent inside SampleOnce (paper §4.1 bounds this below 1%).", d.BusyFraction)
+	return d, nil
 }
 
 // Interval returns the sampling period (250 ms at the default 4 Hz).
@@ -128,9 +148,11 @@ func (d *Daemon) SampleOnce() error {
 	start := time.Now()
 	d.announceSensors()
 	vals, err := d.reg.ReadAll()
+	d.readSeconds.ObserveSince(start)
 	for i, v := range vals {
 		if math.IsNaN(v) { // sensor failed this round (ReadAll NaN contract)
 			d.failures.Add(1)
+			d.mFailures.Inc()
 			if i < len(d.perSensor) {
 				d.perSensor[i].Add(1)
 			}
@@ -138,6 +160,7 @@ func (d *Daemon) SampleOnce() error {
 		}
 		d.tracer.Sample(uint32(i), v)
 		d.samples.Add(1)
+		d.mSamples.Inc()
 		if i < len(d.sensorAcc) {
 			d.accMu.Lock()
 			d.sensorAcc[i].Add(v)
@@ -189,7 +212,10 @@ func (d *Daemon) loop(stop <-chan struct{}, done chan<- struct{}) {
 		select {
 		case <-stop:
 			return
-		case <-ticker.C:
+		case t := <-ticker.C:
+			// Lag between the tick firing and this goroutine actually
+			// running — scheduler pressure visible before samples skew.
+			d.tickLag.Observe(time.Since(t).Seconds())
 			_ = d.SampleOnce()
 		}
 	}

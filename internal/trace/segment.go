@@ -55,6 +55,7 @@ type Writer struct {
 	prevTS      int64
 	events      uint64
 	segments    int
+	bytes       uint64
 	err         error
 }
 
@@ -69,7 +70,7 @@ func NewWriter(w io.Writer, nodeID, rank uint32) (*Writer, error) {
 	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return nil, fmt.Errorf("trace: segmented header: %w", err)
 	}
-	return &Writer{w: w}, nil
+	return &Writer{w: w, bytes: uint64(hdr.Len())}, nil
 }
 
 // Flush appends the new tail of the trace: any symbols registered since
@@ -148,6 +149,7 @@ func (sw *Writer) segment(kind byte, payload []byte) error {
 		return sw.err
 	}
 	sw.segments++
+	sw.bytes += uint64(len(hdr)) + uint64(len(payload))
 	return nil
 }
 
@@ -156,6 +158,9 @@ func (sw *Writer) Events() uint64 { return sw.events }
 
 // Segments reports how many segments (symbol and event) have been written.
 func (sw *Writer) Segments() int { return sw.segments }
+
+// Bytes reports how many bytes the writer has emitted, header included.
+func (sw *Writer) Bytes() uint64 { return sw.bytes }
 
 // Err returns the poisoning error, if any.
 func (sw *Writer) Err() error { return sw.err }

@@ -48,6 +48,7 @@ type Lane struct {
 	mu     sync.Mutex
 	buf    []Event // guarded by mu
 	cap    int
+	hw     int // guarded by mu; high-water mark of len(buf)
 	stack  []uint32
 	drops  uint64 // guarded by mu; pending drop count to fold into the next recorded event
 }
@@ -128,7 +129,27 @@ func (l *Lane) record(e Event) {
 		l.drops = 0
 	}
 	l.buf = append(l.buf, e)
+	if len(l.buf) > l.hw {
+		l.hw = len(l.buf)
+	}
 	l.tracer.events.Add(1)
+}
+
+// LaneHighWater reports the deepest any lane's buffer has ever been —
+// how close the run came to the LaneBufferCap drop threshold.
+func (t *Tracer) LaneHighWater() int {
+	t.mu.Lock()
+	lanes := append([]*Lane(nil), t.lanes...)
+	t.mu.Unlock()
+	hw := 0
+	for _, l := range lanes {
+		l.mu.Lock()
+		if l.hw > hw {
+			hw = l.hw
+		}
+		l.mu.Unlock()
+	}
+	return hw
 }
 
 // Enter records entry into function fid and pushes the shadow stack.

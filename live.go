@@ -3,6 +3,7 @@ package tempest
 import (
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"runtime"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"tempest/instrument"
+	"tempest/internal/introspect"
 	"tempest/internal/parser"
 	"tempest/internal/sensors"
 	"tempest/internal/stats"
@@ -53,6 +55,11 @@ type LiveConfig struct {
 	// retained by the session after the call. The sink must not block
 	// for long; it runs on the drain loop.
 	DrainSink func(events []trace.Event, sym *trace.SymTab)
+	// Introspect receives the session's self-observability metrics (drain
+	// latency, lane buffer high water, overhead fraction) and is handed
+	// down to tempd. Nil means the process-wide introspect.Default()
+	// registry.
+	Introspect *introspect.Registry
 }
 
 // LiveSession profiles real code on the current machine: an explicit
@@ -72,6 +79,12 @@ type LiveSession struct {
 
 	bmu     sync.Mutex
 	builder *parser.Builder
+
+	ir           *introspect.Registry
+	acct         *introspect.Accountant
+	drainSeconds *introspect.Distribution
+	drainEvents  *introspect.Distribution
+	drained      *introspect.Counter
 
 	drainStop chan struct{}
 	drainDone chan struct{}
@@ -118,7 +131,11 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	daemon, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: cfg.SampleRateHz})
+	ir := cfg.Introspect
+	if ir == nil {
+		ir = introspect.Default()
+	}
+	daemon, err := tempd.New(tempd.Config{Registry: reg, Tracer: tracer, RateHz: cfg.SampleRateHz, Introspect: ir})
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +144,18 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 	}
 	s.tracer = tracer
 	s.daemon = daemon
+	s.ir = ir
+	// The accountant tracks what profiling costs the workload: drain
+	// passes fold in their own duration; tempd contributes its cumulative
+	// sampling time as a polled source.
+	s.acct = introspect.NewAccountant()
+	s.acct.Sample(daemon.BusyTime)
+	s.drainSeconds = ir.Distribution("tempest_live_drain_seconds", "Duration of one drain pass (tracer buffers into the streaming builder).")
+	s.drainEvents = ir.Distribution("tempest_live_drain_events", "Events moved per drain pass.")
+	s.drained = ir.Counter("tempest_live_drained_events_total", "Events drained into the streaming builder.")
+	ir.Func("tempest_live_lane_high_water", "Deepest any tracer lane buffer has been (drop threshold is LaneBufferCap).",
+		func() float64 { return float64(tracer.LaneHighWater()) })
+	s.acct.Register(ir, "tempest_live_overhead_fraction", "Instrumentation self-time over workload wall clock (paper §3.4 bounds it below 7%).")
 	// The builder shares the tracer's live (lock-protected) symbol
 	// table, so drained events always resolve.
 	s.builder = parser.NewBuilder(cfg.NodeID, tracer.SymTab(), parser.Options{Unit: cfg.Unit})
@@ -239,12 +268,34 @@ func (s *LiveSession) SetSimUtilization(core int, u float64) error {
 // it below 1 %).
 func (s *LiveSession) TempdBusyFraction() float64 { return s.daemon.BusyFraction() }
 
+// Overhead reports the session's instrumentation cost so far as a
+// fraction of wall clock: tempd's cumulative sampling time plus every
+// drain pass, over time since the session started. The paper's §3.4
+// bounds this below 7 %.
+func (s *LiveSession) Overhead() float64 { return s.acct.Fraction() }
+
+// WriteSelfReport prints a one-page self-observability report of the
+// running session: sampling health, drain behaviour, overhead, and every
+// registered metric — the body of tempest-live's -status mode.
+func (s *LiveSession) WriteSelfReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "tempest-live self report\n========================\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "uptime:               %v\n", s.acct.Wall().Round(time.Millisecond))
+	fmt.Fprintf(w, "tempd samples:        %d (%d read failures)\n", s.daemon.Samples(), s.daemon.Failures())
+	fmt.Fprintf(w, "tempd busy fraction:  %.4f%% (paper bound: <1%%)\n", s.daemon.BusyFraction()*100)
+	fmt.Fprintf(w, "overhead fraction:    %.4f%% (paper bound: <7%%)\n", s.Overhead()*100)
+	fmt.Fprintf(w, "lane high water:      %d\n\n", s.tracer.LaneHighWater())
+	return s.ir.WriteText(w)
+}
+
 // drain moves buffered trace events into the streaming builder and, in
 // fleet mode, hands the same batch to the DrainSink. The whole step runs
 // under the builder lock: Drain and Add must be atomic with respect to
 // concurrent drains, or two drains could interleave and feed the builder
 // a lane's events out of order.
 func (s *LiveSession) drain() {
+	start := time.Now()
 	s.bmu.Lock()
 	ev, sym := s.tracer.Drain()
 	_ = s.builder.Add(ev) // a structural error poisons the builder; Close reports it
@@ -252,6 +303,11 @@ func (s *LiveSession) drain() {
 		s.cfg.DrainSink(ev, sym)
 	}
 	s.bmu.Unlock()
+	d := time.Since(start)
+	s.acct.AddSelf(d)
+	s.drainSeconds.Observe(d.Seconds())
+	s.drainEvents.Observe(float64(len(ev)))
+	s.drained.Add(uint64(len(ev)))
 }
 
 // Snapshot returns an in-progress profile of the still-running session —
@@ -309,6 +365,9 @@ func (s *LiveSession) Close() (*Profile, error) {
 		<-s.simDone
 	}
 	s.drain()
+	// Freeze the overhead number at shutdown, before report generation
+	// inflates wall clock.
+	overhead := s.acct.Fraction()
 	s.bmu.Lock()
 	defer s.bmu.Unlock()
 	np, err := s.builder.Finish()
@@ -316,5 +375,5 @@ func (s *LiveSession) Close() (*Profile, error) {
 		return nil, err
 	}
 	parsed := &parser.Profile{Unit: s.cfg.Unit, Nodes: []parser.NodeProfile{*np}}
-	return &Profile{Profile: parsed, Duration: np.Duration}, nil
+	return &Profile{Profile: parsed, Duration: np.Duration, OverheadFraction: overhead}, nil
 }

@@ -6,8 +6,11 @@
 # ingest path, then checks the HTTP surface:
 #   * /api/hotspots?k=5 must match the committed golden response
 #     (cmd/tempest-collectd/testdata/hotspots.golden)
+#   * /api/hotspots?k=-5 must be rejected with 400
 #   * /metrics must show non-zero ingest counters
 #   * /healthz must answer ok
+#   * the opt-in debug server (-debug-addr) must answer /debug/vars and
+#     /debug/introspect
 #
 # Run `make collectd-smoke UPDATE_GOLDEN=1` after intentionally changing
 # the hotspot computation or response shape to regenerate the golden.
@@ -31,20 +34,24 @@ $GO build -o "$workdir/tempest-collectd" ./cmd/tempest-collectd
 
 echo "==> starting collector on ephemeral ports"
 "$workdir/tempest-collectd" -listen 127.0.0.1:0 -http 127.0.0.1:0 \
+    -debug-addr 127.0.0.1:0 \
     >"$workdir/addr" 2>"$workdir/collectd.log" &
 daemon_pid=$!
 
-# The daemon prints "ingest=HOST:PORT http=HOST:PORT" once bound.
+# The daemon prints "ingest=HOST:PORT http=HOST:PORT debug=HOST:PORT"
+# once bound.
 for _ in $(seq 1 100); do
     [ -s "$workdir/addr" ] && break
     kill -0 "$daemon_pid" 2>/dev/null || { echo "collectd died:"; cat "$workdir/collectd.log"; exit 1; }
     sleep 0.05
 done
 [ -s "$workdir/addr" ] || { echo "collectd never printed its addresses"; exit 1; }
-read -r ingest_kv http_kv <"$workdir/addr"
+read -r ingest_kv http_kv debug_kv <"$workdir/addr"
 INGEST=${ingest_kv#ingest=}
 HTTP=${http_kv#http=}
-echo "    ingest=$INGEST http=$HTTP"
+DEBUG=${debug_kv#debug=}
+[ -n "$DEBUG" ] || { echo "collectd never printed its debug address"; exit 1; }
+echo "    ingest=$INGEST http=$HTTP debug=$DEBUG"
 
 echo "==> shipping canned trace"
 "$workdir/tempest-collectd" -upload cmd/tempest-collectd/testdata/smoke.tpst -to "$INGEST"
@@ -62,6 +69,14 @@ else
     diff -u "$golden" "$workdir/hotspots.json"
 fi
 
+echo "==> checking /api/hotspots?k=-5 is rejected"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$HTTP/api/hotspots?k=-5")
+if [ "$code" != "400" ]; then
+    echo "negative k returned HTTP $code, want 400"
+    exit 1
+fi
+echo "    k=-5 -> 400"
+
 echo "==> checking /metrics counters are live"
 curl -fsS "http://$HTTP/metrics" >"$workdir/metrics"
 for metric in tempest_collect_segments_total tempest_collect_events_total \
@@ -75,5 +90,20 @@ for metric in tempest_collect_segments_total tempest_collect_events_total \
     fi
     echo "    $metric=$val"
 done
+
+echo "==> checking debug surface"
+curl -fsS "http://$DEBUG/debug/vars" >"$workdir/vars.json"
+grep -q '"tempest"' "$workdir/vars.json" || {
+    echo "/debug/vars missing the published tempest variable:"
+    cat "$workdir/vars.json"
+    exit 1
+}
+curl -fsS "http://$DEBUG/debug/introspect" >"$workdir/introspect"
+grep -q 'tempest_collect_segments_total' "$workdir/introspect" || {
+    echo "/debug/introspect missing ingest counters:"
+    cat "$workdir/introspect"
+    exit 1
+}
+echo "    /debug/vars and /debug/introspect OK"
 
 echo "==> collectd smoke OK"

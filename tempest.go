@@ -150,11 +150,24 @@ type Profile struct {
 	Traces []*trace.Trace
 	// Duration is the workload's virtual makespan.
 	Duration time.Duration
+	// OverheadFraction is the measured instrumentation cost as a fraction
+	// of workload wall clock (§3.4 bounds it below 7 %). Zero when the
+	// producing pipeline did not account overhead (offline parsing).
+	OverheadFraction float64
 }
 
 // WriteReport prints the paper-format per-function listing for every node.
+// Profiles that carried overhead accounting append a one-line footer with
+// the measured instrumentation cost.
 func (p *Profile) WriteReport(w io.Writer) error {
-	return report.WriteProfile(w, p.Profile, report.Options{OnlySignificant: true, Labels: true})
+	if err := report.WriteProfile(w, p.Profile, report.Options{OnlySignificant: true, Labels: true}); err != nil {
+		return err
+	}
+	if p.OverheadFraction > 0 {
+		_, err := fmt.Fprintf(w, "\ninstrumentation overhead: %.2f%% of wall clock\n", p.OverheadFraction*100)
+		return err
+	}
+	return nil
 }
 
 // WriteCSV emits every temperature sample as CSV (the figures' raw data).
