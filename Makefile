@@ -26,11 +26,14 @@ race:
 	$(GO) test -race ./...
 
 # Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
-# tail + flaky TCP link), plus the per-package chaos tests.
+# tail + flaky TCP link), plus the per-package chaos tests and the
+# durable-store crash drill (SIGKILL a real collectd mid-ingest, restart,
+# assert nothing acked was lost).
 chaos:
 	$(GO) test -run TestChaos -v .
 	$(GO) test -run 'TestTCPChaos|TestTCPRank' -v ./internal/mpi/
 	$(GO) test -run 'TestSegmentedSalvage|TestSegmentedChecksum' -v ./internal/trace/
+	$(GO) test -run 'TestDaemonStoreChaosSIGKILL' -v ./cmd/tempest-collectd/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -43,10 +46,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Pipeline|ParseAll' -benchtime=1x -benchmem ./internal/parser/
 
 # Run every fuzz target once over its checked-in seed corpus (no open-
-# ended fuzzing): codec, streaming scanner, and the collector's ship-mode
-# frame decoder.
+# ended fuzzing): codec, streaming scanner, the collector's ship-mode
+# frame decoder, and the durable store's crash/tamper recovery.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/collect/
+	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/collect/ ./internal/store/
 
 # End-to-end fleet-collector smoke: start tempest-collectd on ephemeral
 # ports, ship the canned trace, and diff /api/hotspots against its

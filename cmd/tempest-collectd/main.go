@@ -19,6 +19,18 @@
 // (?format=json|prometheus). The debug surface is opt-in and should stay
 // on a loopback or otherwise firewalled address.
 //
+// With -store-dir the collector is durable: every acknowledged ingest
+// batch is fsynced into an append-only, hash-chained store before the
+// ack, so a crash — SIGKILL included — loses nothing a shipper was told
+// is safe; on restart the store replays into warm profiles and shippers
+// resume where they left off. -retention folds raw history older than
+// the window into compact hot-spot archives (fleet rankings keep their
+// full history; per-sample profiles cover the retained window).
+// -verify-store walks the chains offline, prints a per-shard report and
+// exits non-zero if any committed history fails to verify (a torn tail
+// on the final segment is indistinguishable from a crash mid-write, so
+// it is reported as a note, not a failure).
+//
 // Upload mode (-upload/-to) is the client for the bulk path: it streams
 // one recorded trace file to a running collector over TCP and exits.
 // The collector scans it exactly like tempest-parse would, so the
@@ -50,6 +62,7 @@ import (
 	"tempest/internal/collect"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
+	"tempest/internal/store"
 )
 
 func main() {
@@ -70,6 +83,10 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	shards := fs.Int("shards", 0, "ingest shards (0 = default)")
 	upload := fs.String("upload", "", "upload this trace file to a collector and exit (client mode)")
 	to := fs.String("to", "", "collector ingest address for -upload")
+	storeDir := fs.String("store-dir", "", "durable store directory: acked ingest survives a crash and is replayed on restart (empty = memory-only)")
+	retention := fs.Duration("retention", 0, "compact raw store history older than this into folded hot-spot archives (0 = keep raw forever)")
+	storeWindow := fs.Duration("store-window", 0, "store segment roll window (0 = default 1h); retention granularity")
+	verifyStore := fs.Bool("verify-store", false, "verify -store-dir's hash chains end to end, print a report and exit (0 = intact)")
 	debugAddr := fs.String("debug-addr", "", "opt-in debug HTTP address (pprof, /debug/vars, /debug/introspect); keep it loopback")
 	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
@@ -86,12 +103,34 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 		}
 		return uploadTrace(*upload, *to)
 	}
+	if *verifyStore {
+		if *storeDir == "" {
+			return fmt.Errorf("-verify-store requires -store-dir")
+		}
+		rep, err := store.VerifyDir(*storeDir)
+		if err != nil {
+			return err
+		}
+		rep.WriteText(out)
+		return rep.Err()
+	}
+	if *storeDir != "" {
+		// Fail fast on a mistyped or unwritable directory instead of
+		// booting a silently degraded collector.
+		if err := store.CheckDir(*storeDir); err != nil {
+			return err
+		}
+	}
 
 	u := parser.Fahrenheit
 	if *unit == "C" || *unit == "c" {
 		u = parser.Celsius
 	}
-	c := collect.New(collect.Options{Unit: u, Shards: *shards, Logger: logger})
+	c := collect.New(collect.Options{
+		Unit: u, Shards: *shards, Logger: logger,
+		StoreDir:     *storeDir,
+		StoreOptions: store.Options{Retention: *retention, Window: *storeWindow},
+	})
 	defer c.Close()
 
 	ln, err := net.Listen("tcp", *listen)

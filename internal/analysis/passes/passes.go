@@ -7,6 +7,7 @@ import (
 	"tempest/internal/analysis/passes/lockcheck"
 	"tempest/internal/analysis/passes/naneq"
 	"tempest/internal/analysis/passes/seqwire"
+	"tempest/internal/analysis/passes/storehash"
 	"tempest/internal/analysis/passes/wallclock"
 )
 
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		lockcheck.Analyzer,
 		naneq.Analyzer,
 		seqwire.Analyzer,
+		storehash.Analyzer,
 		wallclock.Analyzer,
 	}
 }

@@ -1,0 +1,259 @@
+// Package storehash checks the durable store's record framing. Every
+// record in a store segment carries its hash-chain link — the tamper
+// evidence the whole design rests on — and the link must be copied into
+// the record buffer before the record reaches the writer, so a torn
+// write can never leave a committed-looking record without its hash.
+//
+// A record framer is recognised structurally: a function in
+// internal/store that makes a local []byte, copies material into it,
+// and passes that same buffer to a Write-named call. For such functions
+// the pass requires, before the first write, a copy whose source
+// mentions a chain or hash value (an identifier containing "chain",
+// "hash", "sum" or "digest", or a direct call into a crypto/hash
+// package). A chain value that is computed but never copied into the
+// buffer is flagged separately.
+package storehash
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tempest/internal/analysis"
+)
+
+// targets is the durable-store package.
+var targets = []string{"internal/store"}
+
+// Analyzer implements the storehash pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "storehash",
+	Doc: "store record framers must copy the record's hash-chain link into the buffer " +
+		"before writing it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), targets) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFramer(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFramer(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Buffers created locally with make([]byte, …) and identifiers that
+	// hold chain/hash values ("nextChain := chainNext(prev, body)").
+	buffers := map[types.Object]bool{}
+	chainVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if isMakeByteSlice(pass, rhs) {
+				buffers[obj] = true
+			}
+			if chainNamed(id.Name) || chainTyped(obj) || callsHash(pass, rhs) {
+				chainVars[obj] = true
+			}
+		}
+		return true
+	})
+	if len(buffers) == 0 {
+		return
+	}
+
+	type copyInto struct {
+		pos token.Pos
+		src ast.Expr
+	}
+	var copies []copyInto
+	var firstWrite *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := calleeName(call); name == "copy" && len(call.Args) == 2 {
+			if bufferArg(pass, call.Args[0], buffers) {
+				copies = append(copies, copyInto{pos: call.Pos(), src: call.Args[1]})
+			}
+			return true
+		} else if strings.Contains(strings.ToLower(name), "write") {
+			for _, arg := range call.Args {
+				if bufferArg(pass, arg, buffers) && firstWrite == nil {
+					firstWrite = call
+				}
+			}
+		}
+		return true
+	})
+	if firstWrite == nil || len(copies) == 0 {
+		return // not a record framer
+	}
+
+	hasChainCopy := false
+	for _, c := range copies {
+		if c.pos >= firstWrite.Pos() {
+			continue // link stored after the record already left
+		}
+		if mentionsChain(pass, c.src, chainVars) {
+			hasChainCopy = true
+		}
+	}
+	if hasChainCopy {
+		return
+	}
+	if len(chainVars) > 0 {
+		pass.Reportf(firstWrite.Pos(), "record chain link is computed but never copied into the record buffer before the write")
+	} else {
+		pass.Reportf(firstWrite.Pos(), "record written without its chain link: no copy of a chain/hash value into the record buffer before the write")
+	}
+}
+
+// calleeName extracts the called function's bare name ("copy",
+// "WriteSegmentFrame", "Write"), or "" for indirect calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// chainTyped reports whether a variable's type is itself chain-named —
+// the store's Chain link type, a hash.Hash, and the like.
+func chainTyped(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	return chainNamed(obj.Type().String())
+}
+
+// chainNamed reports whether an identifier looks like it carries the
+// chain link or another hash value.
+func chainNamed(name string) bool {
+	l := strings.ToLower(name)
+	for _, frag := range []string{"chain", "hash", "sum", "digest"} {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsHash reports whether e contains a call into a crypto/* or hash/*
+// package.
+func callsHash(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		path := obj.Pkg().Path()
+		if strings.HasPrefix(path, "crypto/") || strings.HasPrefix(path, "hash/") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsChain reports whether a copy source involves a chain value: a
+// chain-named identifier, a tracked chain variable, or a direct hash
+// call.
+func mentionsChain(pass *analysis.Pass, e ast.Expr, chainVars map[types.Object]bool) bool {
+	if callsHash(pass, e) {
+		return true
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if chainNamed(id.Name) {
+			found = true
+			return false
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && (chainVars[obj] || chainTyped(obj)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isMakeByteSlice matches make([]byte, …).
+func isMakeByteSlice(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// bufferArg reports whether e indexes or slices one of the tracked
+// buffers (rec[len(body):], or the bare identifier).
+func bufferArg(pass *analysis.Pass, e ast.Expr, buffers map[types.Object]bool) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[v]
+			return obj != nil && buffers[obj]
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package storehash_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/storehash"
+)
+
+func TestStoreHash(t *testing.T) {
+	analysistest.Run(t, storehash.Analyzer, "internal/store")
+}

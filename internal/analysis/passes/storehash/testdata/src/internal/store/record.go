@@ -1,0 +1,84 @@
+// Fixture standing in for the durable store's record framing: every
+// record buffer must have its hash-chain link copied in before it is
+// written.
+package store
+
+import (
+	"crypto/sha256"
+	"io"
+)
+
+const chainLen = sha256.Size
+
+type chain [chainLen]byte
+
+func chainNext(prev chain, body []byte) chain {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(body)
+	var out chain
+	h.Sum(out[:0])
+	return out
+}
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeGood(w io.Writer, kind byte, body []byte, prev chain) (chain, error) {
+	next := chainNext(prev, body)
+	rec := make([]byte, len(body)+chainLen)
+	copy(rec, body)
+	copy(rec[len(body):], next[:])
+	if err := writeFrame(w, kind, rec); err != nil {
+		return chain{}, err
+	}
+	return next, nil
+}
+
+func writeGoodNamedVar(w io.Writer, body []byte, prev chain) error {
+	nextChain := chainNext(prev, body)
+	rec := make([]byte, len(body)+chainLen)
+	copy(rec, body)
+	copy(rec[len(body):], nextChain[:])
+	_, err := w.Write(rec)
+	return err
+}
+
+func writeNoChain(w io.Writer, kind byte, body []byte) error {
+	rec := make([]byte, len(body))
+	copy(rec, body)
+	return writeFrame(w, kind, rec) // want `without its chain link`
+}
+
+func writeChainDropped(w io.Writer, body []byte, prev chain) error {
+	next := chainNext(prev, body)
+	_ = next
+	rec := make([]byte, len(body))
+	copy(rec, body)
+	_, err := w.Write(rec) // want `computed but never copied`
+	return err
+}
+
+func writeChainAfter(w io.Writer, body []byte, prev chain) error {
+	next := chainNext(prev, body)
+	rec := make([]byte, len(body)+chainLen)
+	copy(rec, body)
+	if _, err := w.Write(rec); err != nil { // want `computed but never copied`
+		return err
+	}
+	copy(rec[len(body):], next[:])
+	return nil
+}
+
+// Not a record framer: a read buffer never passed to a write.
+func readRecord(r io.Reader, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	dup := make([]byte, n)
+	copy(dup, buf)
+	return dup, nil
+}

@@ -1,0 +1,346 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"tempest/internal/hotspot"
+	"tempest/internal/parser"
+	"tempest/internal/store"
+	"tempest/internal/trace"
+)
+
+// The checkpoint archive: what retention compaction keeps of raw batches
+// it deletes. Per node it records the ingest cursors a restarted
+// collector needs (resume sequence, cumulative symbol table, segment and
+// event counts) plus the node's per-sensor hot-spot contributions folded
+// over the compacted history. Folds are associative — each compaction
+// merges a window's rankings into the previous archive with the same
+// time-weighted math MergeHotFunctions uses — so however many compactions
+// history passes through, Hotspots answers as if every event were still
+// raw. Full per-sample profiles are the price of retention: /api/profile
+// only reflects events still in raw segments.
+
+const (
+	archiveVersion = 1
+	// archiveMaxCount bounds every decoded collection so a corrupt blob
+	// cannot demand absurd allocations.
+	archiveMaxCount = 1 << 24
+)
+
+// archiveNode is one node's compacted state.
+type archiveNode struct {
+	node      uint32
+	rank      uint32
+	nextSeq   uint64 // ship resume cursor after the compacted prefix
+	segments  uint64
+	events    uint64 // events folded into heat (no longer replayable)
+	truncated bool
+	syms      []string                 // cumulative symbol table, dense ids
+	heat      [][]hotspot.FunctionHeat // per sensor id
+}
+
+// fleetArchive is a whole shard's compacted history, nodes ascending.
+type fleetArchive struct {
+	nodes []*archiveNode
+}
+
+// node finds or creates one node's entry.
+func (a *fleetArchive) node(id, rank uint32) *archiveNode {
+	for _, ent := range a.nodes {
+		if ent.node == id {
+			return ent
+		}
+	}
+	ent := &archiveNode{node: id, rank: rank}
+	a.nodes = append(a.nodes, ent)
+	sort.Slice(a.nodes, func(i, j int) bool { return a.nodes[i].node < a.nodes[j].node })
+	return ent
+}
+
+// encodeArchive serialises the archive blob (uvarints and LE float bits).
+func encodeArchive(a *fleetArchive) []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) { buf.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	fv := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v))
+		buf.Write(scratch[:8])
+	}
+	str := func(s string) { uv(uint64(len(s))); buf.WriteString(s) }
+
+	uv(archiveVersion)
+	uv(uint64(len(a.nodes)))
+	for _, ent := range a.nodes {
+		uv(uint64(ent.node))
+		uv(uint64(ent.rank))
+		uv(ent.nextSeq)
+		uv(ent.segments)
+		uv(ent.events)
+		var flags uint64
+		if ent.truncated {
+			flags = 1
+		}
+		uv(flags)
+		uv(uint64(len(ent.syms)))
+		for _, name := range ent.syms {
+			str(name)
+		}
+		uv(uint64(len(ent.heat)))
+		for _, sensor := range ent.heat {
+			uv(uint64(len(sensor)))
+			for _, f := range sensor {
+				str(f.Name)
+				fv(f.AvgTemp)
+				fv(f.MaxTemp)
+				fv(f.TotalTimeS)
+				fv(f.Score)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// decodeArchive parses an archive blob. A nil or empty blob is an empty
+// archive. The store's hash chain already vouches for integrity, but a
+// dropped-then-rebuilt archive path exists, so every count is bounded.
+func decodeArchive(blob []byte) (*fleetArchive, error) {
+	a := &fleetArchive{}
+	if len(blob) == 0 {
+		return a, nil
+	}
+	buf := bytes.NewBuffer(blob)
+	uv := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(buf)
+		if err != nil || v > archiveMaxCount<<8 {
+			return 0, fmt.Errorf("collect: archive %s: %v", what, err)
+		}
+		return v, nil
+	}
+	fv := func(what string) (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(buf, b[:]); err != nil {
+			return 0, fmt.Errorf("collect: archive %s: %w", what, err)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	str := func(what string) (string, error) {
+		n, err := uv(what + " length")
+		if err != nil || n > maxHelloName {
+			return "", fmt.Errorf("collect: archive %s length", what)
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(buf, s); err != nil {
+			return "", fmt.Errorf("collect: archive %s: %w", what, err)
+		}
+		return string(s), nil
+	}
+
+	ver, err := binary.ReadUvarint(buf)
+	if err != nil || ver != archiveVersion {
+		return nil, fmt.Errorf("collect: archive version %d", ver)
+	}
+	nNodes, err := uv("node count")
+	if err != nil || nNodes > archiveMaxCount {
+		return nil, fmt.Errorf("collect: archive node count")
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		ent := &archiveNode{}
+		node, err := uv("node")
+		if err != nil {
+			return nil, err
+		}
+		ent.node = uint32(node)
+		rank, err := uv("rank")
+		if err != nil {
+			return nil, err
+		}
+		ent.rank = uint32(rank)
+		// Cursors are unbounded counters, not allocation sizes.
+		for _, dst := range []*uint64{&ent.nextSeq, &ent.segments, &ent.events} {
+			if *dst, err = binary.ReadUvarint(buf); err != nil {
+				return nil, fmt.Errorf("collect: archive cursor: %w", err)
+			}
+		}
+		flags, err := uv("flags")
+		if err != nil {
+			return nil, err
+		}
+		ent.truncated = flags&1 != 0
+		nsyms, err := uv("symbol count")
+		if err != nil || nsyms > archiveMaxCount {
+			return nil, fmt.Errorf("collect: archive symbol count")
+		}
+		for s := uint64(0); s < nsyms; s++ {
+			name, err := str("symbol")
+			if err != nil {
+				return nil, err
+			}
+			ent.syms = append(ent.syms, name)
+		}
+		nsensors, err := uv("sensor count")
+		if err != nil || nsensors > archiveMaxCount {
+			return nil, fmt.Errorf("collect: archive sensor count")
+		}
+		ent.heat = make([][]hotspot.FunctionHeat, nsensors)
+		for sid := uint64(0); sid < nsensors; sid++ {
+			nheat, err := uv("heat count")
+			if err != nil || nheat > archiveMaxCount {
+				return nil, fmt.Errorf("collect: archive heat count")
+			}
+			for h := uint64(0); h < nheat; h++ {
+				f := hotspot.FunctionHeat{Node: ent.node}
+				if f.Name, err = str("heat name"); err != nil {
+					return nil, err
+				}
+				for _, dst := range []*float64{&f.AvgTemp, &f.MaxTemp, &f.TotalTimeS, &f.Score} {
+					if *dst, err = fv("heat value"); err != nil {
+						return nil, err
+					}
+				}
+				ent.heat[sid] = append(ent.heat[sid], f)
+			}
+		}
+		a.nodes = append(a.nodes, ent)
+	}
+	if buf.Len() != 0 {
+		return nil, fmt.Errorf("collect: %d trailing archive bytes", buf.Len())
+	}
+	return a, nil
+}
+
+// foldFunctionHeat merges two per-(node, function) rankings with the same
+// associative math MergeHotFunctions uses per function: scores and times
+// sum, averages weight by time, maxima take the max. The result is ranked
+// like hotspot.HotFunctions (score desc, node, name), so folding archived
+// history into a live ranking yields a valid ranking.
+func foldFunctionHeat(a, b []hotspot.FunctionHeat) []hotspot.FunctionHeat {
+	type key struct {
+		node uint32
+		name string
+	}
+	idx := map[key]int{}
+	out := make([]hotspot.FunctionHeat, 0, len(a)+len(b))
+	for _, src := range [2][]hotspot.FunctionHeat{a, b} {
+		for _, f := range src {
+			k := key{f.Node, f.Name}
+			i, ok := idx[k]
+			if !ok {
+				idx[k] = len(out)
+				out = append(out, f)
+				continue
+			}
+			g := &out[i]
+			if t := g.TotalTimeS + f.TotalTimeS; t > 0 {
+				g.AvgTemp = (g.AvgTemp*g.TotalTimeS + f.AvgTemp*f.TotalTimeS) / t
+			}
+			if f.MaxTemp > g.MaxTemp {
+				g.MaxTemp = f.MaxTemp
+			}
+			g.TotalTimeS += f.TotalTimeS
+			g.Score += f.Score
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// NewCompactor returns the store.Compactor the collector installs:
+// aged-out raw batches are replayed through a throwaway mid-stream
+// Builder per node, ranked by internal/hotspot per sensor, and folded
+// into the previous archive. Deterministic; retains nothing.
+func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compactor {
+	return func(prevArchive []byte, batches []store.Batch) ([]byte, error) {
+		arch, err := decodeArchive(prevArchive)
+		if err != nil {
+			return nil, err
+		}
+		type nodeFold struct {
+			ent   *archiveNode
+			sym   *trace.SymTab
+			b     *parser.Builder
+			dead  bool // builder poisoned; keep decoding for the symbol table
+			fresh uint64
+		}
+		folds := map[uint32]*nodeFold{}
+		var order []uint32
+		var scratch []trace.Event
+		for _, wb := range batches {
+			nf, ok := folds[wb.Node]
+			if !ok {
+				ent := arch.node(wb.Node, wb.Rank)
+				sym := trace.NewSymTab()
+				for _, name := range ent.syms {
+					sym.Register(name)
+				}
+				nf = &nodeFold{
+					ent: ent,
+					sym: sym,
+					b: parser.NewBuilder(wb.Node, sym, parser.Options{
+						Unit: unit, SampleInterval: sampleInterval, MidStream: true,
+					}),
+				}
+				folds[wb.Node] = nf
+				order = append(order, wb.Node)
+			}
+			ev, err := decodeChunk(wb.Payload, nf.sym, scratch)
+			if err != nil {
+				return nil, fmt.Errorf("collect: compact node %d: %w", wb.Node, err)
+			}
+			scratch = ev[:0]
+			if wb.Flags&store.FlagBulk == 0 && wb.Seq >= nf.ent.nextSeq {
+				nf.ent.nextSeq = wb.Seq + 1
+			}
+			nf.ent.segments++
+			if wb.Flags&store.FlagTruncated != 0 {
+				nf.ent.truncated = true
+			}
+			if !nf.dead {
+				if err := nf.b.Add(ev); err != nil {
+					nf.dead = true
+				} else {
+					nf.fresh += uint64(len(ev))
+				}
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, id := range order {
+			nf := folds[id]
+			nf.ent.syms = nf.sym.Names()
+			np, err := nf.b.Finish()
+			if err != nil {
+				// A window whose builder poisoned contributes cursors but no
+				// heat — the same events poisoned the live builder too.
+				continue
+			}
+			nf.ent.events += nf.fresh
+			p := &parser.Profile{Unit: unit, Nodes: []parser.NodeProfile{*np}}
+			if len(np.Samples) > len(nf.ent.heat) {
+				grown := make([][]hotspot.FunctionHeat, len(np.Samples))
+				copy(grown, nf.ent.heat)
+				nf.ent.heat = grown
+			}
+			for sid := range np.Samples {
+				hf, err := HotFunctions(p, sid, 0)
+				if err != nil || len(hf) == 0 {
+					continue
+				}
+				nf.ent.heat[sid] = foldFunctionHeat(nf.ent.heat[sid], hf)
+			}
+		}
+		return encodeArchive(arch), nil
+	}
+}

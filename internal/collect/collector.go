@@ -8,12 +8,15 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"tempest/internal/hotspot"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
+	"tempest/internal/store"
 	"tempest/internal/trace"
 )
 
@@ -40,6 +43,15 @@ type Options struct {
 	// otherwise be invisible (response encode failures, aborted
 	// streams). Default: slog.Default().
 	Logger *slog.Logger
+	// StoreDir, when set, makes ingest durable: each shard appends every
+	// accepted batch to an on-disk store under this directory before
+	// acking it, and New replays the store into warm builders so acked
+	// data survives a crash. Empty = memory-only (the pre-store behavior).
+	StoreDir string
+	// StoreOptions tunes the durable store (Window, MaxSegmentBytes,
+	// Retention, SyncEvery). Metrics, Logger, Now and — unless overridden —
+	// Compact are wired by the collector itself.
+	StoreOptions store.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +80,10 @@ type NodeStatus struct {
 	Truncated bool      `json:"truncated"`
 	LastSeen  time.Time `json:"last_seen"`
 	Err       string    `json:"error,omitempty"`
+	// ArchivedEvents counts events retention compacted out of raw history
+	// into folded hot-spot archives — still in Hotspots, gone from
+	// /api/profile.
+	ArchivedEvents uint64 `json:"archived_events,omitempty"`
 }
 
 // nodeState is one node's ingest state, owned by exactly one shard
@@ -82,20 +98,30 @@ type nodeState struct {
 	lastSeen time.Time
 	batch    []trace.Event // reused chunk decode buffer
 	err      error         // poisoned: gap in the stream or Builder failure
+
+	// symsStored is how much of sym the durable chunk stream already
+	// carries; the bulk path encodes fresh symbols from this cursor so
+	// every stored batch stays densely decodable on replay.
+	symsStored int
+	// archEvents and archHeat are the node's compacted history, replayed
+	// from the store's checkpoint archive at startup.
+	archEvents uint64
+	archHeat   [][]hotspot.FunctionHeat // per sensor id
 }
 
 // shardReq is one request into a shard worker. Exactly one of the
 // operation fields is used; reply always receives one shardResp.
 type shardReq struct {
-	op    shardOp
-	node  uint32
-	rank  uint32
-	seq   uint64
-	chunk []byte        // opChunk: frame payload
-	batch []trace.Event // opEvents: decoded events (bulk mode)
-	sym   *trace.SymTab // opEvents: table the batch's FuncIDs resolve in
-	trunc bool          // opFinishBulk
-	reply chan shardResp
+	op     shardOp
+	node   uint32
+	rank   uint32
+	seq    uint64
+	chunk  []byte        // opChunk: frame payload
+	batch  []trace.Event // opEvents: decoded events (bulk mode)
+	sym    *trace.SymTab // opEvents: table the batch's FuncIDs resolve in
+	trunc  bool          // opFinishBulk
+	sensor int           // opArchHeat
+	reply  chan shardResp
 }
 
 type shardOp int
@@ -107,6 +133,7 @@ const (
 	opFinishBulk
 	opSnapshot
 	opStatus
+	opArchHeat
 )
 
 // shardResp carries a shard worker's answer.
@@ -116,15 +143,23 @@ type shardResp struct {
 	err      error
 	profiles []*parser.NodeProfile
 	statuses []NodeStatus
+	heat     []hotspot.FunctionHeat
 }
 
 // shard owns a disjoint subset of the fleet's nodes. Its worker
-// goroutine is the only code that touches the nodes map and Builders.
+// goroutine is the only code that touches the nodes map, Builders and
+// the shard's durable store.
 type shard struct {
 	id    int
 	work  chan shardReq
 	nodes map[uint32]*nodeState
 	c     *Collector
+
+	// store is never nil: Memory when durability is off or after the
+	// shard degraded. Owned by the worker goroutine (like nodes), except
+	// during New's single-threaded open/replay phase.
+	store   store.Store
+	durable bool // disk-backed and not degraded
 }
 
 // Collector is the fleet ingest service: it accepts shipped chunk
@@ -157,7 +192,10 @@ type Collector struct {
 var errCollectorClosed = errors.New("collect: collector closed")
 
 // New returns a running collector (its shard workers are live); attach
-// ingest listeners with Serve and the HTTP API with Handler.
+// ingest listeners with Serve and the HTTP API with Handler. With
+// Options.StoreDir set, New first recovers the durable store — salvaging
+// any crash-torn tail — and replays acked history into warm builders, so
+// the collector resumes where the last process died.
 func New(opts Options) *Collector {
 	opts = opts.withDefaults()
 	c := &Collector{
@@ -167,13 +205,20 @@ func New(opts Options) *Collector {
 	}
 	c.shards = make([]*shard, opts.Shards)
 	for i := range c.shards {
-		sh := &shard{
+		c.shards[i] = &shard{
 			id:    i,
 			work:  make(chan shardReq, opts.QueueLen),
 			nodes: make(map[uint32]*nodeState),
 			c:     c,
+			store: store.Memory{},
 		}
-		c.shards[i] = sh
+	}
+	if opts.StoreDir != "" {
+		c.openStores()
+	}
+	// Workers start only after replay: recovery owns the node maps
+	// single-threaded, exactly like the workers will.
+	for _, sh := range c.shards {
 		c.wg.Add(1)
 		go sh.run(&c.wg)
 	}
@@ -186,6 +231,50 @@ func New(opts Options) *Collector {
 			func() float64 { return float64(len(sh.work)) })
 	}
 	return c
+}
+
+// openStores opens one disk store per shard and replays recovered
+// history into warm node states. A shard whose store cannot open or
+// replay runs degraded (memory-only) instead of failing the collector:
+// ingest availability outranks durability, and the degradation is loud —
+// logged, counted on the debug registry, and surfaced on /healthz.
+func (c *Collector) openStores() {
+	so := c.opts.StoreOptions
+	so.Metrics = store.NewMetrics(c.metrics.debug)
+	so.Logger = c.opts.Logger
+	so.Now = c.opts.Now
+	if so.Compact == nil {
+		so.Compact = NewCompactor(c.opts.Unit, c.opts.SampleInterval)
+	}
+	for i, sh := range c.shards {
+		dir := filepath.Join(c.opts.StoreDir, store.ShardDirName(i))
+		st, err := store.Open(dir, so)
+		if err != nil {
+			c.opts.Logger.Error("store open failed; shard ingests memory-only",
+				"shard", i, "dir", dir, "err", err)
+			c.noteDegrade()
+			continue
+		}
+		sh.store = st
+		sh.durable = true
+		if err := st.Replay(sh.replayArchive, sh.replayBatch); err != nil {
+			// Replay already salvaged what it could; the store itself still
+			// accepts appends, so stay durable with partial history.
+			c.opts.Logger.Error("store replay incomplete", "shard", i, "err", err)
+		}
+	}
+}
+
+// noteDegrade records one shard's fall to memory-only ingest.
+func (c *Collector) noteDegrade() {
+	c.metrics.storeDegrades.Add(1)
+	c.metrics.storeDegradedShards.Add(1)
+}
+
+// DegradedStoreShards reports how many shards are ingesting memory-only
+// after a store failure (0 = fully durable, or durability not enabled).
+func (c *Collector) DegradedStoreShards() int {
+	return int(c.metrics.storeDegradedShards.Value())
 }
 
 // shardFor hashes a node ID onto its owning shard (FNV-1a, stable
@@ -212,12 +301,145 @@ func (sh *shard) call(req shardReq) shardResp {
 }
 
 // run is the shard worker loop: the single goroutine that owns this
-// shard's builders.
+// shard's builders. On exit it closes the shard's store, which flushes —
+// so by the time Close returns, everything acked is on disk.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for req := range sh.work {
 		req.reply <- sh.handle(req)
 	}
+	if err := sh.store.Close(); err != nil {
+		sh.c.opts.Logger.Error("store close failed", "shard", sh.id, "err", err)
+	}
+}
+
+// persist appends one accepted batch to the shard's store before the
+// caller acks it. A failed append degrades the shard to memory-only
+// ingest — loudly — instead of wedging the fleet on a dying disk.
+func (sh *shard) persist(ns *nodeState, seq uint64, flags uint8, payload []byte) {
+	if !sh.durable {
+		return
+	}
+	err := sh.store.Append(store.Batch{
+		Node:     ns.id,
+		Rank:     ns.rank,
+		Seq:      seq,
+		Flags:    flags,
+		WallNano: sh.c.opts.Now().UnixNano(),
+		Payload:  payload,
+	})
+	if err != nil {
+		sh.c.opts.Logger.Error("store append failed; shard degraded to memory-only ingest",
+			"shard", sh.id, "node", ns.id, "err", err)
+		sh.store.Close()
+		sh.store = store.Memory{}
+		sh.durable = false
+		sh.c.noteDegrade()
+		return
+	}
+	ns.symsStored = ns.sym.Len()
+}
+
+// persistBulk re-encodes one bulk-path batch as a self-contained chunk —
+// the symbols registered since the last stored batch plus the events —
+// so the durable stream replays through the same dense-id chunk decoder
+// as shipped frames. Flags always carry FlagBulk: replayed bulk batches
+// must not advance the ship resume cursor.
+func (sh *shard) persistBulk(ns *nodeState, flags uint8, events []trace.Event) {
+	if !sh.durable {
+		return
+	}
+	payload, _, err := encodeChunk(events, ns.sym, ns.symsStored)
+	if err != nil {
+		// Events that just folded into the builder failed to re-encode:
+		// a codec invariant broke. Degrade rather than persist a gap.
+		sh.c.opts.Logger.Error("bulk batch re-encode failed; shard degraded to memory-only ingest",
+			"shard", sh.id, "node", ns.id, "err", err)
+		sh.store.Close()
+		sh.store = store.Memory{}
+		sh.durable = false
+		sh.c.noteDegrade()
+		return
+	}
+	sh.persist(ns, 0, store.FlagBulk|flags, payload)
+}
+
+// replayArchive seeds node states from the store's checkpoint archive:
+// compacted history whose raw batches are gone. Builders attach
+// mid-stream (the archive's symbol table carries the dense-id prefix),
+// and folded hot-spot rankings go to archHeat for Hotspots to merge.
+func (sh *shard) replayArchive(blob []byte) error {
+	arch, err := decodeArchive(blob)
+	if err != nil {
+		sh.c.opts.Logger.Error("store archive undecodable; compacted history dropped",
+			"shard", sh.id, "err", err)
+		return nil // raw segments still replay
+	}
+	for _, ent := range arch.nodes {
+		sym := trace.NewSymTab()
+		for _, name := range ent.syms {
+			sym.Register(name)
+		}
+		ns := &nodeState{
+			id:   ent.node,
+			rank: ent.rank,
+			sym:  sym,
+			builder: parser.NewBuilder(ent.node, sym, parser.Options{
+				Unit:           sh.c.opts.Unit,
+				SampleInterval: sh.c.opts.SampleInterval,
+				MidStream:      true,
+			}),
+			nextSeq:    ent.nextSeq,
+			segments:   ent.segments,
+			lastSeen:   sh.c.opts.Now(),
+			symsStored: sym.Len(),
+			archEvents: ent.events,
+			archHeat:   ent.heat,
+		}
+		if ent.truncated {
+			ns.builder.SetTruncated(true)
+		}
+		sh.nodes[ent.node] = ns
+		sh.c.metrics.nodes.Add(1)
+	}
+	return nil
+}
+
+// replayBatch folds one recovered raw batch back into its node — the
+// same cursor and decode discipline as live ingest, minus the wire
+// metrics (nothing was read off a connection this process).
+func (sh *shard) replayBatch(b store.Batch) error {
+	ns := sh.node(b.Node, b.Rank)
+	ns.lastSeen = time.Unix(0, b.WallNano)
+	if b.Flags&store.FlagBulk == 0 {
+		if b.Seq < ns.nextSeq {
+			return nil // duplicate ack survived a historic race; drop like live ingest
+		}
+		if b.Seq > ns.nextSeq {
+			ns.err = fmt.Errorf("collect: node %d: durable history gap (%d..%d lost)", ns.id, ns.nextSeq, b.Seq-1)
+			ns.nextSeq = b.Seq + 1
+			return nil
+		}
+		ns.nextSeq = b.Seq + 1
+	}
+	ns.segments++
+	if b.Flags&store.FlagTruncated != 0 {
+		ns.builder.SetTruncated(true)
+	}
+	if ns.err != nil {
+		return nil
+	}
+	batch, err := decodeChunk(b.Payload, ns.sym, ns.batch)
+	if err != nil {
+		ns.err = err
+		return nil
+	}
+	ns.batch = batch[:0]
+	ns.symsStored = ns.sym.Len()
+	if err := ns.builder.Add(batch); err != nil {
+		ns.err = err
+	}
+	return nil
 }
 
 // node returns (creating if needed) the state for one node.
@@ -277,6 +499,9 @@ func (sh *shard) handle(req shardReq) shardResp {
 			return shardResp{resume: ns.nextSeq, err: err}
 		}
 		ns.batch = batch[:0]
+		// Durable commit before the ack this response triggers: once the
+		// shipper retires the chunk, only the store remembers it.
+		sh.persist(ns, req.seq, 0, req.chunk)
 		foldStart := time.Now()
 		err = ns.builder.Add(batch)
 		sh.c.metrics.foldSeconds.ObserveSince(foldStart)
@@ -310,6 +535,7 @@ func (sh *shard) handle(req shardReq) shardResp {
 				e.FuncID = ns.sym.Register(name)
 			}
 		}
+		sh.persistBulk(ns, 0, req.batch)
 		foldStart := time.Now()
 		err := ns.builder.Add(req.batch)
 		sh.c.metrics.foldSeconds.ObserveSince(foldStart)
@@ -325,6 +551,8 @@ func (sh *shard) handle(req shardReq) shardResp {
 		ns.lastSeen = sh.c.opts.Now()
 		if req.trunc {
 			ns.builder.SetTruncated(true)
+			// An empty flagged chunk records the truncation durably.
+			sh.persistBulk(ns, store.FlagTruncated, nil)
 		}
 		return shardResp{}
 
@@ -351,17 +579,30 @@ func (sh *shard) handle(req shardReq) shardResp {
 		resp := shardResp{}
 		for _, ns := range sh.nodes {
 			st := NodeStatus{
-				NodeID:    ns.id,
-				Rank:      ns.rank,
-				Events:    ns.builder.Events(),
-				Segments:  ns.segments,
-				DurationS: ns.builder.Duration().Seconds(),
-				LastSeen:  ns.lastSeen,
+				NodeID:         ns.id,
+				Rank:           ns.rank,
+				Events:         ns.builder.Events(),
+				Segments:       ns.segments,
+				DurationS:      ns.builder.Duration().Seconds(),
+				LastSeen:       ns.lastSeen,
+				ArchivedEvents: ns.archEvents,
 			}
 			if ns.err != nil {
 				st.Err = ns.err.Error()
 			}
 			resp.statuses = append(resp.statuses, st)
+		}
+		return resp
+
+	case opArchHeat:
+		// Compacted history's contribution to one sensor's ranking. The
+		// slices are startup-immutable (only replayArchive writes them), so
+		// handing them across the reply is safe.
+		resp := shardResp{}
+		for _, ns := range sh.nodes {
+			if req.sensor >= 0 && req.sensor < len(ns.archHeat) {
+				resp.heat = append(resp.heat, ns.archHeat[req.sensor]...)
+			}
 		}
 		return resp
 	}
@@ -583,6 +824,16 @@ func (c *Collector) NodeProfile(id uint32) (*parser.NodeProfile, error) {
 		}
 	}
 	return nil, fmt.Errorf("collect: unknown node %d", id)
+}
+
+// archivedHeat collects every shard's compacted hot-spot contributions
+// for one sensor.
+func (c *Collector) archivedHeat(sensor int) []hotspot.FunctionHeat {
+	var out []hotspot.FunctionHeat
+	for _, sh := range c.shards {
+		out = append(out, sh.call(shardReq{op: opArchHeat, sensor: sensor}).heat...)
+	}
+	return out
 }
 
 // Metrics exposes the collector's self-observability counters.

@@ -42,6 +42,12 @@ func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Still a liveness 200 when degraded — the process serves — but
+		// the body tells probes that durability is gone.
+		if n := c.DegradedStoreShards(); n > 0 {
+			fmt.Fprintf(w, "degraded\nstore: %d shard(s) ingesting memory-only (acked data will not survive a crash)\n", n)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -147,13 +153,20 @@ type apiNode struct {
 	Volatility float64 `json:"volatility"`
 }
 
-// Hotspots computes the /api/hotspots answer from a live fleet snapshot.
+// Hotspots computes the /api/hotspots answer from a live fleet snapshot,
+// folded with any history that retention compacted out of raw storage —
+// the associative fold makes the answer agree with an uninterrupted,
+// uncompacted run. Nodes rankings need raw samples, so they cover live
+// history only.
 func (c *Collector) Hotspots(sensor, k int) (*HotspotsResponse, error) {
 	p := c.Profile()
 	// Merge from the untruncated ranking, then cut both to k.
 	full, err := HotFunctions(p, sensor, 0)
 	if err != nil {
 		return nil, err
+	}
+	if arch := c.archivedHeat(sensor); len(arch) > 0 {
+		full = foldFunctionHeat(arch, full)
 	}
 	merged := MergeHotFunctions(full, k)
 	if k > 0 && len(full) > k {

@@ -41,6 +41,9 @@ type Metrics struct {
 	encodeErrors  *introspect.Counter      // JSON response encode/write failures
 	streamErrors  *introspect.Counter      // mid-stream response failures (aborted connections)
 	decodeSeconds *introspect.Distribution // chunk decode latency
+
+	storeDegrades       *introspect.Counter // shard falls to memory-only ingest
+	storeDegradedShards *introspect.Gauge   // shards currently memory-only (also drives /healthz)
 }
 
 func newMetrics(shards int) *Metrics {
@@ -62,6 +65,8 @@ func newMetrics(shards int) *Metrics {
 	m.decodeSeconds = m.debug.Distribution("tempest_collect_decode_seconds", "Chunk decode latency per shipped frame.")
 	m.encodeErrors = m.debug.Counter("tempest_collect_response_encode_errors_total", "JSON API responses whose encode or write failed.")
 	m.streamErrors = m.debug.Counter("tempest_collect_stream_abort_total", "Streaming API responses aborted after the first byte.")
+	m.storeDegrades = m.debug.Counter("tempest_collect_store_degrade_events_total", "Shards that fell from durable to memory-only ingest.")
+	m.storeDegradedShards = m.debug.Gauge("tempest_collect_store_degraded_shards", "Shards currently ingesting memory-only after a store failure.")
 	return m
 }
 

@@ -155,10 +155,16 @@ func (b *Builder) add(e *trace.Event) error {
 	case trace.KindExit:
 		st := b.stacks[e.Lane]
 		if len(st) == 0 {
+			if b.opts.MidStream {
+				return nil // invocation opened before this stream began
+			}
 			return fmt.Errorf("parser: event %d: exit with empty stack on lane %d", b.events, e.Lane)
 		}
 		top := st[len(st)-1]
 		if top.fid != e.FuncID {
+			if b.opts.MidStream {
+				return nil
+			}
 			return fmt.Errorf("parser: event %d: exit of function %d while %d is open", b.events, e.FuncID, top.fid)
 		}
 		b.stacks[e.Lane] = st[:len(st)-1]

@@ -47,6 +47,14 @@ type Options struct {
 	// SampleInterval is the tempd sampling period used for the
 	// significance rule; 0 auto-detects from sample spacing.
 	SampleInterval time.Duration
+	// MidStream tolerates attaching to an event stream already in
+	// progress: an Exit without a matching Enter on its lane (the
+	// invocation began before this stream's first event) is dropped
+	// instead of poisoning the Builder. The collector's durable-store
+	// replay and retention compactor rebuild profiles from windows cut at
+	// arbitrary points, where such orphan exits are expected, not
+	// corruption.
+	MidStream bool
 }
 
 // Sample is one temperature reading on one sensor.

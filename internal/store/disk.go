@@ -1,0 +1,897 @@
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tempest/internal/trace"
+)
+
+const (
+	segMagic   = 0x53535054 // "TPSS" little-endian
+	segVersion = 1
+
+	recBatch      = 'B' // one committed ingest batch
+	recCheckpoint = 'C' // compaction archive
+
+	// maxRecordLen bounds one framed record: the collector's chunk limit
+	// plus framing slack. Larger declarations are corruption.
+	maxRecordLen = 1<<26 + 4096
+)
+
+// ChainLen is the size of one hash-chain link (SHA-256).
+const ChainLen = 32
+
+// Chain is the running tamper-evidence hash: each committed record
+// carries SHA-256(previous chain ‖ record body).
+type Chain [ChainLen]byte
+
+// String renders the chain link as hex.
+func (c Chain) String() string { return fmt.Sprintf("%x", c[:]) }
+
+// chainNext advances the hash chain over one record body.
+func chainNext(prev Chain, body []byte) Chain {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(body)
+	var out Chain
+	h.Sum(out[:0])
+	return out
+}
+
+// errChainBreak reports a record whose stored chain link does not
+// continue its predecessor — in-place tampering or reordering that CRCs
+// alone cannot see.
+var errChainBreak = errors.New("store: hash chain break")
+
+// errStoreClosed reports use after Close.
+var errStoreClosed = errors.New("store: closed")
+
+// writeRecord frames one record — body followed by its chain link — and
+// emits it as a single trace segment frame. The chain link is computed
+// and copied into the record before the frame is written, so a torn
+// write can never leave a committed-looking record without its hash.
+func writeRecord(w io.Writer, kind byte, body []byte, prev Chain) (Chain, error) {
+	nextChain := chainNext(prev, body)
+	rec := make([]byte, len(body)+ChainLen)
+	copy(rec, body)
+	copy(rec[len(body):], nextChain[:])
+	if err := trace.WriteSegmentFrame(w, kind, rec); err != nil {
+		return Chain{}, err
+	}
+	return nextChain, nil
+}
+
+// record is one decoded store record.
+type record struct {
+	kind  byte
+	body  []byte // without the trailing chain link; aliases the scan buffer
+	chain Chain
+}
+
+// appendBatchBody serialises a batch body into dst.
+func appendBatchBody(dst []byte, b Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.Node))
+	dst = binary.AppendUvarint(dst, uint64(b.Rank))
+	dst = binary.AppendUvarint(dst, b.Seq)
+	dst = append(dst, b.Flags)
+	dst = binary.AppendUvarint(dst, uint64(b.WallNano))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Payload)))
+	return append(dst, b.Payload...)
+}
+
+// parseBatchBody decodes a batch body; the payload aliases body.
+func parseBatchBody(body []byte) (Batch, error) {
+	var b Batch
+	rd := newSliceReader(body)
+	node, err := rd.uvarint()
+	if err != nil {
+		return b, fmt.Errorf("store: batch node: %w", err)
+	}
+	rank, err := rd.uvarint()
+	if err != nil {
+		return b, fmt.Errorf("store: batch rank: %w", err)
+	}
+	seq, err := rd.uvarint()
+	if err != nil {
+		return b, fmt.Errorf("store: batch seq: %w", err)
+	}
+	flags, err := rd.byte()
+	if err != nil {
+		return b, fmt.Errorf("store: batch flags: %w", err)
+	}
+	wall, err := rd.uvarint()
+	if err != nil {
+		return b, fmt.Errorf("store: batch wall clock: %w", err)
+	}
+	plen, err := rd.uvarint()
+	if err != nil {
+		return b, fmt.Errorf("store: batch payload length: %w", err)
+	}
+	payload, err := rd.bytes(plen)
+	if err != nil {
+		return b, fmt.Errorf("store: batch payload: %w", err)
+	}
+	if rd.len() != 0 {
+		return b, fmt.Errorf("store: %d trailing batch bytes", rd.len())
+	}
+	b.Node = uint32(node)
+	b.Rank = uint32(rank)
+	b.Seq = seq
+	b.Flags = flags
+	b.WallNano = int64(wall)
+	b.Payload = payload
+	return b, nil
+}
+
+// appendCheckpointBody serialises a checkpoint body: the raw-prefix
+// coverage index, the final chain link of the batches the archive
+// replaced, and the opaque archive blob.
+func appendCheckpointBody(dst []byte, covered uint64, prevFinal Chain, archive []byte) []byte {
+	dst = binary.AppendUvarint(dst, covered)
+	dst = append(dst, prevFinal[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(archive)))
+	return append(dst, archive...)
+}
+
+// parseCheckpointBody decodes a checkpoint body; archive aliases body.
+func parseCheckpointBody(body []byte) (covered uint64, prevFinal Chain, archive []byte, err error) {
+	rd := newSliceReader(body)
+	covered, err = rd.uvarint()
+	if err != nil {
+		return 0, Chain{}, nil, fmt.Errorf("store: checkpoint index: %w", err)
+	}
+	link, err := rd.bytes(ChainLen)
+	if err != nil {
+		return 0, Chain{}, nil, fmt.Errorf("store: checkpoint prev chain: %w", err)
+	}
+	copy(prevFinal[:], link)
+	alen, err := rd.uvarint()
+	if err != nil {
+		return 0, Chain{}, nil, fmt.Errorf("store: checkpoint archive length: %w", err)
+	}
+	archive, err = rd.bytes(alen)
+	if err != nil {
+		return 0, Chain{}, nil, fmt.Errorf("store: checkpoint archive: %w", err)
+	}
+	if rd.len() != 0 {
+		return 0, Chain{}, nil, fmt.Errorf("store: %d trailing checkpoint bytes", rd.len())
+	}
+	return covered, prevFinal, archive, nil
+}
+
+// sliceReader is a tiny bounds-checked cursor over a record body.
+type sliceReader struct{ b []byte }
+
+func newSliceReader(b []byte) *sliceReader { return &sliceReader{b: b} }
+
+func (r *sliceReader) len() int { return len(r.b) }
+
+func (r *sliceReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errors.New("short or malformed uvarint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *sliceReader) byte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, errors.New("short read")
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *sliceReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("declared %d bytes, %d remain", n, len(r.b))
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// segHeader is one segment (or checkpoint) file header.
+type segHeader struct {
+	index      uint64
+	chainStart Chain
+	size       int // encoded size in bytes
+}
+
+func appendSegHeader(dst []byte, index uint64, chainStart Chain) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, segMagic)
+	dst = binary.LittleEndian.AppendUint16(dst, segVersion)
+	dst = binary.AppendUvarint(dst, index)
+	return append(dst, chainStart[:]...)
+}
+
+func readSegHeader(br *bufio.Reader) (segHeader, error) {
+	var h segHeader
+	var fixed [6]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return h, fmt.Errorf("store: segment header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(fixed[0:4]) != segMagic {
+		return h, fmt.Errorf("store: bad segment magic %#x", binary.LittleEndian.Uint32(fixed[0:4]))
+	}
+	if v := binary.LittleEndian.Uint16(fixed[4:6]); v != segVersion {
+		return h, fmt.Errorf("store: unsupported segment version %d", v)
+	}
+	idx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("store: segment index: %w", err)
+	}
+	var link [ChainLen]byte
+	if _, err := io.ReadFull(br, link[:]); err != nil {
+		return h, fmt.Errorf("store: segment chain start: %w", err)
+	}
+	h.index = idx
+	h.chainStart = link
+	h.size = len(fixed) + uvarintLen(idx) + ChainLen
+	return h, nil
+}
+
+func uvarintLen(v uint64) int {
+	var scratch [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(scratch[:], v)
+}
+
+// segScan is the result of walking one segment file.
+type segScan struct {
+	header   segHeader
+	final    Chain // chain after the last intact record
+	records  int
+	batches  int
+	lastWall int64
+	goodOff  int64 // offset just past the last intact record
+	tear     error // nil if the file ended cleanly on a frame boundary
+}
+
+// scanSegmentFile walks one segment or checkpoint file, verifying frame
+// CRCs and chain continuity, calling fn (when non-nil) with each intact
+// record. Scanning stops at the first tear, CRC failure or chain break,
+// reported via segScan.tear; an unreadable header is a hard error.
+// A non-nil error from fn aborts the scan and is returned verbatim.
+func scanSegmentFile(path string, fn func(record) error) (*segScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr, err := readSegHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	sc := &segScan{header: hdr, final: hdr.chainStart, goodOff: int64(hdr.size)}
+	var buf []byte
+	for {
+		kind, payload, nbuf, err := trace.ReadSegmentFrame(br, buf, maxRecordLen, recBatch, recCheckpoint)
+		buf = nbuf
+		if err == io.EOF {
+			return sc, nil
+		}
+		if err != nil {
+			sc.tear = err
+			return sc, nil
+		}
+		if len(payload) < ChainLen {
+			sc.tear = fmt.Errorf("%w: record shorter than its chain link", trace.ErrTornSegment)
+			return sc, nil
+		}
+		rec := record{kind: kind, body: payload[:len(payload)-ChainLen]}
+		copy(rec.chain[:], payload[len(payload)-ChainLen:])
+		if want := chainNext(sc.final, rec.body); want != rec.chain {
+			sc.tear = fmt.Errorf("%w: record %d of %s", errChainBreak, sc.records, filepath.Base(path))
+			return sc, nil
+		}
+		var wall int64
+		if kind == recBatch {
+			b, err := parseBatchBody(rec.body)
+			if err != nil {
+				// The frame and chain verified but the body is structurally
+				// invalid: treat the record as torn so salvage stops before
+				// it instead of replaying garbage.
+				sc.tear = err
+				return sc, nil
+			}
+			wall = b.WallNano
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return nil, err
+			}
+		}
+		sc.final = rec.chain
+		sc.records++
+		sc.goodOff += int64(trace.SegmentFrameHdrLen + len(payload))
+		if kind == recBatch {
+			sc.batches++
+			sc.lastWall = wall
+		}
+	}
+}
+
+// segMeta is the in-memory index entry for one closed, uncompacted
+// segment file.
+type segMeta struct {
+	index    uint64
+	path     string
+	lastWall int64
+	final    Chain
+	batches  int
+}
+
+// Disk is the durable backend: an append-only, hash-chained segment log
+// with checkpointed retention. Not concurrency-safe; one shard worker
+// owns each Disk.
+type Disk struct {
+	dir  string
+	opts Options
+
+	err    error // poisoned after an I/O failure
+	closedStore bool
+
+	f         *os.File  // active segment, nil until the first Append
+	w         io.Writer // f, possibly wrapped by opts.WrapWriter
+	segIndex  uint64    // highest segment index ever used
+	segStart  time.Time // when the active segment was opened
+	segBytes  int64
+	segBatches int
+	sinceSync int
+
+	chain    Chain
+	lastWall int64
+
+	closed    []segMeta // closed, uncompacted segments, ascending index
+	ckptIndex uint64    // highest checkpoint index (0 = none)
+	ckptPath  string
+	archive   []byte
+
+	scratch []byte
+}
+
+// Open opens (creating as needed) one shard's disk store and runs crash
+// recovery: stale files from an interrupted compaction are removed, the
+// last segment's torn tail — if the previous process died mid-append —
+// is truncated away, and the hash chain is rebuilt so the next Append
+// continues it. If retention is configured, aged-out segments compact
+// immediately.
+func Open(dir string, opts Options) (*Disk, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{dir: dir, opts: opts}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	d.maybeCompact(opts.Now())
+	return d, nil
+}
+
+// parseStoreName classifies one store directory entry.
+func parseStoreName(name string) (index uint64, kind string) {
+	switch {
+	case strings.HasSuffix(name, ".seg"):
+		kind = "seg"
+	case strings.HasSuffix(name, ".ckpt"):
+		kind = "ckpt"
+	case strings.HasSuffix(name, ".tmp"):
+		return 0, "tmp"
+	default:
+		return 0, ""
+	}
+	idx, err := strconv.ParseUint(name[:len(name)-len(filepath.Ext(name))], 10, 64)
+	if err != nil {
+		return 0, ""
+	}
+	return idx, kind
+}
+
+func (d *Disk) segPath(index uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%09d.seg", index))
+}
+
+func (d *Disk) ckptPathFor(index uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%09d.ckpt", index))
+}
+
+// recover scans the directory, cleans up interrupted-compaction debris,
+// loads the newest checkpoint, salvages the segment log's torn tail and
+// rebuilds the chain cursor.
+func (d *Disk) recover() error {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var segs []uint64
+	var ckpts []uint64
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		idx, kind := parseStoreName(ent.Name())
+		switch kind {
+		case "seg":
+			segs = append(segs, idx)
+		case "ckpt":
+			ckpts = append(ckpts, idx)
+		case "tmp":
+			// An interrupted compaction's half-written checkpoint: the
+			// rename never happened, so it covers nothing. Remove it.
+			os.Remove(filepath.Join(d.dir, ent.Name()))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+
+	// Newest checkpoint wins; older checkpoints and the raw segments a
+	// checkpoint covers are debris from a compaction that crashed between
+	// rename and delete.
+	if n := len(ckpts); n > 0 {
+		d.ckptIndex = ckpts[n-1]
+		d.ckptPath = d.ckptPathFor(d.ckptIndex)
+		for _, idx := range ckpts[:n-1] {
+			os.Remove(d.ckptPathFor(idx))
+		}
+		kept := segs[:0]
+		for _, idx := range segs {
+			if idx <= d.ckptIndex {
+				os.Remove(d.segPath(idx))
+				continue
+			}
+			kept = append(kept, idx)
+		}
+		segs = kept
+		if err := d.loadCheckpoint(); err != nil {
+			// A checkpoint that fails its own CRC + chain verification is
+			// unusable: the archived history is lost (and Verify will say
+			// so), but the surviving raw segments still replay.
+			d.opts.Logger.Error("store: checkpoint unreadable, archived history dropped",
+				"dir", d.dir, "checkpoint", d.ckptPath, "err", err)
+			d.opts.Metrics.RecoveryErrors.Add(1)
+			d.archive = nil
+		}
+	}
+	d.segIndex = d.ckptIndex
+
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		path := d.segPath(idx)
+		sc, err := scanSegmentFile(path, nil)
+		if err != nil {
+			if last {
+				// The process died creating this segment before even its
+				// header was durable; nothing in it was ever acked.
+				d.opts.Logger.Warn("store: removing segment with torn header", "segment", path, "err", err)
+				os.Remove(path)
+				break
+			}
+			d.opts.Logger.Error("store: unreadable mid-log segment skipped", "segment", path, "err", err)
+			d.opts.Metrics.RecoveryErrors.Add(1)
+			d.segIndex = idx
+			continue
+		}
+		if sc.header.index != idx {
+			// The index lives in the header, outside any record's CRC or
+			// chain: a flip here (or a renamed file) is metadata tampering.
+			// The records themselves still chain-verify, so keep them — but
+			// count it, and Verify fails the shard until the operator acts.
+			d.opts.Logger.Error("store: segment header index disagrees with filename",
+				"segment", path, "header_index", sc.header.index)
+			d.opts.Metrics.RecoveryErrors.Add(1)
+		}
+		if i == 0 && d.ckptIndex == 0 {
+			// No checkpoint: the log must root at the zero chain. A nonzero
+			// start claims continuation of history that no longer exists —
+			// keep the batches (availability) but say so loudly.
+			if sc.header.chainStart != (Chain{}) {
+				d.opts.Logger.Error("store: segment roots mid-history with no checkpoint", "segment", path)
+				d.opts.Metrics.RecoveryErrors.Add(1)
+			}
+			d.chain = sc.header.chainStart
+		} else if sc.header.chainStart != d.chain {
+			// First segment after a checkpoint must continue prevFinal;
+			// later segments must continue their predecessor. A mismatch
+			// means history between them was lost or altered.
+			d.opts.Logger.Error("store: chain discontinuity at segment", "segment", path)
+			d.opts.Metrics.RecoveryErrors.Add(1)
+		}
+		if sc.tear != nil {
+			if last {
+				// The crash salvage case: truncate the torn tail so the
+				// surviving prefix re-verifies cleanly forever after.
+				d.opts.Logger.Warn("store: truncating torn segment tail",
+					"segment", path, "offset", sc.goodOff, "err", sc.tear)
+				d.opts.Metrics.SalvagedTails.Add(1)
+				if err := os.Truncate(path, sc.goodOff); err != nil {
+					return fmt.Errorf("store: salvage truncate: %w", err)
+				}
+			} else {
+				d.opts.Logger.Error("store: mid-log tear, segment suffix lost",
+					"segment", path, "err", sc.tear)
+				d.opts.Metrics.RecoveryErrors.Add(1)
+			}
+		}
+		d.closed = append(d.closed, segMeta{
+			index:    idx,
+			path:     path,
+			lastWall: sc.lastWall,
+			final:    sc.final,
+			batches:  sc.batches,
+		})
+		d.chain = sc.final
+		if sc.lastWall > d.lastWall {
+			d.lastWall = sc.lastWall
+		}
+		d.segIndex = idx
+	}
+	return nil
+}
+
+// loadCheckpoint reads and verifies the newest checkpoint, seeding the
+// archive blob and the chain cursor.
+func (d *Disk) loadCheckpoint() error {
+	var found bool
+	sc, err := scanSegmentFile(d.ckptPath, func(rec record) error {
+		if rec.kind != recCheckpoint || found {
+			return fmt.Errorf("store: unexpected record %q in checkpoint", rec.kind)
+		}
+		covered, prevFinal, archive, err := parseCheckpointBody(rec.body)
+		if err != nil {
+			return err
+		}
+		if covered != d.ckptIndex {
+			return fmt.Errorf("store: checkpoint covers %d but is named %d", covered, d.ckptIndex)
+		}
+		d.archive = append([]byte(nil), archive...)
+		d.chain = prevFinal
+		found = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if sc.tear != nil {
+		return sc.tear
+	}
+	if !found {
+		return errors.New("store: checkpoint holds no record")
+	}
+	return nil
+}
+
+// Replay streams the recovered history: archive first, then every
+// surviving batch in commit order. Must run before the first Append.
+func (d *Disk) Replay(archiveFn func([]byte) error, batchFn func(Batch) error) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.archive) > 0 && archiveFn != nil {
+		if err := archiveFn(d.archive); err != nil {
+			return err
+		}
+	}
+	if batchFn == nil {
+		return nil
+	}
+	for _, sm := range d.closed {
+		sc, err := scanSegmentFile(sm.path, func(rec record) error {
+			if rec.kind != recBatch {
+				return nil
+			}
+			b, err := parseBatchBody(rec.body)
+			if err != nil {
+				return err
+			}
+			d.opts.Metrics.ReplayedBatches.Add(1)
+			return batchFn(b)
+		})
+		if err != nil {
+			return fmt.Errorf("store: replay %s: %w", filepath.Base(sm.path), err)
+		}
+		if sc.tear != nil {
+			// recover already salvaged tails; a tear now means the disk is
+			// actively flaking under us. Keep the prefix, tell the caller.
+			d.opts.Logger.Error("store: replay tear", "segment", sm.path, "err", sc.tear)
+			d.opts.Metrics.RecoveryErrors.Add(1)
+		}
+	}
+	return nil
+}
+
+// shouldRoll reports whether the active segment is past its time window
+// or size bound.
+func (d *Disk) shouldRoll(now time.Time) bool {
+	return now.Sub(d.segStart) >= d.opts.Window || d.segBytes >= d.opts.MaxSegmentBytes
+}
+
+// fail poisons the store with its first I/O error.
+func (d *Disk) fail(err error) error {
+	if d.err == nil {
+		d.err = err
+		d.opts.Metrics.AppendErrors.Add(1)
+	}
+	return d.err
+}
+
+// Append commits one batch: framed, hash-chained, and — at the default
+// SyncEvery=1 — fsynced before returning, so a nil return means the
+// batch survives SIGKILL. This is the commit the shard worker performs
+// before acking a chunk.
+func (d *Disk) Append(b Batch) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.closedStore {
+		return errStoreClosed
+	}
+	start := time.Now()
+	now := d.opts.Now()
+	if d.f == nil || d.shouldRoll(now) {
+		if err := d.roll(now); err != nil {
+			return d.fail(err)
+		}
+	}
+	d.scratch = appendBatchBody(d.scratch[:0], b)
+	body := d.scratch
+	nextChain, err := writeRecord(d.w, recBatch, body, d.chain)
+	if err != nil {
+		return d.fail(err)
+	}
+	d.chain = nextChain
+	d.segBytes += int64(trace.SegmentFrameHdrLen + len(body) + ChainLen)
+	d.segBatches++
+	d.lastWall = b.WallNano
+	d.sinceSync++
+	if d.sinceSync >= d.opts.SyncEvery {
+		if err := d.sync(); err != nil {
+			return d.fail(err)
+		}
+	}
+	m := d.opts.Metrics
+	m.Appends.Add(1)
+	m.AppendedBytes.Add(uint64(trace.SegmentFrameHdrLen + len(body) + ChainLen))
+	m.AppendSeconds.ObserveSince(start)
+	return nil
+}
+
+// sync forces the active segment to stable storage.
+func (d *Disk) sync() error {
+	if d.f == nil || d.sinceSync == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.sinceSync = 0
+	d.opts.Metrics.Syncs.Add(1)
+	d.opts.Metrics.SyncSeconds.ObserveSince(start)
+	return nil
+}
+
+// Flush makes everything appended so far durable (a no-op at the default
+// SyncEvery=1). The daemon calls it on SIGTERM before acking shutdown.
+func (d *Disk) Flush() error {
+	if d.err != nil {
+		return d.err
+	}
+	if err := d.sync(); err != nil {
+		return d.fail(err)
+	}
+	return nil
+}
+
+// roll closes the active segment (if any), gives compaction a chance,
+// and opens the next segment with the current chain as its start.
+func (d *Disk) roll(now time.Time) error {
+	if d.f != nil {
+		if err := d.closeActive(); err != nil {
+			return err
+		}
+		d.maybeCompact(now)
+	}
+	d.segIndex++
+	path := d.segPath(d.segIndex)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	var w io.Writer = f
+	if d.opts.WrapWriter != nil {
+		w = d.opts.WrapWriter(f)
+	}
+	hdr := appendSegHeader(nil, d.segIndex, d.chain)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: segment header sync: %w", err)
+	}
+	if err := syncDir(d.dir); err != nil {
+		f.Close()
+		return err
+	}
+	d.f = f
+	d.w = w
+	d.segStart = now
+	d.segBytes = int64(len(hdr))
+	d.segBatches = 0
+	d.sinceSync = 0
+	d.opts.Metrics.Segments.Add(1)
+	return nil
+}
+
+// closeActive flushes, fsyncs and closes the active segment, indexing it
+// as closed (compactable).
+func (d *Disk) closeActive() error {
+	if err := d.sync(); err != nil {
+		return err
+	}
+	err := d.f.Close()
+	if err == nil {
+		d.closed = append(d.closed, segMeta{
+			index:    d.segIndex,
+			path:     d.segPath(d.segIndex),
+			lastWall: d.lastWall,
+			final:    d.chain,
+			batches:  d.segBatches,
+		})
+	}
+	d.f = nil
+	d.w = nil
+	return err
+}
+
+// maybeCompact folds the prefix of closed segments whose every batch has
+// aged past Retention into the checkpoint archive, then deletes the raw
+// files. Best-effort: any failure leaves the raw segments in place and
+// is retried at the next roll.
+func (d *Disk) maybeCompact(now time.Time) {
+	if d.opts.Retention <= 0 || d.opts.Compact == nil || len(d.closed) == 0 {
+		return
+	}
+	cutoff := now.Add(-d.opts.Retention).UnixNano()
+	covered := 0
+	for covered < len(d.closed) && d.closed[covered].lastWall <= cutoff {
+		covered++
+	}
+	if covered == 0 {
+		return
+	}
+	var batches []Batch
+	for _, sm := range d.closed[:covered] {
+		sc, err := scanSegmentFile(sm.path, func(rec record) error {
+			if rec.kind != recBatch {
+				return nil
+			}
+			b, err := parseBatchBody(rec.body)
+			if err != nil {
+				return err
+			}
+			b.Payload = append([]byte(nil), b.Payload...)
+			batches = append(batches, b)
+			return nil
+		})
+		if err == nil && sc.tear != nil {
+			err = sc.tear
+		}
+		if err != nil {
+			d.opts.Logger.Error("store: compaction read failed, raw segments kept", "segment", sm.path, "err", err)
+			d.opts.Metrics.CompactionErrors.Add(1)
+			return
+		}
+	}
+	last := d.closed[covered-1]
+	blob, err := d.opts.Compact(d.archive, batches)
+	if err != nil {
+		d.opts.Logger.Error("store: compactor failed, raw segments kept", "err", err)
+		d.opts.Metrics.CompactionErrors.Add(1)
+		return
+	}
+	if err := d.writeCheckpoint(last.index, last.final, blob); err != nil {
+		d.opts.Logger.Error("store: checkpoint write failed, raw segments kept", "err", err)
+		d.opts.Metrics.CompactionErrors.Add(1)
+		return
+	}
+	// The checkpoint is durable; the raw prefix and the older checkpoint
+	// are now redundant. A crash between these removes and the updates
+	// below replays into recover's debris cleanup.
+	if d.ckptPath != "" {
+		os.Remove(d.ckptPath)
+	}
+	for _, sm := range d.closed[:covered] {
+		os.Remove(sm.path)
+	}
+	syncDir(d.dir)
+	d.ckptIndex = last.index
+	d.ckptPath = d.ckptPathFor(last.index)
+	d.archive = blob
+	d.closed = append([]segMeta(nil), d.closed[covered:]...)
+	d.opts.Metrics.Compactions.Add(1)
+	d.opts.Metrics.CompactedBatches.Add(uint64(len(batches)))
+}
+
+// writeCheckpoint persists one checkpoint atomically: temp file, fsync,
+// rename, directory fsync.
+func (d *Disk) writeCheckpoint(index uint64, prevFinal Chain, archive []byte) error {
+	tmp := filepath.Join(d.dir, fmt.Sprintf("%09d.ckpt.tmp", index))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	if d.opts.WrapWriter != nil {
+		w = d.opts.WrapWriter(f)
+	}
+	hdr := appendSegHeader(nil, index, Chain{})
+	_, err = w.Write(hdr)
+	if err == nil {
+		body := appendCheckpointBody(nil, index, prevFinal, archive)
+		_, err = writeRecord(w, recCheckpoint, body, Chain{})
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, d.ckptPathFor(index)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+// Close flushes and closes the store. Idempotent.
+func (d *Disk) Close() error {
+	if d.closedStore {
+		return nil
+	}
+	d.closedStore = true
+	if d.f == nil {
+		return d.err
+	}
+	err := d.sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	d.f = nil
+	d.w = nil
+	if d.err == nil {
+		d.err = errStoreClosed
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,230 @@
+// Package store is the collector's durable profile store: a pluggable
+// persistence layer behind the ingest shard workers that makes
+// acknowledged fleet history survive a collector crash.
+//
+// The collector's exactly-once wire contract (per-node sequence cursors,
+// resume-on-reconnect) is only as strong as the collector's memory: if an
+// acked chunk lives nowhere but a parser.Builder, a SIGKILL erases data
+// the shipper was told is safe and has already dropped. store closes that
+// hole. Each shard owns one Store; every accepted batch is appended — and
+// fsynced — before the shard acks it, and on startup the collector
+// replays the store back into warm Builders.
+//
+// Two backends implement Store:
+//
+//   - Memory is the pre-store behavior: nothing persists, every call is a
+//     no-op. It is also the degraded-mode fallback a shard switches to
+//     when its disk store fails mid-run, so ingest never wedges on a full
+//     or dying disk.
+//   - Disk appends batches to time-windowed segment files framed with the
+//     checksummed self-delimiting trace-v2 segment frame
+//     (trace.WriteSegmentFrame), hash-chained record to record:
+//
+//     segment file  "%09d.seg":
+//       header  magic uint32 'TPSS' LE, version uint16 = 1,
+//               index uvarint, chainStart [32]byte
+//       record  trace segment frame, kind 'B', payload = body ‖ chain
+//       body    node, rank, seq uvarint; flags byte; wallNano uvarint;
+//               payloadLen uvarint; payload (opaque chunk bytes)
+//       chain   SHA-256(prevChain ‖ body) — prevChain is the previous
+//               record's chain, or the header's chainStart for the first
+//
+//     checkpoint file  "%09d.ckpt" (written by retention compaction):
+//       header  as above, chainStart = zero
+//       record  kind 'C', body = coveredIndex uvarint,
+//               prevFinal [32]byte, archiveLen uvarint, archive (opaque)
+//
+// The chain makes history tamper-evident end to end: flipping any byte of
+// any committed record breaks either its CRC or the chain continuity of
+// everything after it, and Verify walks the whole store proving both. A
+// checkpoint embeds the final chain value of the raw prefix it replaced
+// (prevFinal), so continuity survives compaction.
+//
+// Crash recovery mirrors trace.ReadTrace salvage: a torn tail on the
+// *last* segment — the only place a crash can tear — is truncated away
+// and everything before it is kept. Tears or chain breaks anywhere else
+// are corruption, reported loudly and skipped.
+//
+// Retention: segments roll on a time window; once every batch in a closed
+// segment is older than Retention, the segment prefix is folded through
+// the caller-supplied Compactor (the collector folds raw chunks into
+// per-node profiles via the associative hotspot merge) into the
+// checkpoint's archive blob, and the raw files are deleted — temp-file,
+// fsync, rename, then delete, so a crash mid-compaction loses nothing.
+package store
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Batch is one durable unit: an accepted ingest batch, payload opaque to
+// the store (the collector's self-contained chunk encoding).
+type Batch struct {
+	Node uint32
+	Rank uint32
+	// Seq is the shipper sequence number for ship-mode chunks; bulk
+	// uploads (FlagBulk) carry a private per-node counter instead and
+	// never advance the resume cursor on replay.
+	Seq   uint64
+	Flags uint8
+	// WallNano is the collector's wall-clock time at commit, the
+	// retention clock for compaction.
+	WallNano int64
+	// Payload is the chunk bytes. Valid only until the Append returns or
+	// the Replay callback does; the store copies what it keeps.
+	Payload []byte
+}
+
+// Batch flags.
+const (
+	// FlagBulk marks a batch from the bulk-upload path: replay folds it
+	// into the node's profile but must not advance the ship resume cursor.
+	FlagBulk uint8 = 1 << iota
+	// FlagTruncated marks a bulk stream that ended in a salvaged torn
+	// tail (the trace Scanner's Truncated verdict).
+	FlagTruncated
+)
+
+// Compactor folds batches that have aged out of retention, together with
+// the previous archive blob (nil the first time), into a new archive
+// blob. The blob is opaque to the store; the collector's implementation
+// keeps per-node folded profiles mergeable by the associative hot-spot
+// path. A Compactor must be deterministic and must not retain the batch
+// payloads.
+type Compactor func(prevArchive []byte, batches []Batch) ([]byte, error)
+
+// Store is one shard's durable history.
+//
+// Call order: Replay once, before the first Append; then any number of
+// Append/Flush; then Close. Implementations are not concurrency-safe —
+// each shard worker exclusively owns its store, exactly like its
+// builders.
+type Store interface {
+	// Replay streams the recovered state: the archive blob (if a
+	// checkpoint exists), then every surviving raw batch in commit order.
+	// The Batch passed to batchFn aliases internal buffers and is valid
+	// only during the callback.
+	Replay(archiveFn func(archive []byte) error, batchFn func(Batch) error) error
+	// Append commits one batch durably. When it returns nil the batch
+	// will survive a crash; the caller may ack. An error poisons the
+	// store (every later call fails fast) — callers degrade to Memory.
+	Append(Batch) error
+	// Flush forces any buffered writes to stable storage (used on
+	// graceful shutdown when SyncEvery > 1).
+	Flush() error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Memory is the no-op backend: the collector's pre-durability behavior,
+// and the degraded-mode fallback after a disk failure.
+type Memory struct{}
+
+// Replay of an empty store replays nothing.
+func (Memory) Replay(func([]byte) error, func(Batch) error) error { return nil }
+
+// Append accepts and forgets.
+func (Memory) Append(Batch) error { return nil }
+
+// Flush is a no-op.
+func (Memory) Flush() error { return nil }
+
+// Close is a no-op.
+func (Memory) Close() error { return nil }
+
+// Options tunes a Disk store. The zero value selects the defaults noted
+// per field.
+type Options struct {
+	// Window is how long one segment file stays active before rolling
+	// (default 1h). Shorter windows mean finer-grained retention.
+	Window time.Duration
+	// MaxSegmentBytes rolls the active segment early when it grows past
+	// this size (default 64 MiB), bounding the worst-case torn tail scan.
+	MaxSegmentBytes int64
+	// Retention is how long raw batches are kept before compaction folds
+	// them into the checkpoint archive (0 = keep raw forever, never
+	// compact).
+	Retention time.Duration
+	// SyncEvery fsyncs after every Nth append (default 1: every append is
+	// durable before it is acked — the ack-after-commit contract).
+	// Larger values trade the tail of a crash for throughput.
+	SyncEvery int
+	// Compact folds aged-out batches into the archive blob; nil disables
+	// compaction even when Retention is set.
+	Compact Compactor
+	// Metrics receives store instrumentation (nil = discarded).
+	Metrics *Metrics
+	// Now overrides the clock (default time.Now) — injectable for
+	// deterministic window/retention tests.
+	Now func() time.Time
+	// Logger receives recovery and compaction warnings. Default:
+	// slog.Default().
+	Logger *slog.Logger
+	// WrapWriter, when set, wraps every segment file writer — the fault
+	// injection seam for exercising mid-write failures in tests.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = time.Hour
+	}
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.Metrics == nil {
+		o.Metrics = discardMetrics()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// ShardDirName names shard i's subdirectory under a store root — shared
+// by OpenShards and VerifyDir so they always agree on layout.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// OpenShards opens (creating as needed) one Disk store per shard under
+// root. On error, already-opened stores are closed.
+func OpenShards(root string, shards int, opts Options) ([]Store, error) {
+	out := make([]Store, 0, shards)
+	for i := 0; i < shards; i++ {
+		d, err := Open(filepath.Join(root, ShardDirName(i)), opts)
+		if err != nil {
+			for _, s := range out {
+				s.Close()
+			}
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// CheckDir verifies that dir can host a store: it must be creatable and
+// writable. The daemon calls this at startup so a mistyped -store-dir is
+// a hard error instead of a silently degraded collector.
+func CheckDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	probe := filepath.Join(dir, ".probe.tmp")
+	f, err := os.Create(probe)
+	if err != nil {
+		return fmt.Errorf("store: dir not writable: %w", err)
+	}
+	f.Close()
+	return os.Remove(probe)
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment framing, factored out of the v2 trace codec so other
+// append-only logs (the collector's durable store) can reuse the exact
+// same self-delimiting, checksummed frame with the exact same torn-tail
+// salvage semantics:
+//
+//	kind       byte
+//	payloadLen uint32 LE
+//	crc32      uint32 LE (IEEE, over payload)
+//	payload
+//
+// A reader that hits clean EOF on a frame boundary has a complete log; a
+// reader that hits anything else — a torn header, an implausible length,
+// an unknown kind, a short or corrupt payload — has a torn tail, and
+// everything before it is an intact salvageable prefix.
+
+// SegmentFrameHdrLen is the fixed frame header size (kind + length +
+// checksum).
+const SegmentFrameHdrLen = 9
+
+// ErrTornSegment reports a frame that could not be read intact: a torn
+// header, an over-long or unexpected-kind declaration, a short payload,
+// or a checksum mismatch. Callers implementing salvage treat it as
+// end-of-intact-prefix; callers wanting strictness treat it as
+// corruption.
+var ErrTornSegment = errors.New("trace: torn segment frame")
+
+// WriteSegmentFrame emits one framed payload: header then payload.
+func WriteSegmentFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [SegmentFrameHdrLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: segment header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("trace: segment payload: %w", err)
+	}
+	return nil
+}
+
+// ReadSegmentFrame reads one frame into buf (grown as needed), returning
+// the kind and payload. The payload aliases newBuf and is valid until
+// the next call with the same buffer. maxLen bounds the declared payload
+// length; kinds, when non-empty, is the set of frame kinds the caller
+// considers valid — an unknown kind is rejected before its payload is
+// read, so corrupt headers cannot force large allocations.
+//
+// Clean EOF on the frame boundary returns io.EOF. Every other failure
+// wraps ErrTornSegment.
+func ReadSegmentFrame(r io.Reader, buf []byte, maxLen uint32, kinds ...byte) (kind byte, payload, newBuf []byte, err error) {
+	var hdr [SegmentFrameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, fmt.Errorf("%w: short header: %v", ErrTornSegment, err)
+	}
+	kind = hdr[0]
+	plen := binary.LittleEndian.Uint32(hdr[1:5])
+	sum := binary.LittleEndian.Uint32(hdr[5:9])
+	if len(kinds) > 0 {
+		valid := false
+		for _, k := range kinds {
+			if kind == k {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return kind, nil, buf, fmt.Errorf("%w: unknown kind %#x", ErrTornSegment, kind)
+		}
+	}
+	if plen > maxLen {
+		return kind, nil, buf, fmt.Errorf("%w: payload length %d > %d", ErrTornSegment, plen, maxLen)
+	}
+	if uint32(cap(buf)) < plen {
+		buf = make([]byte, plen)
+	}
+	payload = buf[:plen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return kind, nil, buf, fmt.Errorf("%w: short payload: %v", ErrTornSegment, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return kind, nil, buf, fmt.Errorf("%w: checksum mismatch", ErrTornSegment)
+	}
+	return kind, payload, buf, nil
+}

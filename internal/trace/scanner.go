@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"time"
 )
@@ -318,31 +317,13 @@ func (s *Scanner) nextV1() ([]Event, error) {
 // mismatch or structural failure ends the stream (salvage semantics).
 func (s *Scanner) nextV2() ([]Event, error) {
 	for {
-		var hdr [9]byte
-		if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
-			// Clean EOF between segments is a complete trace; a torn
-			// segment header is a truncated one. Either way the prefix
+		kind, payload, buf, err := ReadSegmentFrame(s.br, s.payload, maxSegmentLen, segSymbols, segEvents)
+		s.payload = buf
+		if err != nil {
+			// Clean EOF between segments is a complete trace; a torn or
+			// corrupt segment is a truncated one. Either way the prefix
 			// decoded so far is the answer.
 			s.truncated = err != io.EOF
-			return nil, io.EOF
-		}
-		kind := hdr[0]
-		plen := binary.LittleEndian.Uint32(hdr[1:5])
-		sum := binary.LittleEndian.Uint32(hdr[5:9])
-		if (kind != segSymbols && kind != segEvents) || plen > maxSegmentLen {
-			s.truncated = true // corrupt framing: salvage stops here
-			return nil, io.EOF
-		}
-		if uint32(cap(s.payload)) < plen {
-			s.payload = make([]byte, plen)
-		}
-		payload := s.payload[:plen]
-		if _, err := io.ReadFull(s.br, payload); err != nil {
-			s.truncated = true
-			return nil, io.EOF
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			s.truncated = true
 			return nil, io.EOF
 		}
 		switch kind {

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 )
@@ -136,20 +135,12 @@ func (sw *Writer) Flush(events []Event, sym *SymTab) error {
 
 // segment frames and emits one payload, poisoning the writer on failure.
 func (sw *Writer) segment(kind byte, payload []byte) error {
-	var hdr [9]byte
-	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
-	if _, err := sw.w.Write(hdr[:]); err != nil {
-		sw.err = fmt.Errorf("trace: segment header: %w", err)
-		return sw.err
-	}
-	if _, err := sw.w.Write(payload); err != nil {
-		sw.err = fmt.Errorf("trace: segment payload: %w", err)
+	if err := WriteSegmentFrame(sw.w, kind, payload); err != nil {
+		sw.err = err
 		return sw.err
 	}
 	sw.segments++
-	sw.bytes += uint64(len(hdr)) + uint64(len(payload))
+	sw.bytes += SegmentFrameHdrLen + uint64(len(payload))
 	return nil
 }
 

@@ -11,6 +11,9 @@
 #   * /healthz must answer ok
 #   * the opt-in debug server (-debug-addr) must answer /debug/vars and
 #     /debug/introspect
+#   * after a SIGTERM the durable store (-store-dir) must pass
+#     -verify-store, and a restarted collector on the same directory must
+#     replay the history and serve the identical hotspots golden
 #
 # Run `make collectd-smoke UPDATE_GOLDEN=1` after intentionally changing
 # the hotspot computation or response shape to regenerate the golden.
@@ -32,9 +35,9 @@ trap cleanup EXIT
 echo "==> building tempest-collectd"
 $GO build -o "$workdir/tempest-collectd" ./cmd/tempest-collectd
 
-echo "==> starting collector on ephemeral ports"
+echo "==> starting collector on ephemeral ports (durable store)"
 "$workdir/tempest-collectd" -listen 127.0.0.1:0 -http 127.0.0.1:0 \
-    -debug-addr 127.0.0.1:0 \
+    -debug-addr 127.0.0.1:0 -store-dir "$workdir/store" \
     >"$workdir/addr" 2>"$workdir/collectd.log" &
 daemon_pid=$!
 
@@ -105,5 +108,36 @@ grep -q 'tempest_collect_segments_total' "$workdir/introspect" || {
     exit 1
 }
 echo "    /debug/vars and /debug/introspect OK"
+
+echo "==> stopping collector (SIGTERM must flush the store)"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "==> verifying the store offline"
+"$workdir/tempest-collectd" -verify-store -store-dir "$workdir/store"
+
+echo "==> restarting collector: durable history must survive"
+"$workdir/tempest-collectd" -listen 127.0.0.1:0 -http 127.0.0.1:0 \
+    -store-dir "$workdir/store" \
+    >"$workdir/addr2" 2>>"$workdir/collectd.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr2" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "restarted collectd died:"; cat "$workdir/collectd.log"; exit 1; }
+    sleep 0.05
+done
+[ -s "$workdir/addr2" ] || { echo "restarted collectd never printed its addresses"; exit 1; }
+read -r _ http_kv _ <"$workdir/addr2"
+HTTP=${http_kv#http=}
+echo "    http=$HTTP"
+
+curl -fsS "http://$HTTP/healthz" | grep -qx ok
+
+# No upload this time: the replayed store alone must reproduce the
+# golden fleet answer.
+curl -fsS "http://$HTTP/api/hotspots?k=5" >"$workdir/hotspots-replayed.json"
+diff -u "$golden" "$workdir/hotspots-replayed.json"
+echo "    replayed history matches golden"
 
 echo "==> collectd smoke OK"
