@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet tempest-vet test race chaos bench bench-smoke fuzz-smoke collectd-smoke clean
+.PHONY: all build vet tempest-vet test race chaos bench bench-instrument bench-smoke fuzz-smoke collectd-smoke clean
 
 all: vet tempest-vet build test
 
@@ -26,17 +26,26 @@ race:
 	$(GO) test -race ./...
 
 # Seeded end-to-end fault-injection scenario (sensor dropout + torn trace
-# tail + flaky TCP link), plus the per-package chaos tests and the
+# tail + flaky TCP link), plus the per-package chaos tests, the
 # durable-store crash drill (SIGKILL a real collectd mid-ingest, restart,
-# assert nothing acked was lost).
+# assert nothing acked was lost), and the adaptive control-loop drills
+# (seeded link chaos on the control channel; closed-loop promotion at an
+# event density that overflows the lane buffer under full detail).
 chaos:
-	$(GO) test -run TestChaos -v .
+	$(GO) test -run 'TestChaos|TestAdaptiveSampling' -v .
+	$(GO) test -run TestChaos -v ./internal/collect/
 	$(GO) test -run 'TestTCPChaos|TestTCPRank' -v ./internal/mpi/
 	$(GO) test -run 'TestSegmentedSalvage|TestSegmentedChecksum' -v ./internal/trace/
 	$(GO) test -run 'TestDaemonStoreChaosSIGKILL' -v ./cmd/tempest-collectd/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Per-call instrumentation cost in each sampling mode, written to
+# BENCH_instrument.json (the committed baseline). Re-run and commit when
+# touching instrument.Trace's fast paths; the inert cost must not move.
+bench-instrument:
+	./scripts/bench/instrument_bench.sh
 
 # One-iteration pass over the streaming-pipeline benchmarks: compiles and
 # executes every benchmark body (batch vs stream allocation profile,

@@ -36,12 +36,21 @@
 // The collector scans it exactly like tempest-parse would, so the
 // resulting per-node profile is identical to an offline parse.
 //
+// With -policy the adaptive-sampling engine closes the loop: the
+// collector ranks each node's coarse instrumentation buckets by the
+// same degree-seconds scoring as /api/hotspots and piggybacks
+// per-function detail/coarse directives on ship-stream acks
+// (tempest-live -adaptive consumes them). -policy-topk, -policy-interval
+// and -policy-budget tune nomination width, round cadence and the
+// per-node overhead budget.
+//
 // Query API (see internal/collect):
 //
 //	curl http://collector:7078/api/nodes
 //	curl http://collector:7078/api/hotspots?k=5
 //	curl http://collector:7078/api/profile/3?format=text
 //	curl http://collector:7078/api/series/3
+//	curl http://collector:7078/api/policy
 //	curl http://collector:7078/metrics
 package main
 
@@ -88,6 +97,10 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	storeWindow := fs.Duration("store-window", 0, "store segment roll window (0 = default 1h); retention granularity")
 	verifyStore := fs.Bool("verify-store", false, "verify -store-dir's hash chains end to end, print a report and exit (0 = intact)")
 	debugAddr := fs.String("debug-addr", "", "opt-in debug HTTP address (pprof, /debug/vars, /debug/introspect); keep it loopback")
+	policy := fs.Bool("policy", false, "enable the adaptive-sampling policy engine: rank coarse reports and steer per-function instrumentation on adaptive shippers")
+	policyTopK := fs.Int("policy-topk", 0, "functions per node nominated for detail instrumentation (0 = default 5)")
+	policyInterval := fs.Duration("policy-interval", 0, "minimum time between policy rounds per node (0 = default 2s)")
+	policyBudget := fs.Uint64("policy-budget", 0, "per-round detail event budget per node before backpressure (0 = default 100000)")
 	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +143,12 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 		Unit: u, Shards: *shards, Logger: logger,
 		StoreDir:     *storeDir,
 		StoreOptions: store.Options{Retention: *retention, Window: *storeWindow},
+		Policy: collect.PolicyOptions{
+			Enabled:     *policy,
+			TopK:        *policyTopK,
+			Interval:    *policyInterval,
+			EventBudget: *policyBudget,
+		},
 	})
 	defer c.Close()
 

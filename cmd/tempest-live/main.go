@@ -24,6 +24,13 @@
 // keep up, batches are dropped and counted rather than queued
 // unboundedly.
 //
+// With -adaptive (requires -ship), the session starts every registered
+// function in the cheap coarse sampling mode — gprof-style call/time
+// buckets, no per-event cost — ships the buckets alongside the event
+// stream, and applies the per-function detail/coarse directives a
+// -policy collector piggybacks on its acks. Only the functions the
+// fleet-wide ranking nominates pay for full event instrumentation.
+//
 // With -status, a one-page self-report — sampling health, drain
 // behaviour, lane buffer high water, measured instrumentation overhead
 // (§3.4 bounds it below 7 %), and every introspection metric — is
@@ -36,9 +43,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"tempest"
+	"tempest/instrument"
 	"tempest/internal/collect"
 	"tempest/internal/introspect"
 	"tempest/internal/report"
@@ -77,7 +86,9 @@ func run(args []string, out io.Writer) error {
 	unit := fs.String("unit", "F", "temperature unit: F|C")
 	watch := fs.Duration("watch", 0, "print a live hot-spot snapshot to stderr at this interval (0 = off)")
 	ship := fs.String("ship", "", "also stream the trace to a tempest-collectd at this host:port (fleet mode)")
+	adaptive := fs.Bool("adaptive", false, "adaptive sampling: start every function in cheap coarse mode, ship bucket reports, and apply the collector's detail/coarse directives (requires -ship against a -policy collector)")
 	node := fs.Uint("node", 0, "node id reported to the collector")
+	laneCap := fs.Int("lane-cap", tempest.DefaultLaneBufferCap, "per-lane event buffer capacity between drains (must be positive)")
 	status := fs.Bool("status", false, "print a one-page self-observability report to stderr after the run")
 	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
@@ -102,17 +113,59 @@ func run(args []string, out io.Writer) error {
 		SampleRateHz:          *rate,
 		Unit:                  u,
 		NodeID:                uint32(*node),
+		LaneBufferCap:         *laneCap,
+	}
+	if *adaptive && *ship == "" {
+		return fmt.Errorf("-adaptive requires -ship (the collector's policy engine drives it)")
 	}
 	var shipper *collect.Shipper
+	// The shipper's downstream reader can deliver a directive before the
+	// session exists (the reconnect handshake re-issues policy); park it
+	// and apply once the session is up.
+	var ctlMu sync.Mutex
+	var ctlSession *tempest.LiveSession
+	var ctlPending *instrument.Directive
 	if *ship != "" {
-		shipper = collect.NewShipper(*ship, uint32(*node), 0, collect.ShipperOptions{})
+		opts := collect.ShipperOptions{}
+		if *adaptive {
+			opts.OnControl = func(d instrument.Directive) {
+				ctlMu.Lock()
+				defer ctlMu.Unlock()
+				if ctlSession != nil {
+					ctlSession.ApplyControl(d)
+					return
+				}
+				ctlPending = &d
+			}
+		}
+		shipper = collect.NewShipper(*ship, uint32(*node), 0, opts)
 		cfg.DrainSink = func(ev []trace.Event, sym *trace.SymTab) {
 			_ = shipper.Ship(ev, sym) // drops are accounted and reported on exit
 		}
+		if *adaptive {
+			cfg.CoarseSink = func(stats []instrument.CoarseStat) {
+				_ = shipper.ShipCoarse(stats) // same drop accounting as events
+			}
+		}
+	}
+	if *adaptive {
+		// Everything starts cheap; the collector's directives promote the
+		// functions worth full event streams.
+		instrument.SetDefaultMode(instrument.ModeCoarse)
+		defer instrument.SetDefaultMode(instrument.ModeDetail)
 	}
 	s, err := tempest.NewLiveSession(cfg)
 	if err != nil {
 		return err
+	}
+	if *adaptive {
+		ctlMu.Lock()
+		ctlSession = s
+		if ctlPending != nil {
+			s.ApplyControl(*ctlPending)
+			ctlPending = nil
+		}
+		ctlMu.Unlock()
 	}
 	var watchStop, watchDone chan struct{}
 	if *watch > 0 {

@@ -25,6 +25,7 @@ func newSession(t *testing.T) *tempest.LiveSession {
 		HwmonRoot:             t.TempDir(), // empty: force the simulated sensors
 		AllowSimulatedSensors: true,
 		SampleRateHz:          50,
+		LaneBufferCap:         1 << 20,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -8,7 +8,9 @@
 // before the first Write:
 //
 //   - a PutUint64 whose value involves a sequence counter (an
-//     identifier containing "seq"), and
+//     identifier containing "seq", or "rev" for control frames — policy
+//     directive revisions play the sequence role on the downstream
+//     channel), and
 //   - in internal/collect, a PutUint32 of a crc32 checksum; a computed
 //     checksum that never reaches the buffer is also flagged.
 package seqwire
@@ -212,13 +214,18 @@ func bufferArg(pass *analysis.Pass, e ast.Expr, buffers map[types.Object]bool) b
 }
 
 // mentionsSeq reports whether any identifier in e looks like a sequence
-// counter.
+// counter. Control-frame revisions ("rev") count: on the downstream
+// channel the directive revision is the sequence — it is what the
+// shipper dedups and orders by.
 func mentionsSeq(e ast.Expr) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "seq") {
-			found = true
-			return false
+		if id, ok := n.(*ast.Ident); ok {
+			name := strings.ToLower(id.Name)
+			if strings.Contains(name, "seq") || strings.Contains(name, "rev") {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

@@ -58,6 +58,19 @@ func writeCRCDropped(w io.Writer, seq uint64, payload []byte) error {
 	return err
 }
 
+// Control-frame builder: the directive revision plays the sequence
+// role on the downstream channel, so "rev" satisfies the pass.
+func writeControlGood(w io.Writer, rev uint64, payload []byte) error {
+	frame := make([]byte, 17+len(payload))
+	frame[0] = 1
+	binary.LittleEndian.PutUint64(frame[1:9], rev)
+	binary.LittleEndian.PutUint32(frame[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[13:17], crc32.ChecksumIEEE(payload))
+	copy(frame[17:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
 // Not a frame builder: plain payload write, no header stores.
 func passthrough(w io.Writer, payload []byte) error {
 	buf := make([]byte, len(payload))

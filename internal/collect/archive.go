@@ -279,6 +279,12 @@ func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compacto
 		var order []uint32
 		var scratch []trace.Event
 		for _, wb := range batches {
+			if wb.Flags&store.FlagPolicy != 0 {
+				// Policy directives age out with their retention window:
+				// the engine re-converges from live traffic, and a
+				// checkpoint has nowhere to resume a revision counter from.
+				continue
+			}
 			nf, ok := folds[wb.Node]
 			if !ok {
 				ent := arch.node(wb.Node, wb.Rank)
@@ -295,6 +301,16 @@ func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compacto
 				}
 				folds[wb.Node] = nf
 				order = append(order, wb.Node)
+			}
+			if wb.Flags&store.FlagCoarse != 0 {
+				// A coarse report consumed a ship sequence number but holds
+				// no events: advance the cursor, count the segment, and
+				// leave the builder alone.
+				if wb.Seq >= nf.ent.nextSeq {
+					nf.ent.nextSeq = wb.Seq + 1
+				}
+				nf.ent.segments++
+				continue
 			}
 			ev, err := decodeChunk(wb.Payload, nf.sym, scratch)
 			if err != nil {

@@ -2,7 +2,6 @@ package collect
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -180,7 +179,7 @@ func TestShipperFlushDeadlineReportsDrops(t *testing.T) {
 			}
 			go func(conn net.Conn) {
 				defer conn.Close()
-				var resume [8]byte
+				var resume [9]byte // downAck kind + next = 0
 				io.ReadFull(conn, make([]byte, 8)) // swallow the 8-byte hello
 				conn.Write(resume[:])              // resume = 0
 				io.Copy(io.Discard, conn)          // read frames, never ack
@@ -275,8 +274,7 @@ func dialShip(t *testing.T, addr string, node, rank uint32) *rawShipClient {
 	if err := writeHello(conn, hello{NodeID: node, Rank: rank}); err != nil {
 		t.Fatal(err)
 	}
-	var buf [8]byte
-	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+	if _, _, err := readDown(conn, nil); err != nil {
 		t.Fatal(err)
 	}
 	return &rawShipClient{t: t, conn: conn}
@@ -284,14 +282,18 @@ func dialShip(t *testing.T, addr string, node, rank uint32) *rawShipClient {
 
 func (rc *rawShipClient) send(seq uint64, payload []byte) uint64 {
 	rc.t.Helper()
-	if err := writeFrame(rc.conn, seq, payload); err != nil {
+	if err := writeFrame(rc.conn, seq, frameData, payload); err != nil {
 		rc.t.Fatal(err)
 	}
-	var buf [8]byte
-	if _, err := io.ReadFull(rc.conn, buf[:]); err != nil {
-		rc.t.Fatal(err)
+	for {
+		df, _, err := readDown(rc.conn, nil)
+		if err != nil {
+			rc.t.Fatal(err)
+		}
+		if df.kind == downAck {
+			return df.next
+		}
 	}
-	return binary.LittleEndian.Uint64(buf[:])
 }
 
 func TestDuplicateFrameDedupedExactlyOnce(t *testing.T) {
@@ -454,12 +456,12 @@ func TestChunkRoundTripIncrementalSymbols(t *testing.T) {
 
 func TestFrameChecksumRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, 1, []byte("payload-bytes")); err != nil {
+	if err := writeFrame(&buf, 1, frameData, []byte("payload-bytes")); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
 	raw[len(raw)-1] ^= 0xFF
-	if _, _, _, err := readFrame(bytes.NewReader(raw), nil); err == nil {
+	if _, _, _, _, err := readFrame(bytes.NewReader(raw), nil); err == nil {
 		t.Fatal("corrupt frame accepted")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"tempest/instrument"
 	"tempest/internal/hotspot"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
@@ -52,6 +53,11 @@ type Options struct {
 	// Retention, SyncEvery). Metrics, Logger, Now and — unless overridden —
 	// Compact are wired by the collector itself.
 	StoreOptions store.Options
+	// Policy configures the adaptive-sampling policy engine: when enabled,
+	// the collector ranks each node's coarse instrumentation buckets and
+	// piggybacks per-function enable/disable directives on ship-stream
+	// acks, closing the loop from ranking back to instrumentation.
+	Policy PolicyOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +73,7 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	o.Policy = o.Policy.withDefaults()
 	return o
 }
 
@@ -107,6 +114,10 @@ type nodeState struct {
 	// from the store's checkpoint archive at startup.
 	archEvents uint64
 	archHeat   [][]hotspot.FunctionHeat // per sensor id
+
+	// policy is the node's adaptive-sampling state (nil until the policy
+	// engine first touches the node; see policy.go).
+	policy *nodePolicy
 }
 
 // shardReq is one request into a shard worker. Exactly one of the
@@ -129,11 +140,13 @@ type shardOp int
 const (
 	opResume shardOp = iota
 	opChunk
+	opCoarse
 	opEvents
 	opFinishBulk
 	opSnapshot
 	opStatus
 	opArchHeat
+	opPolicyStatus
 )
 
 // shardResp carries a shard worker's answer.
@@ -144,6 +157,10 @@ type shardResp struct {
 	profiles []*parser.NodeProfile
 	statuses []NodeStatus
 	heat     []hotspot.FunctionHeat
+	// ctl, when non-nil, is a policy directive for the node this request
+	// concerned; the connection handler piggybacks it after the ack.
+	ctl      *ctlFrame
+	policies []PolicyStatus
 }
 
 // shard owns a disjoint subset of the fleet's nodes. Its worker
@@ -411,6 +428,25 @@ func (sh *shard) replayArchive(blob []byte) error {
 func (sh *shard) replayBatch(b store.Batch) error {
 	ns := sh.node(b.Node, b.Rank)
 	ns.lastSeen = time.Unix(0, b.WallNano)
+	if b.Flags&store.FlagPolicy != 0 {
+		// A persisted directive: Seq carries the policy revision, not a
+		// ship sequence number. Restore the latest so the reborn collector
+		// re-issues exactly what its predecessor last told the node.
+		np := ns.policyState()
+		if b.Seq >= np.rev {
+			np.rev = b.Seq
+			np.payload = append([]byte(nil), b.Payload...)
+			np.detail = map[string]bool{}
+			if d, err := decodeControl(b.Payload); err == nil {
+				for _, f := range d.Funcs {
+					if f.Mode == instrument.ModeDetail {
+						np.detail[f.Name] = true
+					}
+				}
+			}
+		}
+		return nil
+	}
 	if b.Flags&store.FlagBulk == 0 {
 		if b.Seq < ns.nextSeq {
 			return nil // duplicate ack survived a historic race; drop like live ingest
@@ -427,6 +463,16 @@ func (sh *shard) replayBatch(b store.Batch) error {
 		ns.builder.SetTruncated(true)
 	}
 	if ns.err != nil {
+		return nil
+	}
+	if b.Flags&store.FlagCoarse != 0 {
+		// Coarse reports hold no events: the cursor already advanced
+		// above; re-warm the policy ranking and leave the builder alone.
+		if sh.c.opts.Policy.Enabled {
+			if stats, err := decodeCoarse(b.Payload); err == nil {
+				ns.policyState().accumulateCoarse(stats)
+			}
+		}
 		return nil
 	}
 	batch, err := decodeChunk(b.Payload, ns.sym, ns.batch)
@@ -465,7 +511,10 @@ func (sh *shard) handle(req shardReq) shardResp {
 	case opResume:
 		ns := sh.node(req.node, req.rank)
 		ns.lastSeen = sh.c.opts.Now()
-		return shardResp{resume: ns.nextSeq}
+		// A (re)connecting node gets its current directive re-issued:
+		// control frames lost with a dead link are recovered here, not
+		// retried individually — full-set semantics make that safe.
+		return shardResp{resume: ns.nextSeq, ctl: ns.policy.currentDirective()}
 
 	case opChunk:
 		ns := sh.node(req.node, req.rank)
@@ -510,7 +559,52 @@ func (sh *shard) handle(req shardReq) shardResp {
 			return shardResp{resume: ns.nextSeq, err: err}
 		}
 		sh.c.metrics.events.Add(uint64(len(batch)))
-		return shardResp{resume: ns.nextSeq}
+		var ctl *ctlFrame
+		if sh.c.opts.Policy.Enabled {
+			// Detail events are the overhead the budget throttles on.
+			ns.policyState().roundEvents += uint64(len(batch))
+			ctl = sh.evalPolicy(ns)
+		}
+		return shardResp{resume: ns.nextSeq, ctl: ctl}
+
+	case opCoarse:
+		// A coarse bucket report: shares the ship sequence space (and its
+		// dedup/gap discipline) with ordinary chunks, but the payload feeds
+		// the policy engine, not the profile builder. Decode problems are
+		// advisory — count, drop, ack — a malformed report must never
+		// poison the forward event stream.
+		ns := sh.node(req.node, req.rank)
+		ns.lastSeen = sh.c.opts.Now()
+		if req.seq < ns.nextSeq {
+			return shardResp{resume: ns.nextSeq, dup: true}
+		}
+		if req.seq > ns.nextSeq {
+			ns.err = fmt.Errorf("collect: node %d: sequence gap (%d..%d lost to a collector restart?)", ns.id, ns.nextSeq, req.seq-1)
+			ns.nextSeq = req.seq + 1
+			return shardResp{resume: ns.nextSeq, err: ns.err}
+		}
+		ns.nextSeq = req.seq + 1
+		ns.segments++
+		sh.c.metrics.shardSegments[sh.id].Add(1)
+		sh.c.metrics.coarseSegments.Add(1)
+		if ns.err != nil {
+			return shardResp{resume: ns.nextSeq, err: ns.err}
+		}
+		// Persist before the ack even though the payload is advisory: the
+		// report consumed a sequence number, and replay must walk the
+		// cursor through it or recovery would see a gap and poison the node.
+		sh.persist(ns, req.seq, store.FlagCoarse, req.chunk)
+		stats, err := decodeCoarse(req.chunk)
+		if err != nil {
+			sh.c.metrics.coarseErrors.Add(1)
+			return shardResp{resume: ns.nextSeq}
+		}
+		var ctl *ctlFrame
+		if sh.c.opts.Policy.Enabled {
+			ns.policyState().accumulateCoarse(stats)
+			ctl = sh.evalPolicy(ns)
+		}
+		return shardResp{resume: ns.nextSeq, ctl: ctl}
 
 	case opEvents:
 		ns := sh.node(req.node, req.rank)
@@ -594,6 +688,15 @@ func (sh *shard) handle(req shardReq) shardResp {
 		}
 		return resp
 
+	case opPolicyStatus:
+		resp := shardResp{}
+		for _, ns := range sh.nodes {
+			if ns.policy != nil {
+				resp.policies = append(resp.policies, ns.policyStatus())
+			}
+		}
+		return resp
+
 	case opArchHeat:
 		// Compacted history's contribution to one sensor's ranking. The
 		// slices are startup-immutable (only replayArchive writes them), so
@@ -672,6 +775,10 @@ func (c *Collector) serveConn(conn net.Conn) {
 
 // serveShipStream handles one shipper connection: resume handshake, then
 // frames, each acked with the node's next expected sequence number.
+// Control directives from the policy engine piggyback on the downstream
+// channel right after the ack that triggered them; a fresh connection
+// re-issues the node's current directive during the handshake, which is
+// how control frames lost with a dead link are recovered.
 func (c *Collector) serveShipStream(conn net.Conn, br *bufio.Reader) {
 	h, err := readHelloTail(br)
 	if err != nil {
@@ -680,14 +787,16 @@ func (c *Collector) serveShipStream(conn net.Conn, br *bufio.Reader) {
 	}
 	sh := c.shardFor(h.NodeID)
 	resp := sh.call(shardReq{op: opResume, node: h.NodeID, rank: h.Rank})
-	var ackBuf [8]byte
-	binary.LittleEndian.PutUint64(ackBuf[:], resp.resume)
-	if _, err := conn.Write(ackBuf[:]); err != nil {
+	if err := writeAck(conn, resp.resume); err != nil {
+		return
+	}
+	var sentRev uint64
+	if !c.sendControl(conn, resp.ctl, &sentRev) {
 		return
 	}
 	var frameBuf []byte
 	for {
-		seq, payload, buf, err := readFrame(br, frameBuf)
+		seq, kind, payload, buf, err := readFrame(br, frameBuf)
 		frameBuf = buf
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
@@ -696,18 +805,40 @@ func (c *Collector) serveShipStream(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		c.metrics.segments.Add(1)
-		resp := sh.call(shardReq{op: opChunk, node: h.NodeID, rank: h.Rank, seq: seq, chunk: payload})
+		op := opChunk
+		if kind == frameCoarse {
+			op = opCoarse
+		}
+		resp := sh.call(shardReq{op: op, node: h.NodeID, rank: h.Rank, seq: seq, chunk: payload})
 		if resp.dup {
 			c.metrics.dedupDrops.Add(1)
 		}
 		if resp.err != nil {
 			c.metrics.ingestErrors.Add(1)
 		}
-		binary.LittleEndian.PutUint64(ackBuf[:], resp.resume)
-		if _, err := conn.Write(ackBuf[:]); err != nil {
+		if err := writeAck(conn, resp.resume); err != nil {
+			return
+		}
+		if !c.sendControl(conn, resp.ctl, &sentRev) {
 			return
 		}
 	}
+}
+
+// sendControl writes ctl down the connection when it advances the
+// connection's last-sent revision; reports whether the link survived.
+// Stale frames (a directive the connection already carried) are skipped,
+// not errors — the shipper's own revision dedup would drop them anyway.
+func (c *Collector) sendControl(conn net.Conn, ctl *ctlFrame, sentRev *uint64) bool {
+	if ctl == nil || ctl.rev <= *sentRev {
+		return true
+	}
+	if err := writeControl(conn, ctl.rev, ctl.payload); err != nil {
+		return false
+	}
+	*sentRev = ctl.rev
+	c.metrics.controlFramesSent.Add(1)
+	return true
 }
 
 // serveBulk ingests one complete trace stream (the offline file format,
@@ -824,6 +955,18 @@ func (c *Collector) NodeProfile(id uint32) (*parser.NodeProfile, error) {
 		}
 	}
 	return nil, fmt.Errorf("collect: unknown node %d", id)
+}
+
+// PolicyStatuses reports the adaptive-sampling policy state for every
+// node the engine has touched, sorted by node ID — the /api/policy
+// payload.
+func (c *Collector) PolicyStatuses() []PolicyStatus {
+	out := []PolicyStatus{}
+	for _, sh := range c.shards {
+		out = append(out, sh.call(shardReq{op: opPolicyStatus}).policies...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
 }
 
 // archivedHeat collects every shard's compacted hot-spot contributions

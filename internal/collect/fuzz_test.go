@@ -25,7 +25,7 @@ func validFrame(t testing.TB) []byte {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, 7, payload); err != nil {
+	if err := writeFrame(&buf, 7, frameData, payload); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -44,11 +44,11 @@ func FuzzFrame(f *testing.F) {
 	f.Add(append(validFrame(f), 0, 1, 2)) // trailing garbage after frame
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		seq, payload, _, err := readFrame(bytes.NewReader(data), nil)
+		seq, kind, payload, _, err := readFrame(bytes.NewReader(data), nil)
 		if err != nil {
 			return // malformed input rejected cleanly: that is the contract
 		}
-		_ = seq
+		_, _ = seq, kind
 		// The checksum accepted this frame: decoding may fail (the payload
 		// is still arbitrary) but must never panic, and must leave no
 		// partial symbols usable for a second, inconsistent decode.
@@ -70,7 +70,7 @@ func FuzzFrame(f *testing.F) {
 		if len(payload) > 0 {
 			mut := append([]byte(nil), data...)
 			mut[frameHdrLen] ^= 0xFF
-			if _, _, _, err := readFrame(bytes.NewReader(mut), nil); err == nil {
+			if _, _, _, _, err := readFrame(bytes.NewReader(mut), nil); err == nil {
 				t.Fatal("frame with corrupted payload passed the checksum")
 			}
 		}

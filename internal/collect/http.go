@@ -35,6 +35,8 @@ func (cw *countingResponseWriter) Write(p []byte) (int, error) {
 //	GET /api/hotspots         fleet hot-spot rankings (?k= top-K,
 //	                          ?sensor= sensor index, default 0)
 //	GET /api/series/{node}    one node's sample series as streaming CSV
+//	GET /api/policy           adaptive-sampling policy state per node
+//	                          (issued revisions, detail sets, budgets)
 //
 // Every response is computed from a live snapshot: queries never block
 // ingest beyond one synchronous pass through each shard's worker.
@@ -115,7 +117,20 @@ func (c *Collector) Handler() http.Handler {
 		}
 		c.writeJSON(w, "/api/hotspots", resp)
 	})
+	mux.HandleFunc("GET /api/policy", func(w http.ResponseWriter, r *http.Request) {
+		c.writeJSON(w, "/api/policy", PolicyResponse{
+			Enabled: c.opts.Policy.Enabled,
+			Nodes:   c.PolicyStatuses(),
+		})
+	})
 	return mux
+}
+
+// PolicyResponse is the /api/policy body: whether the engine runs, and
+// every touched node's policy state.
+type PolicyResponse struct {
+	Enabled bool           `json:"enabled"`
+	Nodes   []PolicyStatus `json:"nodes"`
 }
 
 // HotspotsResponse is the /api/hotspots body: the fleet's hottest code

@@ -44,6 +44,14 @@ type Metrics struct {
 
 	storeDegrades       *introspect.Counter // shard falls to memory-only ingest
 	storeDegradedShards *introspect.Gauge   // shards currently memory-only (also drives /healthz)
+
+	// Adaptive-sampling control plane (debug surface only).
+	coarseSegments    *introspect.Counter // coarse bucket reports accepted off the wire
+	coarseErrors      *introspect.Counter // coarse reports that failed to decode (acked and dropped)
+	policyRounds      *introspect.Counter // policy evaluation rounds run across all nodes
+	policyDirectives  *introspect.Counter // directives issued (instrumentation set changed)
+	policyThrottles   *introspect.Counter // rounds where the event budget halved the detail allowance
+	controlFramesSent *introspect.Counter // control frames written down ship connections
 }
 
 func newMetrics(shards int) *Metrics {
@@ -67,6 +75,12 @@ func newMetrics(shards int) *Metrics {
 	m.streamErrors = m.debug.Counter("tempest_collect_stream_abort_total", "Streaming API responses aborted after the first byte.")
 	m.storeDegrades = m.debug.Counter("tempest_collect_store_degrade_events_total", "Shards that fell from durable to memory-only ingest.")
 	m.storeDegradedShards = m.debug.Gauge("tempest_collect_store_degraded_shards", "Shards currently ingesting memory-only after a store failure.")
+	m.coarseSegments = m.debug.Counter("tempest_collect_coarse_segments_total", "Coarse instrumentation bucket reports accepted off the wire.")
+	m.coarseErrors = m.debug.Counter("tempest_collect_coarse_decode_errors_total", "Coarse reports that failed to decode (acknowledged and dropped).")
+	m.policyRounds = m.debug.Counter("tempest_collect_policy_rounds_total", "Adaptive-sampling policy evaluation rounds.")
+	m.policyDirectives = m.debug.Counter("tempest_collect_policy_directives_total", "Policy directives issued (per-node instrumentation set changed).")
+	m.policyThrottles = m.debug.Counter("tempest_collect_policy_throttles_total", "Policy rounds where the event budget halved the detail allowance.")
+	m.controlFramesSent = m.debug.Counter("tempest_collect_control_frames_sent_total", "Control frames written down ship connections.")
 	return m
 }
 

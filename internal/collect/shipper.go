@@ -1,14 +1,13 @@
 package collect
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
+	"tempest/instrument"
 	"tempest/internal/introspect"
 	"tempest/internal/trace"
 )
@@ -49,6 +48,14 @@ type ShipperOptions struct {
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Sleep overrides backoff sleeping (default time.Sleep).
 	Sleep func(time.Duration)
+	// OnControl receives control directives the collector piggybacks on
+	// the downstream channel — full desired instrumentation sets, already
+	// deduplicated by revision (stale or repeated revisions never reach
+	// the callback). It runs on the shipper's downstream reader
+	// goroutine; tempest-live wires LiveSession.ApplyControl here, which
+	// only queues, so the reader is never blocked. Nil ignores control
+	// frames (they are still revision-tracked and counted).
+	OnControl func(instrument.Directive)
 	// Introspect receives the shipper's self-observability metrics (queue
 	// depth, resend/reconnect counters, ack round-trip latency). Nil means
 	// the process-wide introspect.Default() registry.
@@ -103,11 +110,19 @@ type ShipperStats struct {
 	Reconnects uint64
 	// DialFailures counts failed dial attempts.
 	DialFailures uint64
+	// CoarseSegments counts coarse bucket reports accepted into the queue.
+	CoarseSegments uint64
+	// ControlFrames counts control directives received on the downstream
+	// channel; ControlStale counts those dropped as duplicate/stale
+	// revisions (reconnect re-issues, reordered frames).
+	ControlFrames uint64
+	ControlStale  uint64
 }
 
 // chunk is one queued, already-encoded frame payload.
 type chunk struct {
 	seq     uint64
+	kind    byte
 	payload []byte
 	events  int
 	sent    bool      // sent at least once on some connection
@@ -149,6 +164,7 @@ type Shipper struct {
 	connBroken bool   // current connection died; sender must redial
 	conn       net.Conn
 	stats      ShipperStats
+	lastRev    uint64 // highest control revision seen (dedup/reorder guard)
 
 	ackRTT *introspect.Distribution // send-to-ack latency per retired chunk
 
@@ -193,6 +209,9 @@ func (s *Shipper) registerIntrospect() {
 		{"tempest_ship_resends_total", "Frames rewritten after a connection died.", func(st ShipperStats) uint64 { return st.Resends }},
 		{"tempest_ship_reconnects_total", "Connection re-establishments after the first.", func(st ShipperStats) uint64 { return st.Reconnects }},
 		{"tempest_ship_dial_failures_total", "Failed dial attempts.", func(st ShipperStats) uint64 { return st.DialFailures }},
+		{"tempest_ship_coarse_segments_total", "Coarse bucket reports accepted into the send queue.", func(st ShipperStats) uint64 { return st.CoarseSegments }},
+		{"tempest_ship_control_frames_total", "Control directives received from the collector.", func(st ShipperStats) uint64 { return st.ControlFrames }},
+		{"tempest_ship_control_stale_total", "Control directives dropped as stale/duplicate revisions.", func(st ShipperStats) uint64 { return st.ControlStale }},
 	} {
 		get := m.get
 		ir.FuncCounter(m.name, m.help, func() float64 { return float64(get(s.Stats())) })
@@ -237,10 +256,38 @@ func (s *Shipper) Ship(events []trace.Event, sym *trace.SymTab) error {
 		return err
 	}
 	s.symsSent = symCount
-	s.queue = append(s.queue, chunk{seq: s.nextSeq, payload: payload, events: len(events)})
+	s.queue = append(s.queue, chunk{seq: s.nextSeq, kind: frameData, payload: payload, events: len(events)})
 	s.nextSeq++
 	s.stats.EnqueuedSegments++
 	s.stats.EnqueuedEvents += uint64(len(events))
+	s.cond.Broadcast()
+	return nil
+}
+
+// ShipCoarse enqueues one coarse instrumentation bucket report (the
+// output of instrument.FlushCoarse) for the collector's policy engine.
+// Coarse reports ride the same sequenced, checksummed, deduplicated
+// frame stream as event chunks, so the durable store's replay stays
+// gap-free, but they are advisory: a full queue drops the report (the
+// buckets' next flush re-accumulates) and the collector never lets a
+// bad coarse frame poison the node's profile.
+func (s *Shipper) ShipCoarse(stats []instrument.CoarseStat) error {
+	if len(stats) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return ErrShipperClosed
+	}
+	if len(s.queue) >= s.opts.QueueLen {
+		s.stats.DroppedSegments++
+		return ErrQueueFull
+	}
+	s.queue = append(s.queue, chunk{seq: s.nextSeq, kind: frameCoarse, payload: encodeCoarse(stats)})
+	s.nextSeq++
+	s.stats.EnqueuedSegments++
+	s.stats.CoarseSegments++
 	s.cond.Broadcast()
 	return nil
 }
@@ -365,7 +412,7 @@ func (s *Shipper) run() {
 		s.mu.Unlock()
 
 		ackDone := make(chan struct{})
-		go s.readAcks(conn, ackDone)
+		go s.readDownstream(conn, ackDone)
 		s.sendLoop(conn)
 		conn.Close()
 		<-ackDone
@@ -416,7 +463,10 @@ func (s *Shipper) connect() net.Conn {
 	}
 }
 
-// handshake sends the hello and reads the collector's resume cursor.
+// handshake sends the hello and reads the collector's resume cursor —
+// a downstream ack frame. The collector may follow it immediately with
+// its current control directive; that (and everything after) belongs to
+// the downstream reader, which starts once the handshake returns.
 func (s *Shipper) handshake(conn net.Conn) (uint64, error) {
 	if s.opts.HandshakeTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
@@ -425,11 +475,14 @@ func (s *Shipper) handshake(conn net.Conn) (uint64, error) {
 	if err := writeHello(conn, hello{NodeID: s.nodeID, Rank: s.rank}); err != nil {
 		return 0, err
 	}
-	var buf [8]byte
-	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+	df, _, err := readDown(conn, nil)
+	if err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(buf[:]), nil
+	if df.kind != downAck {
+		return 0, fmt.Errorf("%w: handshake expected resume ack, got kind %d", errWire, df.kind)
+	}
+	return df.next, nil
 }
 
 // sendLoop streams queued frames over one connection until it breaks,
@@ -460,32 +513,54 @@ func (s *Shipper) sendLoop(conn net.Conn) {
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
-		if err := writeFrame(conn, c.seq, c.payload); err != nil {
+		if err := writeFrame(conn, c.seq, c.kind, c.payload); err != nil {
 			return
 		}
 		conn.SetWriteDeadline(time.Time{})
 	}
 }
 
-// readAcks retires queue heads as the collector acknowledges them; on
-// connection death it flags the sender to redial.
-func (s *Shipper) readAcks(conn net.Conn, done chan<- struct{}) {
+// readDownstream consumes the collector→shipper channel: acks retire
+// queue heads, control frames carry instrumentation directives. Any
+// read or decode error — including a checksum-corrupt control frame —
+// flags the sender to redial rather than guessing at stream state; the
+// forward queue is untouched, so exactly-once delivery is preserved and
+// the collector re-issues its policy on the reconnect handshake.
+func (s *Shipper) readDownstream(conn net.Conn, done chan<- struct{}) {
 	defer close(done)
-	var buf [8]byte
+	var buf []byte
 	for {
-		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		df, nbuf, err := readDown(conn, buf)
+		if err != nil {
 			s.mu.Lock()
 			s.connBroken = true
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
-		ack := binary.LittleEndian.Uint64(buf[:])
-		s.mu.Lock()
-		for len(s.queue) > 0 && s.queue[0].seq < ack {
-			s.retireHeadLocked()
+		buf = nbuf
+		switch df.kind {
+		case downAck:
+			s.mu.Lock()
+			for len(s.queue) > 0 && s.queue[0].seq < df.next {
+				s.retireHeadLocked()
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case downCtl:
+			s.mu.Lock()
+			s.stats.ControlFrames++
+			stale := df.rev <= s.lastRev
+			if stale {
+				s.stats.ControlStale++
+			} else {
+				s.lastRev = df.rev
+			}
+			cb := s.opts.OnControl
+			s.mu.Unlock()
+			if !stale && cb != nil {
+				cb(df.ctl)
+			}
 		}
-		s.cond.Broadcast()
-		s.mu.Unlock()
 	}
 }

@@ -88,6 +88,17 @@ const (
 	// FlagTruncated marks a bulk stream that ended in a salvaged torn
 	// tail (the trace Scanner's Truncated verdict).
 	FlagTruncated
+	// FlagCoarse marks a coarse instrumentation bucket report from the
+	// adaptive-sampling path. It shares the ship sequence space with
+	// ordinary chunks (replay advances the resume cursor) but its
+	// payload is a coarse report, not a chunk — replay feeds it to the
+	// policy engine instead of the profile builder.
+	FlagCoarse
+	// FlagPolicy marks a persisted policy directive (Seq carries the
+	// policy revision, not a ship sequence number): replay restores the
+	// node's last issued instrumentation set so a restarted collector
+	// re-issues a consistent policy instead of flapping from scratch.
+	FlagPolicy
 )
 
 // Compactor folds batches that have aged out of retention, together with

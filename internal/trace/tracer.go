@@ -102,6 +102,11 @@ func (t *Tracer) NewLane() *Lane {
 // now returns the trace-relative timestamp.
 func (t *Tracer) now() time.Duration { return t.cfg.Clock.Now() - t.origin }
 
+// Now exposes the trace-relative clock: instrumentation runtimes that
+// keep their own cheap accounting (coarse sampling buckets) timestamp
+// against the same origin the tracer's events use.
+func (t *Tracer) Now() time.Duration { return t.now() }
+
 // record appends an event to the lane buffer, dropping (with accounting)
 // when full.
 func (l *Lane) record(e Event) {

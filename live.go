@@ -43,10 +43,15 @@ type LiveConfig struct {
 	// Snapshot cheap.
 	DrainInterval time.Duration
 	// LaneBufferCap bounds each tracer lane's buffered events between
-	// drains (default 65536). Auto-instrumented code traces every
-	// function call and can outrun the default between two drain ticks,
-	// which surfaces as DroppedEvents and a desynced profile; raise this
-	// (or lower DrainInterval) for fine-grained instrumentation.
+	// drains. It must be positive: NewLiveSession rejects zero or
+	// negative caps instead of silently substituting a default, because
+	// the cap is the session's loss boundary — auto-instrumented code
+	// traces every function call and can outrun an unconsidered default
+	// between two drain ticks, which surfaces as dropped events (counted
+	// on tempest_live_lane_overflow_total) and a desynced profile.
+	// Callers without a specific sizing should pass
+	// DefaultLaneBufferCap explicitly; raise it (or lower DrainInterval,
+	// or run adaptive sampling) for fine-grained instrumentation.
 	LaneBufferCap int
 	// DrainSink, when set, receives every drained batch along with the
 	// tracer's live symbol table — the fleet-mode hook: tempest-live
@@ -55,12 +60,26 @@ type LiveConfig struct {
 	// retained by the session after the call. The sink must not block
 	// for long; it runs on the drain loop.
 	DrainSink func(events []trace.Event, sym *trace.SymTab)
+	// CoarseSink, when set, receives the coarse instrumentation buckets
+	// (per-function call counts and cumulative time from
+	// instrument.FlushCoarse) flushed on every drain tick — the adaptive
+	// fleet hook: tempest-live wires a collect.Shipper's ShipCoarse
+	// here so functions running in ModeCoarse still contribute ranking
+	// signal to the collector. Like DrainSink it runs on the drain loop
+	// and must not block for long.
+	CoarseSink func(stats []instrument.CoarseStat)
 	// Introspect receives the session's self-observability metrics (drain
 	// latency, lane buffer high water, overhead fraction) and is handed
 	// down to tempd. Nil means the process-wide introspect.Default()
 	// registry.
 	Introspect *introspect.Registry
 }
+
+// DefaultLaneBufferCap is the lane capacity to pass when no workload-
+// specific sizing exists: 65536 events per lane between drains, the
+// historical default. LiveConfig.LaneBufferCap must be set explicitly —
+// see its doc comment.
+const DefaultLaneBufferCap = 1 << 16
 
 // LiveSession profiles real code on the current machine: an explicit
 // Enter/Exit instrumentation API (the paper's "non-transparent profiling
@@ -89,6 +108,12 @@ type LiveSession struct {
 	drainStop chan struct{}
 	drainDone chan struct{}
 
+	// ctlMu guards pendingCtl, the latest not-yet-applied control
+	// directive from the collector. Latest-wins: directives are full
+	// desired sets, so only the newest matters.
+	ctlMu      sync.Mutex
+	pendingCtl *instrument.Directive // guarded by ctlMu
+
 	// simCPU is non-nil when simulated sensors are in use; Step'ing it
 	// happens on the wall clock inside a background goroutine.
 	simCPU  *thermal.CPU
@@ -101,6 +126,9 @@ type LiveSession struct {
 // NewLiveSession discovers sensors, starts tempd, and returns a running
 // session. Callers must Close it to obtain the profile.
 func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
+	if cfg.LaneBufferCap <= 0 {
+		return nil, fmt.Errorf("tempest: LiveConfig.LaneBufferCap must be positive, got %d (pass DefaultLaneBufferCap for the standard %d-event cap)", cfg.LaneBufferCap, DefaultLaneBufferCap)
+	}
 	reg := sensors.NewRegistry(sensors.NewHwmonProvider(cfg.HwmonRoot))
 	err := reg.Discover()
 	s := &LiveSession{cfg: cfg}
@@ -155,6 +183,11 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 	s.drained = ir.Counter("tempest_live_drained_events_total", "Events drained into the streaming builder.")
 	ir.Func("tempest_live_lane_high_water", "Deepest any tracer lane buffer has been (drop threshold is LaneBufferCap).",
 		func() float64 { return float64(tracer.LaneHighWater()) })
+	// Lane overflow was PR 4's silent failure mode: a lane filling
+	// between drains drops events with only DroppedEvents in the final
+	// profile to show for it. Surface it as a live counter instead.
+	ir.FuncCounter("tempest_live_lane_overflow_total", "Events dropped because a lane buffer filled between drains (raise LaneBufferCap, lower DrainInterval, or run adaptive sampling).",
+		func() float64 { return float64(tracer.DroppedCount()) })
 	s.acct.Register(ir, "tempest_live_overhead_fraction", "Instrumentation self-time over workload wall clock (paper §3.4 bounds it below 7%).")
 	// The builder shares the tracer's live (lock-protected) symbol
 	// table, so drained events always resolve.
@@ -250,6 +283,24 @@ func (s *LiveSession) EnableAutoInstrument() { instrument.Attach(s.tracer) }
 // (a no-op if another session holds the binding).
 func (s *LiveSession) DisableAutoInstrument() { instrument.Detach(s.tracer) }
 
+// ApplyControl queues a control directive (a full desired
+// instrumentation set from the collector's policy engine) to be applied
+// at the next drain tick. Applying between drains — never mid-batch —
+// keeps each drained batch internally consistent: a function's mode
+// can't flip halfway through the events one drain delivers. Directives
+// are full sets, so only the latest queued one is kept. Safe from any
+// goroutine; tempest-live wires a Shipper's OnControl callback here.
+func (s *LiveSession) ApplyControl(d instrument.Directive) {
+	s.ctlMu.Lock()
+	s.pendingCtl = &d
+	s.ctlMu.Unlock()
+}
+
+// Instrumentation reports the runtime's current instrumentation policy:
+// applied directive revision, default mode, per-function overrides —
+// the "active instrumentation set" of the session's snapshot surface.
+func (s *LiveSession) Instrumentation() instrument.Status { return instrument.Current() }
+
 // Marker drops an annotation into the trace.
 func (s *LiveSession) Marker(name string) { s.tracer.Marker(name) }
 
@@ -285,7 +336,11 @@ func (s *LiveSession) WriteSelfReport(w io.Writer) error {
 	fmt.Fprintf(w, "tempd samples:        %d (%d read failures)\n", s.daemon.Samples(), s.daemon.Failures())
 	fmt.Fprintf(w, "tempd busy fraction:  %.4f%% (paper bound: <1%%)\n", s.daemon.BusyFraction()*100)
 	fmt.Fprintf(w, "overhead fraction:    %.4f%% (paper bound: <7%%)\n", s.Overhead()*100)
-	fmt.Fprintf(w, "lane high water:      %d\n\n", s.tracer.LaneHighWater())
+	fmt.Fprintf(w, "lane high water:      %d\n", s.tracer.LaneHighWater())
+	fmt.Fprintf(w, "lane overflow drops:  %d\n", s.tracer.DroppedCount())
+	ist := s.Instrumentation()
+	fmt.Fprintf(w, "instrumentation:      default=%s rev=%d overrides=%d registered=%d\n\n",
+		ist.Default, ist.Rev, len(ist.Overrides), ist.Registered)
 	return s.ir.WriteText(w)
 }
 
@@ -296,11 +351,25 @@ func (s *LiveSession) WriteSelfReport(w io.Writer) error {
 // a lane's events out of order.
 func (s *LiveSession) drain() {
 	start := time.Now()
+	s.ctlMu.Lock()
+	ctl := s.pendingCtl
+	s.pendingCtl = nil
+	s.ctlMu.Unlock()
 	s.bmu.Lock()
 	ev, sym := s.tracer.Drain()
 	_ = s.builder.Add(ev) // a structural error poisons the builder; Close reports it
 	if s.cfg.DrainSink != nil {
 		s.cfg.DrainSink(ev, sym)
+	}
+	// The directive lands after this batch ships and before the next
+	// records: every batch sees one consistent instrumentation set.
+	if ctl != nil {
+		instrument.Apply(*ctl)
+	}
+	if s.cfg.CoarseSink != nil {
+		if cs := instrument.FlushCoarse(); len(cs) > 0 {
+			s.cfg.CoarseSink(cs)
+		}
 	}
 	s.bmu.Unlock()
 	d := time.Since(start)

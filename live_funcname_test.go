@@ -74,6 +74,7 @@ func TestInstrumentFuncEdgeCaseNames(t *testing.T) {
 		HwmonRoot:             filepath.Join(t.TempDir(), "none"),
 		AllowSimulatedSensors: true,
 		SampleRateHz:          50,
+		LaneBufferCap:         DefaultLaneBufferCap,
 	})
 	if err != nil {
 		t.Fatal(err)

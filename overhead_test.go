@@ -34,6 +34,7 @@ func runOverheadSession(t *testing.T) (*Profile, *introspect.Registry, string) {
 		AllowSimulatedSensors: true,
 		SampleRateHz:          4,                     // the paper's sampling rate
 		DrainInterval:         50 * time.Millisecond, // exercise many drain passes
+		LaneBufferCap:         DefaultLaneBufferCap,
 		Introspect:            ir,
 	})
 	if err != nil {

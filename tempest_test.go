@@ -194,7 +194,7 @@ func TestLiveSessionWithFakeHwmon(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(root, "hwmon0", "temp1_input"), []byte("41500\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewLiveSession(LiveConfig{HwmonRoot: root, SampleRateHz: 50})
+	s, err := NewLiveSession(LiveConfig{HwmonRoot: root, SampleRateHz: 50, LaneBufferCap: DefaultLaneBufferCap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,10 +222,10 @@ func TestLiveSessionWithFakeHwmon(t *testing.T) {
 
 func TestLiveSessionSimFallback(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "none")
-	if _, err := NewLiveSession(LiveConfig{HwmonRoot: missing}); err == nil {
+	if _, err := NewLiveSession(LiveConfig{HwmonRoot: missing, LaneBufferCap: DefaultLaneBufferCap}); err == nil {
 		t.Error("no sensors without fallback should fail")
 	}
-	s, err := NewLiveSession(LiveConfig{HwmonRoot: missing, AllowSimulatedSensors: true, SampleRateHz: 50})
+	s, err := NewLiveSession(LiveConfig{HwmonRoot: missing, AllowSimulatedSensors: true, SampleRateHz: 50, LaneBufferCap: DefaultLaneBufferCap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,6 +267,7 @@ func TestInstrumentFuncUsesRuntimeName(t *testing.T) {
 		HwmonRoot:             filepath.Join(t.TempDir(), "none"),
 		AllowSimulatedSensors: true,
 		SampleRateHz:          50,
+		LaneBufferCap:         DefaultLaneBufferCap,
 	})
 	if err != nil {
 		t.Fatal(err)
