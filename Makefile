@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet tempest-vet test race chaos bench bench-instrument bench-smoke fuzz-smoke collectd-smoke clean
+.PHONY: all build vet tempest-vet test race chaos bench bench-instrument bench-critpath bench-smoke fuzz-smoke collectd-smoke clean
 
 all: vet tempest-vet build test
 
@@ -47,18 +47,28 @@ bench:
 bench-instrument:
 	./scripts/bench/instrument_bench.sh
 
+# Critical-path analyzer throughput over a 1M-event stream (with and
+# without timeline tracks), written to BENCH_critpath.json (the committed
+# baseline). Re-run and commit when touching internal/critpath's sweep.
+bench-critpath:
+	./scripts/bench/critpath_bench.sh
+
 # One-iteration pass over the streaming-pipeline benchmarks: compiles and
 # executes every benchmark body (batch vs stream allocation profile,
-# sequential vs parallel ParseAll) without waiting for stable timings —
-# the CI guard that the pipeline still runs end to end at 1M events.
+# sequential vs parallel ParseAll, critical-path sweep) without waiting
+# for stable timings — the CI guard that the pipeline still runs end to
+# end at 1M events.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Pipeline|ParseAll' -benchtime=1x -benchmem ./internal/parser/
+	$(GO) test -run '^$$' -bench 'CritPath' -benchtime=1x -benchmem ./internal/critpath/
 
 # Run every fuzz target once over its checked-in seed corpus (no open-
 # ended fuzzing): codec, streaming scanner, the collector's ship-mode
-# frame decoder, and the durable store's crash/tamper recovery.
+# frame decoder, the durable store's crash/tamper recovery, and the
+# critical-path analyzer (never panics; stream==batch; agrees with the
+# Builder's stack discipline on accepted streams).
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/collect/ ./internal/store/
+	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/collect/ ./internal/store/ ./internal/critpath/
 
 # End-to-end fleet-collector smoke: start tempest-collectd on ephemeral
 # ports, ship the canned trace, and diff /api/hotspots against its

@@ -90,6 +90,7 @@ func run(args []string, out io.Writer) error {
 	node := fs.Uint("node", 0, "node id reported to the collector")
 	laneCap := fs.Int("lane-cap", tempest.DefaultLaneBufferCap, "per-lane event buffer capacity between drains (must be positive)")
 	status := fs.Bool("status", false, "print a one-page self-observability report to stderr after the run")
+	critF := fs.Bool("critpath", false, "run the streaming critical-path analyzer beside the profile: -watch snapshots gain live straggler/serialization lines and a final summary is printed to stderr")
 	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +115,7 @@ func run(args []string, out io.Writer) error {
 		Unit:                  u,
 		NodeID:                uint32(*node),
 		LaneBufferCap:         *laneCap,
+		CritPath:              *critF,
 	}
 	if *adaptive && *ship == "" {
 		return fmt.Errorf("-adaptive requires -ship (the collector's policy engine drives it)")
@@ -186,6 +188,9 @@ func run(args []string, out io.Writer) error {
 					}
 					_ = report.WriteLiveNode(os.Stderr, np, s.OpenFunctions(),
 						report.Options{Labels: true, TopN: 5})
+					if cs := s.CritPathSummary(); cs != nil {
+						_ = report.WriteLiveCritPath(os.Stderr, cs, 3)
+					}
 				}
 			}
 		}()
@@ -209,6 +214,13 @@ func run(args []string, out io.Writer) error {
 	if *status {
 		if err := s.WriteSelfReport(os.Stderr); err != nil {
 			return err
+		}
+	}
+	if *critF {
+		if cs := s.CritPathSummary(); cs != nil {
+			if err := report.WriteCritPath(os.Stderr, cs, report.Options{TopN: 10}); err != nil {
+				return err
+			}
 		}
 	}
 	logger.Debug("closing live session", "tempd_busy_fraction", s.TempdBusyFraction())

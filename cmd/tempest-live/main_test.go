@@ -125,3 +125,21 @@ func TestLiveRunShipsToCollector(t *testing.T) {
 		t.Errorf("collector profile empty: duration=%v events=%d", np.Duration, c.Metrics().Events())
 	}
 }
+
+func TestLiveRunCritPath(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-hwmon", filepath.Join(t.TempDir(), "none"),
+		"-rate", "50",
+		"-burn", "80ms",
+		"-idle", "40ms",
+		"-watch", "25ms",
+		"-critpath",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "burn_phase") {
+		t.Errorf("profile output missing:\n%s", out.String())
+	}
+}

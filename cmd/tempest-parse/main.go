@@ -19,12 +19,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"tempest/internal/critpath"
 	"tempest/internal/parser"
 	"tempest/internal/report"
 	"tempest/internal/trace"
@@ -45,6 +47,9 @@ func run(args []string, out io.Writer) error {
 	top := fs.Int("top", 0, "limit report to the N longest functions (0 = all)")
 	labels := fs.Bool("labels", true, "print sensor labels")
 	stream := fs.Bool("stream", false, "stream traces through the online builder with bounded memory (report|csv|json)")
+	crit := fs.Bool("critpath", false, "print the critical-path (serialization) analysis instead of the heat profile; batch mode merges all traces into one cluster-wide view, -stream analyzes per node")
+	timeline := fs.Bool("timeline", false, "print the per-lane busy/wait timeline gantt instead of the heat profile")
+	width := fs.Int("timeline-width", 0, "timeline gantt columns (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,30 +67,29 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown unit %q", *unit)
 	}
 
+	if *crit || *timeline {
+		if *stream {
+			if *format != "report" {
+				return fmt.Errorf("-critpath/-timeline with -stream supports only -format report")
+			}
+			return runCritPathStream(files, *crit, *timeline, *width, report.Options{TopN: *top}, out)
+		}
+		traces, err := loadTraces(files)
+		if err != nil {
+			return err
+		}
+		return runCritPathBatch(traces, *crit, *timeline, *width, report.Options{TopN: *top}, *format, out)
+	}
+
 	if *stream {
 		return runStream(files, u, *format, report.Options{
 			OnlySignificant: true, Labels: *labels, TopN: *top,
 		}, out)
 	}
 
-	var traces []*trace.Trace
-	for _, path := range files {
-		var tr *trace.Trace
-		var err error
-		if path == "-" {
-			tr, err = trace.ReadTrace(os.Stdin)
-		} else {
-			f, ferr := os.Open(path)
-			if ferr != nil {
-				return ferr
-			}
-			tr, err = trace.ReadTrace(f)
-			f.Close()
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		traces = append(traces, tr)
+	traces, err := loadTraces(files)
+	if err != nil {
+		return err
 	}
 
 	p, err := parser.ParseAll(traces, parser.Options{Unit: u})
@@ -108,6 +112,145 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// loadTraces reads every trace file whole ("-" = stdin).
+func loadTraces(files []string) ([]*trace.Trace, error) {
+	var traces []*trace.Trace
+	for _, path := range files {
+		var tr *trace.Trace
+		var err error
+		if path == "-" {
+			tr, err = trace.ReadTrace(os.Stdin)
+		} else {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				return nil, ferr
+			}
+			tr, err = trace.ReadTrace(f)
+			f.Close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// runCritPathBatch merges every trace into one cluster-wide critical-path
+// analysis — a straggler on one node is charged for the barrier wait it
+// inflicts on the others.
+func runCritPathBatch(traces []*trace.Trace, crit, timeline bool, width int, ropts report.Options, format string, out io.Writer) error {
+	a, err := critpath.AnalyzeTraces(traces, critpath.Options{Timeline: timeline})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "report":
+		if crit {
+			if err := report.WriteCritPath(out, a.Summary(), ropts); err != nil {
+				return err
+			}
+			if timeline {
+				if _, err := fmt.Fprintln(out); err != nil {
+					return err
+				}
+			}
+		}
+		if timeline {
+			return report.WriteTimeline(out, a.Tracks(), a.Duration(), width)
+		}
+		return nil
+	case "json":
+		switch {
+		case crit && timeline:
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{
+				"critpath": a.Summary(),
+				"timeline": report.BuildTimelineJSON(a.Tracks(), a.Duration()),
+			})
+		case crit:
+			return report.WriteCritPathJSON(out, a.Summary())
+		default:
+			return report.WriteTimelineJSON(out, a.Tracks(), a.Duration())
+		}
+	default:
+		return fmt.Errorf("-critpath/-timeline supports -format report|json, not %q", format)
+	}
+}
+
+// runCritPathStream analyzes each file independently through the scanner
+// in O(segment + lanes) memory, emitting per-node output as each scan
+// completes — the critical-path twin of runStream.
+func runCritPathStream(files []string, crit, timeline bool, width int, ropts report.Options, out io.Writer) error {
+	cs := report.NewCritPathStream(out, ropts)
+	var sc *trace.Scanner
+	for _, path := range files {
+		a, err := streamCritFile(&sc, path, critpath.Options{Timeline: timeline})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if crit {
+			if err := cs.Summary(a.Summary()); err != nil {
+				return err
+			}
+			if timeline {
+				if _, err := fmt.Fprintln(out); err != nil {
+					return err
+				}
+			}
+		}
+		if timeline {
+			if err := report.WriteTimeline(out, a.Tracks(), a.Duration(), width); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// streamCritFile scans one trace into a critical-path analyzer, reusing
+// (or creating) the caller's scanner.
+func streamCritFile(scp **trace.Scanner, path string, opts critpath.Options) (*critpath.Analyzer, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var sc *trace.Scanner
+	if *scp != nil {
+		sc = *scp
+		if err := sc.Reset(r); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		sc, err = trace.NewScanner(r)
+		if err != nil {
+			return nil, err
+		}
+		*scp = sc
+	}
+	a := critpath.New(opts)
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Add(sc.NodeID(), sc.Sym(), batch); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
 }
 
 // runStream parses each file through a trace.Scanner feeding an online

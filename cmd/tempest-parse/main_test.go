@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -103,5 +104,147 @@ func TestParseErrors(t *testing.T) {
 	path := writeSampleTrace(t, 0)
 	if err := run([]string{"-format", "pdf", path}, &out); err == nil {
 		t.Error("bad format should fail")
+	}
+}
+
+// writeStaggerTrace records a two-lane barrier stagger on one node: the
+// fast lane waits 3s in MPI_Barrier while "straggler_work" finishes.
+func writeStaggerTrace(t *testing.T, nodeID uint32) string {
+	t.Helper()
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk, NodeID: nodeID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := tr.NewLane(), tr.NewLane()
+	fastWork := tr.RegisterFunc("fast_work")
+	slowWork := tr.RegisterFunc("straggler_work")
+	barrier := tr.RegisterFunc("MPI_Barrier")
+	sec := time.Second
+	fast.EnterAt(fastWork, 0)
+	slow.EnterAt(slowWork, 0)
+	_ = fast.ExitAt(fastWork, 4*sec)
+	fast.EnterAt(barrier, 4*sec)
+	_ = slow.ExitAt(slowWork, 7*sec)
+	slow.EnterAt(barrier, 7*sec)
+	_ = fast.ExitAt(barrier, 8*sec)
+	_ = slow.ExitAt(barrier, 8*sec)
+	path := filepath.Join(t.TempDir(), "stagger.tpst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Finish().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseCritPath(t *testing.T) {
+	path := writeStaggerTrace(t, 0)
+	var out bytes.Buffer
+	if err := run([]string{"-critpath", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Critical path —",
+		"straggler_work",
+		"MPI_Barrier",
+		"Straggler:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "Function:") {
+		t.Error("-critpath should replace the heat profile")
+	}
+}
+
+func TestParseCritPathJSON(t *testing.T) {
+	path := writeStaggerTrace(t, 0)
+	var out bytes.Buffer
+	if err := run([]string{"-critpath", "-format", "json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DurationS float64 `json:"duration_s"`
+		SerialS   float64 `json:"serial_s"`
+		Functions []struct {
+			Name string `json:"name"`
+		} `json:"functions"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc.DurationS != 8 || doc.SerialS != 3 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if len(doc.Functions) == 0 || doc.Functions[0].Name != "straggler_work" {
+		t.Errorf("functions = %+v, want straggler_work ranked first", doc.Functions)
+	}
+}
+
+func TestParseTimeline(t *testing.T) {
+	path := writeStaggerTrace(t, 0)
+	var out bytes.Buffer
+	if err := run([]string{"-timeline", "-timeline-width", "8", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Timeline —") || !strings.Contains(s, "#=busy ~=wait .=off") {
+		t.Errorf("missing gantt header:\n%s", s)
+	}
+	// 8 columns over 8s: fast lane busy 4 then waits 4.
+	if !strings.Contains(s, "|####~~~~|") {
+		t.Errorf("missing fast-lane row:\n%s", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"-timeline", "-format", "json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"state\": \"wait\"") {
+		t.Errorf("timeline JSON missing wait segment:\n%s", out.String())
+	}
+}
+
+func TestParseCritPathStreamMatchesBatch(t *testing.T) {
+	path := writeStaggerTrace(t, 0)
+	var batch, stream bytes.Buffer
+	if err := run([]string{"-critpath", "-timeline", path}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-critpath", "-timeline", "-stream", path}, &stream); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != stream.String() {
+		t.Errorf("stream output differs from batch:\n--- batch\n%s\n--- stream\n%s", batch.String(), stream.String())
+	}
+	if err := run([]string{"-critpath", "-stream", "-format", "json", path}, &stream); err == nil {
+		t.Error("-critpath -stream -format json should fail")
+	}
+}
+
+func TestParseCritPathMergesNodes(t *testing.T) {
+	p1 := writeStaggerTrace(t, 0)
+	p2 := writeStaggerTrace(t, 1)
+	var out bytes.Buffer
+	if err := run([]string{"-critpath", p1, p2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "over 4 lanes") {
+		t.Errorf("merged view should see 4 lanes:\n%s", s)
+	}
+	if !strings.Contains(s, "n1/l") {
+		t.Errorf("missing node-1 lanes:\n%s", s)
+	}
+	if err := run([]string{"-critpath", "-format", "csv", p1}, &out); err == nil {
+		t.Error("-critpath -format csv should fail")
 	}
 }

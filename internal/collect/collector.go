@@ -14,12 +14,19 @@ import (
 	"time"
 
 	"tempest/instrument"
+	"tempest/internal/critpath"
 	"tempest/internal/hotspot"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
 	"tempest/internal/store"
 	"tempest/internal/trace"
 )
+
+// critTrackCap bounds each node's per-lane timeline to a fixed segment
+// budget: a collector serves long-lived fleets, so per-node critical-path
+// state must stay O(lanes + functions), never O(events). Overflowing
+// tracks coarsen (adjacent segments merge) instead of growing.
+const critTrackCap = 512
 
 // Options configures a Collector. The zero value selects the defaults
 // noted per field.
@@ -106,6 +113,13 @@ type nodeState struct {
 	batch    []trace.Event // reused chunk decode buffer
 	err      error         // poisoned: gap in the stream or Builder failure
 
+	// crit is the node's streaming critical-path analyzer: it consumes the
+	// same accepted batches as builder and answers /api/critpath and
+	// /api/timeline. Tolerant by design — it keeps counting through streams
+	// the builder would reject — but it is only fed what the builder took,
+	// so both views describe the same event history.
+	crit *critpath.Analyzer
+
 	// symsStored is how much of sym the durable chunk stream already
 	// carries; the bulk path encodes fresh symbols from this cursor so
 	// every stored batch stays densely decodable on replay.
@@ -147,6 +161,7 @@ const (
 	opStatus
 	opArchHeat
 	opPolicyStatus
+	opCritPath
 )
 
 // shardResp carries a shard worker's answer.
@@ -161,6 +176,11 @@ type shardResp struct {
 	// concerned; the connection handler piggybacks it after the ack.
 	ctl      *ctlFrame
 	policies []PolicyStatus
+	// crit fields answer opCritPath: a fresh Summary and copied Tracks, so
+	// handing them across the reply never races the worker's next fold.
+	crit       *critpath.Summary
+	critTracks []critpath.Track
+	critDur    time.Duration
 }
 
 // shard owns a disjoint subset of the fleet's nodes. Its worker
@@ -412,6 +432,7 @@ func (sh *shard) replayArchive(blob []byte) error {
 			symsStored: sym.Len(),
 			archEvents: ent.events,
 			archHeat:   ent.heat,
+			crit:       critpath.New(critpath.Options{Timeline: true, MaxTrackSegments: critTrackCap}),
 		}
 		if ent.truncated {
 			ns.builder.SetTruncated(true)
@@ -484,7 +505,9 @@ func (sh *shard) replayBatch(b store.Batch) error {
 	ns.symsStored = ns.sym.Len()
 	if err := ns.builder.Add(batch); err != nil {
 		ns.err = err
+		return nil
 	}
+	_ = ns.crit.Add(ns.id, ns.sym, batch)
 	return nil
 }
 
@@ -498,6 +521,7 @@ func (sh *shard) node(id, rank uint32) *nodeState {
 			rank:    rank,
 			sym:     sym,
 			builder: parser.NewBuilder(id, sym, parser.Options{Unit: sh.c.opts.Unit, SampleInterval: sh.c.opts.SampleInterval}),
+			crit:    critpath.New(critpath.Options{Timeline: true, MaxTrackSegments: critTrackCap}),
 		}
 		sh.nodes[id] = ns
 		sh.c.metrics.nodes.Add(1)
@@ -558,6 +582,7 @@ func (sh *shard) handle(req shardReq) shardResp {
 			ns.err = err
 			return shardResp{resume: ns.nextSeq, err: err}
 		}
+		_ = ns.crit.Add(ns.id, ns.sym, batch)
 		sh.c.metrics.events.Add(uint64(len(batch)))
 		var ctl *ctlFrame
 		if sh.c.opts.Policy.Enabled {
@@ -637,6 +662,7 @@ func (sh *shard) handle(req shardReq) shardResp {
 			ns.err = err
 			return shardResp{err: err}
 		}
+		_ = ns.crit.Add(ns.id, ns.sym, req.batch)
 		sh.c.metrics.events.Add(uint64(len(req.batch)))
 		return shardResp{}
 
@@ -696,6 +722,16 @@ func (sh *shard) handle(req shardReq) shardResp {
 			}
 		}
 		return resp
+
+	case opCritPath:
+		// One node's critical-path answer. Summary() is a fresh value and
+		// Tracks() copies its segments, so the reply shares nothing with
+		// worker-owned analyzer state. Queries never create nodes.
+		ns, ok := sh.nodes[req.node]
+		if !ok {
+			return shardResp{err: fmt.Errorf("collect: unknown node %d", req.node)}
+		}
+		return shardResp{crit: ns.crit.Summary(), critTracks: ns.crit.Tracks(), critDur: ns.crit.Duration()}
 
 	case opArchHeat:
 		// Compacted history's contribution to one sensor's ranking. The
@@ -955,6 +991,18 @@ func (c *Collector) NodeProfile(id uint32) (*parser.NodeProfile, error) {
 		}
 	}
 	return nil, fmt.Errorf("collect: unknown node %d", id)
+}
+
+// CritPath snapshots one node's streaming critical-path analysis: the
+// serialization/wait summary, the bounded per-lane timeline tracks, and
+// the analyzed duration. The snapshot is non-destructive — ingest keeps
+// folding and later calls see strictly more history.
+func (c *Collector) CritPath(id uint32) (*critpath.Summary, []critpath.Track, time.Duration, error) {
+	resp := c.shardFor(id).call(shardReq{op: opCritPath, node: id})
+	if resp.err != nil {
+		return nil, nil, 0, resp.err
+	}
+	return resp.crit, resp.critTracks, resp.critDur, nil
 }
 
 // PolicyStatuses reports the adaptive-sampling policy state for every

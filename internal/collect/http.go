@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"tempest/internal/critpath"
 	"tempest/internal/parser"
 	"tempest/internal/report"
 )
@@ -35,6 +37,11 @@ func (cw *countingResponseWriter) Write(p []byte) (int, error) {
 //	GET /api/hotspots         fleet hot-spot rankings (?k= top-K,
 //	                          ?sensor= sensor index, default 0)
 //	GET /api/series/{node}    one node's sample series as streaming CSV
+//	GET /api/critpath/{node}  one node's serialization/wait analysis
+//	                          (JSON; ?format=text for the report layout)
+//	GET /api/timeline/{node}  one node's per-lane busy/wait timeline
+//	                          (JSON; ?format=text for a gantt, ?width=
+//	                          columns)
 //	GET /api/policy           adaptive-sampling policy state per node
 //	                          (issued revisions, detail sets, budgets)
 //
@@ -97,6 +104,39 @@ func (c *Collector) Handler() http.Handler {
 			return
 		}
 		panic(http.ErrAbortHandler)
+	})
+	mux.HandleFunc("GET /api/critpath/{node}", func(w http.ResponseWriter, r *http.Request) {
+		sum, _, _, ok := c.critParam(w, r)
+		if !ok {
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := report.WriteCritPath(w, sum, report.Options{}); err != nil {
+				c.metrics.streamErrors.Add(1)
+			}
+			return
+		}
+		c.writeJSON(w, "/api/critpath", sum)
+	})
+	mux.HandleFunc("GET /api/timeline/{node}", func(w http.ResponseWriter, r *http.Request) {
+		_, tracks, dur, ok := c.critParam(w, r)
+		if !ok {
+			return
+		}
+		width, err := intParam(r.URL.Query().Get("width"), 0)
+		if err != nil || width < 0 {
+			http.Error(w, "bad width parameter", http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := report.WriteTimeline(w, tracks, dur, width); err != nil {
+				c.metrics.streamErrors.Add(1)
+			}
+			return
+		}
+		c.writeJSON(w, "/api/timeline", report.BuildTimelineJSON(tracks, dur))
 	})
 	mux.HandleFunc("GET /api/hotspots", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -206,6 +246,22 @@ func (c *Collector) Hotspots(sensor, k int) (*HotspotsResponse, error) {
 		resp.Nodes[i] = apiNode{NodeID: n.NodeID, Avg: n.Avg, Max: n.Max, TrendPerS: n.TrendPerS, Volatility: n.Volatility}
 	}
 	return resp, nil
+}
+
+// critParam resolves the {node} path segment to a live critical-path
+// snapshot, writing the HTTP error itself when it can't.
+func (c *Collector) critParam(w http.ResponseWriter, r *http.Request) (*critpath.Summary, []critpath.Track, time.Duration, bool) {
+	id, err := strconv.ParseUint(r.PathValue("node"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad node id", http.StatusBadRequest)
+		return nil, nil, 0, false
+	}
+	sum, tracks, dur, err := c.CritPath(uint32(id))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil, nil, 0, false
+	}
+	return sum, tracks, dur, true
 }
 
 // nodeParam resolves the {node} path segment to a live profile snapshot,

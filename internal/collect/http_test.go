@@ -9,6 +9,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tempest/internal/trace"
+	"tempest/internal/vclock"
 )
 
 // goldenCollector builds a deterministic collector: injected clock, one
@@ -67,6 +70,86 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Hea
 		t.Fatal(err)
 	}
 	return res.StatusCode, string(body), res.Header
+}
+
+// staggerTrace builds the canonical two-lane barrier stagger on one
+// node: a fast lane reaching MPI_Barrier at 4s and a straggler arriving
+// at 7s, so the critical-path answer (wait attribution, serialization
+// window, straggler lane) is known exactly.
+func staggerTrace(t *testing.T, node uint32) *trace.Trace {
+	t.Helper()
+	clk := vclock.NewVirtualClock()
+	tr, err := trace.NewTracer(trace.Config{Clock: clk, NodeID: node, Rank: node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := tr.NewLane(), tr.NewLane()
+	fastWork := tr.RegisterFunc("fast_work")
+	slowWork := tr.RegisterFunc("straggler_work")
+	barrier := tr.RegisterFunc("MPI_Barrier")
+	sec := time.Second
+	fast.EnterAt(fastWork, 0)
+	slow.EnterAt(slowWork, 0)
+	_ = fast.ExitAt(fastWork, 4*sec)
+	fast.EnterAt(barrier, 4*sec)
+	_ = slow.ExitAt(slowWork, 7*sec)
+	slow.EnterAt(barrier, 7*sec)
+	_ = fast.ExitAt(barrier, 8*sec)
+	_ = slow.ExitAt(barrier, 8*sec)
+	return tr.Finish()
+}
+
+func TestHTTPCritPathGolden(t *testing.T) {
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	c := New(Options{Now: func() time.Time { return fixed }})
+	defer c.Close()
+	if err := c.IngestTrace(staggerTrace(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/api/critpath/1")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/api/critpath/1: status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	checkGolden(t, "critpath_stagger", body)
+
+	// Snapshots are non-destructive: a second query answers identically.
+	if _, again, _ := get(t, srv, "/api/critpath/1"); again != body {
+		t.Errorf("second /api/critpath/1 drifted:\n%s\nvs\n%s", again, body)
+	}
+
+	code, body, hdr = get(t, srv, "/api/critpath/1?format=text")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("/api/critpath/1?format=text: status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	checkGolden(t, "critpath_stagger_text", body)
+
+	code, body, hdr = get(t, srv, "/api/timeline/1")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/api/timeline/1: status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	checkGolden(t, "timeline_stagger", body)
+
+	code, body, hdr = get(t, srv, "/api/timeline/1?format=text&width=24")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("/api/timeline/1?format=text: status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	checkGolden(t, "timeline_stagger_text", body)
+
+	for path, want := range map[string]int{
+		"/api/critpath/99":         404,
+		"/api/critpath/bad":        400,
+		"/api/timeline/99":         404,
+		"/api/timeline/bad":        400,
+		"/api/timeline/1?width=-1": 400,
+		"/api/timeline/1?width=x":  400,
+	} {
+		if code, _, _ := get(t, srv, path); code != want {
+			t.Errorf("%s status = %d, want %d", path, code, want)
+		}
+	}
 }
 
 func TestHTTPHotspotsGoldenSingleNode(t *testing.T) {

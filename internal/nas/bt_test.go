@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tempest/internal/cluster"
+	"tempest/internal/critpath"
 	"tempest/internal/parser"
 )
 
@@ -290,10 +291,20 @@ func TestBTProfileShape(t *testing.T) {
 	if !foundSync {
 		t.Error("startup_sync marker missing")
 	}
-	// BT is compute-bound: communication share well below FT's.
-	if barrier, ok := np.Function("MPI_Barrier"); ok {
-		if float64(barrier.TotalTime)/float64(mainP.TotalTime) > 0.2 {
-			t.Errorf("barrier share too high: %v/%v", barrier.TotalTime, mainP.TotalTime)
+	// BT is compute-bound: communication share well below FT's. The
+	// critical-path analyzer states the bound directly — total barrier
+	// wait across all lanes against total lane-seconds — instead of
+	// inferring it from one node's inclusive function times.
+	a, err := critpath.AnalyzeTraces(res.Traces, critpath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := a.Summary()
+	if barrier, ok := sum.Op("MPI_Barrier"); ok {
+		laneSeconds := sum.DurationS * float64(len(sum.Lanes))
+		if barrier.TotalWaitS/laneSeconds > 0.2 {
+			t.Errorf("barrier wait share too high: %.3fs of %.3fs lane-seconds",
+				barrier.TotalWaitS, laneSeconds)
 		}
 	}
 }

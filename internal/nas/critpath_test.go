@@ -1,0 +1,144 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"tempest/internal/cluster"
+	"tempest/internal/critpath"
+)
+
+// btCritPath runs BT class S on the standard 4-node cluster and analyzes
+// the four node traces as one cluster-wide critical path.
+func btCritPath(t *testing.T) *critpath.Summary {
+	t.Helper()
+	c := newBTCluster(t, 4)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunBT(rc, ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := critpath.AnalyzeTraces(res.Traces, critpath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Summary()
+}
+
+// TestBTCritPathStragglerAttribution validates the analyzer against the
+// paper's Figure 4 structure: initialize_ is staggered per rank
+// (1200+150·rank ms), so the barrier after startup makes ranks 0..2 wait
+// for rank 3, and that wait must be charged to the straggler's enclosing
+// functions — initialize_ (the stagger itself) plus the exact_rhs_ setup
+// the straggler still owes while the others are already parked.
+func TestBTCritPathStragglerAttribution(t *testing.T) {
+	s := btCritPath(t)
+	if s.StackAnomalies != 0 || s.OrderAnomalies != 0 {
+		t.Fatalf("cluster traces should be clean: stack=%d order=%d", s.StackAnomalies, s.OrderAnomalies)
+	}
+	if len(s.Lanes) != 4 {
+		t.Fatalf("lanes = %d, want 4 (one per node)", len(s.Lanes))
+	}
+
+	// Rank 3 starts last, so it is the lane everyone waits for: its
+	// caused-wait score must dominate every other lane's by a wide margin.
+	straggler, ok := s.Straggler()
+	if !ok || straggler.Node != 3 {
+		t.Fatalf("straggler = %+v ok=%v, want node 3", straggler, ok)
+	}
+	for _, l := range s.Lanes {
+		if l.Node != straggler.Node && l.CausedWaitS*3 > straggler.CausedWaitS {
+			t.Errorf("lane n%d caused %.3fs, not clearly below straggler's %.3fs",
+				l.Node, l.CausedWaitS, straggler.CausedWaitS)
+		}
+	}
+
+	// The startup barrier's wait is stagger, not intrinsic cost: the
+	// max−min lane split must recover the 3×150 ms = 450 ms stagger, the
+	// lane that arrived last is rank 3, and imbalance dominates the total.
+	barrier, ok := s.Op("MPI_Barrier")
+	if !ok {
+		t.Fatal("MPI_Barrier missing from op table")
+	}
+	if barrier.StragglerNode != 3 {
+		t.Errorf("barrier straggler = n%d, want n3", barrier.StragglerNode)
+	}
+	if spread := barrier.MaxLaneWaitS - barrier.MinLaneWaitS; math.Abs(spread-0.450) > 0.050 {
+		t.Errorf("barrier wait spread %.3fs, want ≈0.450s (the initialize_ stagger)", spread)
+	}
+	if barrier.ImbalanceS < 0.8*barrier.TotalWaitS {
+		t.Errorf("barrier imbalance %.3fs of %.3fs total — stagger should dominate",
+			barrier.ImbalanceS, barrier.TotalWaitS)
+	}
+
+	// Attribution: the barrier imbalance lands on the straggler's
+	// enclosing functions — initialize_ first, exact_rhs_ the remainder —
+	// and together they account for the barrier's imbalance.
+	initC, ok := s.Function("initialize_")
+	if !ok || initC.CausedWaitS <= 0 {
+		t.Fatalf("initialize_ cost = %+v ok=%v, want positive caused wait", initC, ok)
+	}
+	exactC, ok := s.Function("exact_rhs_")
+	if !ok || exactC.CausedWaitS <= 0 {
+		t.Fatalf("exact_rhs_ cost = %+v ok=%v, want positive caused wait", exactC, ok)
+	}
+	if initC.CausedWaitS <= exactC.CausedWaitS {
+		t.Errorf("initialize_ caused %.3fs ≤ exact_rhs_'s %.3fs — the stagger is in initialize_",
+			initC.CausedWaitS, exactC.CausedWaitS)
+	}
+	preBarrier := initC.CausedWaitS + exactC.CausedWaitS
+	if math.Abs(preBarrier-barrier.ImbalanceS) > 0.050 {
+		t.Errorf("initialize_+exact_rhs_ caused %.3fs, barrier imbalance %.3fs — should match",
+			preBarrier, barrier.ImbalanceS)
+	}
+
+	// initialize_ serializes: while rank 3 finishes it alone, everyone
+	// else is parked — one busy lane, three waiters.
+	if initC.SerialS <= 0 || initC.Windows < 1 {
+		t.Errorf("initialize_ serial = %+v, want a serialization window", initC)
+	}
+
+	// BT is compute-bound: the whole run serializes only a few percent.
+	if s.SerialFraction > 0.10 {
+		t.Errorf("BT serial fraction %.3f, want < 0.10", s.SerialFraction)
+	}
+}
+
+// TestEPCritPathNearZeroSerialization is the negative control: EP is
+// embarrassingly parallel — identical per-rank work on a homogeneous
+// cluster, one closing allreduce — so the analyzer must find essentially
+// no serialization and no meaningful straggler.
+func TestEPCritPathNearZeroSerialization(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Nodes: 4, RanksPerNode: 1, Seed: 3, Cost: FTCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunEPParams(rc, EPParams{LogPairs: 14})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := critpath.AnalyzeTraces(res.Traces, critpath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Summary()
+	if s.StackAnomalies != 0 || s.OrderAnomalies != 0 {
+		t.Fatalf("cluster traces should be clean: stack=%d order=%d", s.StackAnomalies, s.OrderAnomalies)
+	}
+	if s.SerialFraction >= 0.01 {
+		t.Errorf("EP serial fraction %.4f, want < 1%%", s.SerialFraction)
+	}
+	// Symmetric ranks: no lane's caused-wait stands out the way BT's
+	// staggered rank 3 does (under 1% of the run).
+	for _, l := range s.Lanes {
+		if l.CausedWaitS > 0.01*s.DurationS {
+			t.Errorf("lane n%d caused %.3fs of wait in an embarrassingly parallel run (duration %.3fs)",
+				l.Node, l.CausedWaitS, s.DurationS)
+		}
+	}
+}

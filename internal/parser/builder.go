@@ -158,19 +158,29 @@ func (b *Builder) add(e *trace.Event) error {
 			if b.opts.MidStream {
 				return nil // invocation opened before this stream began
 			}
-			return fmt.Errorf("parser: event %d: exit with empty stack on lane %d", b.events, e.Lane)
+			return fmt.Errorf("parser: event %d: exit of %s with empty stack on lane %d", b.events, b.funcName(e.FuncID), e.Lane)
 		}
 		top := st[len(st)-1]
 		if top.fid != e.FuncID {
 			if b.opts.MidStream {
 				return nil
 			}
-			return fmt.Errorf("parser: event %d: exit of function %d while %d is open", b.events, e.FuncID, top.fid)
+			return fmt.Errorf("parser: event %d: exit of %s while %s is open on lane %d", b.events, b.funcName(e.FuncID), b.funcName(top.fid), e.Lane)
 		}
 		b.stacks[e.Lane] = st[:len(st)-1]
 		b.intervals[top.fid] = InsertInterval(b.intervals[top.fid], Interval{Start: top.enter, End: e.TS})
 	}
 	return nil
+}
+
+// funcName resolves a function id for error messages. A structural error
+// is exactly when the stream may be damaged, so an unresolvable id falls
+// back to the raw number instead of compounding the failure.
+func (b *Builder) funcName(fid uint32) string {
+	if name, err := b.sym.Name(fid); err == nil {
+		return fmt.Sprintf("%q", name)
+	}
+	return fmt.Sprintf("func %d", fid)
 }
 
 // OpenFunctions returns the distinct functions currently open on any

@@ -1,0 +1,297 @@
+package report
+
+// Critical-path rendering: the serialization view of internal/critpath,
+// in the same three shapes the heat profile ships in — a standard-output
+// listing, a streaming emitter for multi-node runs, and stable JSON —
+// plus the per-lane timeline gantt (ThreadScope's view, in ASCII).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tempest/internal/critpath"
+)
+
+// WriteCritPath renders one critical-path summary as text: the lane
+// split, the serialization ranking, and the per-op wait attribution.
+// Options.TopN bounds the function and op tables (0 = all).
+func WriteCritPath(w io.Writer, s *critpath.Summary, opts Options) error {
+	if s == nil {
+		return fmt.Errorf("report: nil critpath summary")
+	}
+	if _, err := fmt.Fprintf(w, "Critical path — %.3fs over %d lanes: %.3fs serialized (%.1f%%)\n",
+		s.DurationS, len(s.Lanes), s.SerialS, 100*s.SerialFraction); err != nil {
+		return err
+	}
+	if s.StackAnomalies > 0 || s.OrderAnomalies > 0 {
+		if _, err := fmt.Fprintf(w, "WARNING: torn input (%d stack, %d order anomalies) — numbers are best-effort\n",
+			s.StackAnomalies, s.OrderAnomalies); err != nil {
+			return err
+		}
+	}
+	if s.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "WARNING: %d trace events dropped (buffer pressure)\n", s.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	if st, ok := s.Straggler(); ok {
+		if _, err := fmt.Fprintf(w, "Straggler: %s caused %.3fs of wait on other lanes\n",
+			laneLabel(st.Node, st.Lane), st.CausedWaitS); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "\n  %-8s %9s %9s %9s %6s %10s\n",
+		"lane", "busy(s)", "wait(s)", "off(s)", "wait%", "caused(s)"); err != nil {
+		return err
+	}
+	for _, l := range s.Lanes {
+		if _, err := fmt.Fprintf(w, "  %-8s %9.3f %9.3f %9.3f %5.1f%% %10.3f\n",
+			laneLabel(l.Node, l.Lane), l.BusyS, l.WaitS, l.OffS, 100*l.WaitShare, l.CausedWaitS); err != nil {
+			return err
+		}
+	}
+
+	funcs := s.Functions
+	if opts.TopN > 0 && len(funcs) > opts.TopN {
+		funcs = funcs[:opts.TopN]
+	}
+	if len(funcs) > 0 {
+		if _, err := fmt.Fprintf(w, "\nSerialization by function:\n  %-24s %9s %7s %10s %10s %7s\n",
+			"function", "serial(s)", "windows", "longest(s)", "caused(s)", "calls"); err != nil {
+			return err
+		}
+		for _, f := range funcs {
+			if _, err := fmt.Fprintf(w, "  %-24s %9.3f %7d %10.3f %10.3f %7d\n",
+				f.Name, f.SerialS, f.Windows, f.LongestS, f.CausedWaitS, f.Calls); err != nil {
+				return err
+			}
+		}
+	} else if _, err := fmt.Fprintln(w, "\nNo serialization observed."); err != nil {
+		return err
+	}
+
+	ops := s.Ops
+	if opts.TopN > 0 && len(ops) > opts.TopN {
+		ops = ops[:opts.TopN]
+	}
+	if len(ops) > 0 {
+		if _, err := fmt.Fprintf(w, "\nWait by operation:\n  %-24s %7s %9s %9s %9s %12s  %s\n",
+			"op", "calls", "total(s)", "max(s)", "min(s)", "imbalance(s)", "straggler"); err != nil {
+			return err
+		}
+		for _, o := range ops {
+			if _, err := fmt.Fprintf(w, "  %-24s %7d %9.3f %9.3f %9.3f %12.3f  %s\n",
+				o.Name, o.Calls, o.TotalWaitS, o.MaxLaneWaitS, o.MinLaneWaitS, o.ImbalanceS,
+				laneLabel(o.StragglerNode, o.StragglerLane)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func laneLabel(node, lane uint32) string { return fmt.Sprintf("n%d/l%d", node, lane) }
+
+// CritPathStream renders critical-path summaries one at a time — the
+// multi-node render half of the streaming pipeline, mirroring
+// ProfileStream byte-for-byte semantics.
+type CritPathStream struct {
+	w    io.Writer
+	opts Options
+	n    int
+}
+
+// NewCritPathStream returns a streaming critical-path renderer.
+func NewCritPathStream(w io.Writer, opts Options) *CritPathStream {
+	return &CritPathStream{w: w, opts: opts}
+}
+
+// Summary renders one analysis, preceded by a divider after the first.
+func (c *CritPathStream) Summary(s *critpath.Summary) error {
+	if c.n > 0 {
+		if _, err := fmt.Fprintln(c.w, "\n"+divider); err != nil {
+			return err
+		}
+	}
+	c.n++
+	return WriteCritPath(c.w, s, c.opts)
+}
+
+// WriteCritPathJSON emits one summary as indented JSON — the summary's
+// own JSON tags are the stable shape (all durations in seconds).
+func WriteCritPathJSON(w io.Writer, s *critpath.Summary) error {
+	if s == nil {
+		return fmt.Errorf("report: nil critpath summary")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteLiveCritPath renders the one-screen live straggler view appended
+// under the hot-spot table by tempest-live -watch: who the fleet is
+// waiting for right now, and the top serializing functions so far.
+func WriteLiveCritPath(w io.Writer, s *critpath.Summary, top int) error {
+	if s == nil {
+		return fmt.Errorf("report: nil critpath summary")
+	}
+	if _, err := fmt.Fprintf(w, "  serialized: %.3fs (%.1f%%)", s.SerialS, 100*s.SerialFraction); err != nil {
+		return err
+	}
+	if st, ok := s.Straggler(); ok {
+		if _, err := fmt.Fprintf(w, " — straggler %s (+%.3fs wait caused)", laneLabel(st.Node, st.Lane), st.CausedWaitS); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if top <= 0 {
+		top = 3
+	}
+	funcs := s.Functions
+	if len(funcs) > top {
+		funcs = funcs[:top]
+	}
+	for _, f := range funcs {
+		if _, err := fmt.Fprintf(w, "    %-24s serial %.3fs  caused %.3fs\n", f.Name, f.SerialS, f.CausedWaitS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline gantt characters, one per lane state.
+const (
+	ganttBusy = '#'
+	ganttWait = '~'
+	ganttOff  = '.'
+)
+
+// DefaultTimelineWidth is the gantt column count when the caller passes 0.
+const DefaultTimelineWidth = 72
+
+// WriteTimeline renders per-lane tracks as an ASCII gantt: one row per
+// lane, '#' busy, '~' wait, '.' off, each column covering duration/width.
+// A column showing mixed states takes the state covering most of it.
+func WriteTimeline(w io.Writer, tracks []critpath.Track, duration time.Duration, width int) error {
+	if width <= 0 {
+		width = DefaultTimelineWidth
+	}
+	if _, err := fmt.Fprintf(w, "Timeline — %.3fs, %d lanes, %d cols (#=busy ~=wait .=off)\n",
+		duration.Seconds(), len(tracks), width); err != nil {
+		return err
+	}
+	if duration <= 0 {
+		return nil
+	}
+	for _, tr := range tracks {
+		row := renderGanttRow(tr.Segments, duration, width)
+		if _, err := fmt.Fprintf(w, "  %-8s |%s|\n", laneLabel(tr.Node, tr.Lane), row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderGanttRow rasterizes one lane's segments into width columns by
+// majority state per column.
+func renderGanttRow(segs []critpath.Segment, duration time.Duration, width int) string {
+	var b strings.Builder
+	b.Grow(width)
+	col := duration / time.Duration(width)
+	if col <= 0 {
+		col = 1
+	}
+	si := 0
+	for c := 0; c < width; c++ {
+		lo := time.Duration(c) * col
+		hi := lo + col
+		if c == width-1 {
+			hi = duration
+		}
+		// Accumulate covered time per state over [lo,hi); segments are
+		// sorted and contiguous per track, so advance si monotonically.
+		var busy, wait time.Duration
+		for si < len(segs) && segs[si].End <= lo {
+			si++
+		}
+		for j := si; j < len(segs) && segs[j].Start < hi; j++ {
+			s, e := segs[j].Start, segs[j].End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e <= s {
+				continue
+			}
+			switch segs[j].State {
+			case critpath.Busy:
+				busy += e - s
+			case critpath.Wait:
+				wait += e - s
+			}
+		}
+		off := (hi - lo) - busy - wait
+		switch {
+		case busy >= wait && busy >= off:
+			b.WriteByte(ganttBusy)
+		case wait >= off:
+			b.WriteByte(ganttWait)
+		default:
+			b.WriteByte(ganttOff)
+		}
+	}
+	return b.String()
+}
+
+// jsonTimeline is the stable JSON shape of a set of lane tracks.
+type jsonTimeline struct {
+	DurationS float64     `json:"duration_s"`
+	Lanes     []jsonTrack `json:"lanes"`
+}
+
+type jsonTrack struct {
+	Node     uint32        `json:"node"`
+	Lane     uint32        `json:"lane"`
+	Segments []jsonSegment `json:"segments"`
+}
+
+type jsonSegment struct {
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	State  string  `json:"state"`
+	Func   string  `json:"func,omitempty"`
+}
+
+// BuildTimelineJSON converts tracks to the stable JSON value WriteTimelineJSON
+// encodes — exported shape-builder so the collector API can embed it.
+func BuildTimelineJSON(tracks []critpath.Track, duration time.Duration) any {
+	out := jsonTimeline{DurationS: duration.Seconds(), Lanes: []jsonTrack{}}
+	for _, tr := range tracks {
+		jt := jsonTrack{Node: tr.Node, Lane: tr.Lane, Segments: []jsonSegment{}}
+		for _, s := range tr.Segments {
+			jt.Segments = append(jt.Segments, jsonSegment{
+				StartS: s.Start.Seconds(),
+				EndS:   s.End.Seconds(),
+				State:  s.State.String(),
+				Func:   s.Func,
+			})
+		}
+		out.Lanes = append(out.Lanes, jt)
+	}
+	return out
+}
+
+// WriteTimelineJSON emits the tracks as indented JSON.
+func WriteTimelineJSON(w io.Writer, tracks []critpath.Track, duration time.Duration) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildTimelineJSON(tracks, duration))
+}

@@ -1,0 +1,228 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/critpath"
+	"tempest/internal/trace"
+)
+
+// staggerAnalyzer reproduces the canonical two-lane barrier stagger used
+// by the critpath package tests: lane 0 waits 3s in MPI_Barrier while h
+// finishes on lane 1.
+func staggerAnalyzer(t *testing.T, opts critpath.Options) *critpath.Analyzer {
+	t.Helper()
+	sym := trace.NewSymTab()
+	sec := time.Second
+	var evs []trace.Event
+	enter := func(ts time.Duration, lane uint32, name string) {
+		evs = append(evs, trace.Event{TS: ts, Lane: lane, Kind: trace.KindEnter, FuncID: sym.Register(name)})
+	}
+	exit := func(ts time.Duration, lane uint32, name string) {
+		evs = append(evs, trace.Event{TS: ts, Lane: lane, Kind: trace.KindExit, FuncID: sym.Register(name)})
+	}
+	enter(0, 0, "f")
+	enter(0, 1, "h")
+	exit(4*sec, 0, "f")
+	enter(4*sec, 0, "MPI_Barrier")
+	exit(7*sec, 1, "h")
+	enter(7*sec, 1, "MPI_Barrier")
+	exit(8*sec, 0, "MPI_Barrier")
+	exit(8*sec, 1, "MPI_Barrier")
+	enter(8*sec, 0, "g")
+	enter(8*sec, 1, "g")
+	exit(10*sec, 0, "g")
+	exit(10*sec, 1, "g")
+	a, err := critpath.AnalyzeTrace(&trace.Trace{Events: evs, Sym: sym}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWriteCritPathText(t *testing.T) {
+	s := staggerAnalyzer(t, critpath.Options{}).Summary()
+	var buf bytes.Buffer
+	if err := WriteCritPath(&buf, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Critical path — 10.000s over 2 lanes: 3.000s serialized (30.0%)",
+		"Straggler: n0/l1 caused 3.000s of wait",
+		"Serialization by function:",
+		"h  ", // the ranked row
+		"Wait by operation:",
+		"MPI_Barrier",
+		"n0/l1", // barrier straggler label
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("unexpected warning on clean stream:\n%s", out)
+	}
+
+	if err := WriteCritPath(&buf, nil, Options{}); err == nil {
+		t.Error("nil summary accepted")
+	}
+}
+
+func TestWriteCritPathWarnsOnAnomalies(t *testing.T) {
+	sym := trace.NewSymTab()
+	a := critpath.New(critpath.Options{})
+	fid := sym.Register("x")
+	// Orphan exit: tolerated but flagged.
+	if err := a.Add(0, sym, []trace.Event{{TS: 0, Kind: trace.KindExit, FuncID: fid}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCritPath(&buf, a.Summary(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WARNING: torn input (1 stack, 0 order anomalies)") {
+		t.Errorf("missing anomaly warning:\n%s", buf.String())
+	}
+}
+
+func TestCritPathStreamDividers(t *testing.T) {
+	s := staggerAnalyzer(t, critpath.Options{}).Summary()
+	var buf bytes.Buffer
+	cs := NewCritPathStream(&buf, Options{})
+	if err := cs.Summary(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Summary(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), divider); got != 1 {
+		t.Errorf("dividers = %d, want 1", got)
+	}
+}
+
+func TestWriteCritPathJSONRoundTrips(t *testing.T) {
+	s := staggerAnalyzer(t, critpath.Options{}).Summary()
+	var buf bytes.Buffer
+	if err := WriteCritPathJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var back critpath.Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back.DurationS != s.DurationS || len(back.Lanes) != 2 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if h, ok := back.Function("h"); !ok || h.SerialS != 3 {
+		t.Errorf("h lost in round trip: %+v ok=%v", h, ok)
+	}
+}
+
+func TestWriteLiveCritPath(t *testing.T) {
+	s := staggerAnalyzer(t, critpath.Options{}).Summary()
+	var buf bytes.Buffer
+	if err := WriteLiveCritPath(&buf, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "serialized: 3.000s (30.0%)") {
+		t.Errorf("missing serialized line:\n%s", out)
+	}
+	if !strings.Contains(out, "straggler n0/l1") {
+		t.Errorf("missing straggler:\n%s", out)
+	}
+	if !strings.Contains(out, "h ") {
+		t.Errorf("missing top function:\n%s", out)
+	}
+}
+
+func TestWriteTimelineGantt(t *testing.T) {
+	a := staggerAnalyzer(t, critpath.Options{Timeline: true})
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, a.Tracks(), 10*time.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 lanes:\n%s", len(lines), out)
+	}
+	// 10 columns over 10s: 1s per column. Lane 0: f busy [0,4), barrier
+	// wait [4,8), g busy [8,10). Lane 1: h busy [0,7), wait [7,8), busy.
+	if want := "n0/l0    |####~~~~##|"; !strings.Contains(lines[1], want) {
+		t.Errorf("lane0 row = %q, want %q", lines[1], want)
+	}
+	if want := "n0/l1    |#######~##|"; !strings.Contains(lines[2], want) {
+		t.Errorf("lane1 row = %q, want %q", lines[2], want)
+	}
+	if !strings.Contains(lines[0], "#=busy ~=wait .=off") {
+		t.Errorf("missing legend: %q", lines[0])
+	}
+}
+
+func TestWriteTimelineOffColumns(t *testing.T) {
+	// One lane busy for the first fifth only: the rest renders off.
+	sym := trace.NewSymTab()
+	fid := sym.Register("x")
+	evs := []trace.Event{
+		{TS: 0, Kind: trace.KindEnter, FuncID: fid},
+		{TS: 2 * time.Second, Kind: trace.KindExit, FuncID: fid},
+		{TS: 10 * time.Second, Kind: trace.KindDrop},
+	}
+	a, err := critpath.AnalyzeTrace(&trace.Trace{Events: evs, Sym: sym}, critpath.Options{Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, a.Tracks(), 10*time.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	if want := "|##........|"; !strings.Contains(buf.String(), want) {
+		t.Errorf("timeline = %q, want row %q", buf.String(), want)
+	}
+}
+
+func TestWriteTimelineJSON(t *testing.T) {
+	a := staggerAnalyzer(t, critpath.Options{Timeline: true})
+	var buf bytes.Buffer
+	if err := WriteTimelineJSON(&buf, a.Tracks(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DurationS float64 `json:"duration_s"`
+		Lanes     []struct {
+			Node     uint32 `json:"node"`
+			Lane     uint32 `json:"lane"`
+			Segments []struct {
+				StartS float64 `json:"start_s"`
+				EndS   float64 `json:"end_s"`
+				State  string  `json:"state"`
+				Func   string  `json:"func"`
+			} `json:"segments"`
+		} `json:"lanes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DurationS != 10 || len(doc.Lanes) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	segs := doc.Lanes[0].Segments
+	if len(segs) != 3 || segs[1].State != "wait" || segs[1].Func != "MPI_Barrier" {
+		t.Errorf("lane0 segments = %+v", segs)
+	}
+
+	// Empty tracks still produce a valid document with empty arrays.
+	buf.Reset()
+	if err := WriteTimelineJSON(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"lanes\": []") {
+		t.Errorf("empty timeline = %s", buf.String())
+	}
+}

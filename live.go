@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tempest/instrument"
+	"tempest/internal/critpath"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
 	"tempest/internal/sensors"
@@ -73,6 +74,12 @@ type LiveConfig struct {
 	// down to tempd. Nil means the process-wide introspect.Default()
 	// registry.
 	Introspect *introspect.Registry
+	// CritPath, when set, runs a streaming critical-path analyzer beside
+	// the profile builder: every drained batch is also folded into an
+	// internal/critpath.Analyzer, and CritPathSummary exposes live
+	// straggler/serialization snapshots (tempest-live -watch's straggler
+	// lines). Costs O(lanes + functions) extra state, no event history.
+	CritPath bool
 }
 
 // DefaultLaneBufferCap is the lane capacity to pass when no workload-
@@ -98,6 +105,9 @@ type LiveSession struct {
 
 	bmu     sync.Mutex
 	builder *parser.Builder
+	// crit is the optional streaming critical-path analyzer; it shares
+	// the builder's feed (and lock), so both views agree event for event.
+	crit *critpath.Analyzer
 
 	ir           *introspect.Registry
 	acct         *introspect.Accountant
@@ -192,6 +202,9 @@ func NewLiveSession(cfg LiveConfig) (*LiveSession, error) {
 	// The builder shares the tracer's live (lock-protected) symbol
 	// table, so drained events always resolve.
 	s.builder = parser.NewBuilder(cfg.NodeID, tracer.SymTab(), parser.Options{Unit: cfg.Unit})
+	if cfg.CritPath {
+		s.crit = critpath.New(critpath.Options{})
+	}
 	drainEvery := cfg.DrainInterval
 	if drainEvery == 0 {
 		drainEvery = 500 * time.Millisecond
@@ -358,6 +371,9 @@ func (s *LiveSession) drain() {
 	s.bmu.Lock()
 	ev, sym := s.tracer.Drain()
 	_ = s.builder.Add(ev) // a structural error poisons the builder; Close reports it
+	if s.crit != nil {
+		_ = s.crit.Add(s.cfg.NodeID, sym, ev) // never fails structurally
+	}
 	if s.cfg.DrainSink != nil {
 		s.cfg.DrainSink(ev, sym)
 	}
@@ -400,6 +416,20 @@ func (s *LiveSession) OpenFunctions() []string {
 	s.bmu.Lock()
 	defer s.bmu.Unlock()
 	return s.builder.OpenFunctions()
+}
+
+// CritPathSummary returns a live snapshot of the streaming critical-path
+// analysis — who the lanes are waiting for right now — or nil when the
+// session was not configured with LiveConfig.CritPath. Non-destructive:
+// the analyzer keeps accumulating, like Snapshot.
+func (s *LiveSession) CritPathSummary() *critpath.Summary {
+	if s.crit == nil {
+		return nil
+	}
+	s.drain()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.crit.Summary()
 }
 
 // SensorStats returns streaming summaries of each sensor's whole

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Benchmarks the critical-path analyzer's streaming throughput over a
+# 1M-event 8-lane trace and emits BENCH_critpath.json — the committed
+# baseline pinning that the sweep stays O(lanes) and fast:
+#
+#   summary    summary-only analysis (no timeline tracks)
+#   timeline   timeline enabled at a 512-segment cap (halveTrack active)
+#
+# Both rows record events/sec, ns/op and allocs/op; the allocs row is the
+# bounded-memory story — a full 1M-event analysis allocates O(lanes +
+# functions), and steady-state Add allocates nothing (pinned separately
+# by TestSteadyStateAddAllocates).
+#
+# Usage:  scripts/bench/critpath_bench.sh [output.json]
+#   BENCHTIME=5s scripts/bench/critpath_bench.sh    # longer runs
+#
+# The JSON is stable-keyed for diffing; re-run and commit alongside any
+# change that touches internal/critpath's sweep or track handling.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+OUT="${1:-BENCH_critpath.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkCritPath(Timeline)?1M$' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/critpath/)
+echo "$raw" >&2
+
+field() { # field <bench-name> <awk-col>
+	echo "$raw" | awk -v b="$1" -v c="$2" '$1 ~ "^"b"(-[0-9]+)?$" { print $c; exit }'
+}
+# Bench line layout: name iters ns/op MB/s? ... the critpath benches
+# report a custom events/sec metric, then B/op and allocs/op:
+#   BenchmarkCritPath1M-8  n  ns/op  ev/s events/s  B/op  allocs/op
+evsec() { echo "$raw" | awk -v b="$1" '$1 ~ "^"b"(-[0-9]+)?$" { for (i=2; i<NF; i++) if ($(i+1) == "events/s") { print $i; exit } }'; }
+
+sum_ns=$(field BenchmarkCritPath1M 3)
+sum_ev=$(evsec BenchmarkCritPath1M)
+sum_allocs=$(echo "$raw" | awk '$1 ~ /^BenchmarkCritPath1M(-[0-9]+)?$/ { for (i=2; i<NF; i++) if ($(i+1) == "allocs/op") { print $i; exit } }')
+tl_ns=$(field BenchmarkCritPathTimeline1M 3)
+tl_ev=$(evsec BenchmarkCritPathTimeline1M)
+tl_allocs=$(echo "$raw" | awk '$1 ~ /^BenchmarkCritPathTimeline1M(-[0-9]+)?$/ { for (i=2; i<NF; i++) if ($(i+1) == "allocs/op") { print $i; exit } }')
+
+for v in "$sum_ns" "$sum_ev" "$sum_allocs" "$tl_ns" "$tl_ev" "$tl_allocs"; do
+	if [ -z "$v" ]; then
+		echo "critpath_bench: missing benchmark result" >&2
+		exit 1
+	fi
+done
+
+goversion=$(go env GOVERSION)
+cat >"$OUT" <<EOF
+{
+  "benchmark": "tempest/internal/critpath 1M-event 8-lane stream",
+  "go": "$goversion",
+  "benchtime": "$BENCHTIME",
+  "summary": {
+    "ns_per_op": $sum_ns,
+    "events_per_sec": $sum_ev,
+    "allocs_per_op": $sum_allocs
+  },
+  "timeline": {
+    "ns_per_op": $tl_ns,
+    "events_per_sec": $tl_ev,
+    "allocs_per_op": $tl_allocs
+  },
+  "notes": "summary = Options{} (no tracks); timeline = Options{Timeline: true, MaxTrackSegments: 512} with halveTrack coarsening active. allocs_per_op covers a whole fresh 1M-event analysis (analyzer construction + all lane/function state); steady-state Add allocates zero (TestSteadyStateAddAllocates)."
+}
+EOF
+echo "wrote $OUT" >&2
