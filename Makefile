@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet tempest-vet test race chaos bench bench-instrument bench-critpath bench-smoke fuzz-smoke collectd-smoke clean
+.PHONY: all build vet tempest-vet test race chaos bench bench-instrument bench-critpath bench-analysis bench-smoke fuzz-smoke collectd-smoke clean
 
 all: vet tempest-vet build test
 
@@ -12,7 +12,9 @@ vet:
 
 # Project-specific invariant checks (internal/analysis passes): Enter/Exit
 # pairing, wall-clock bans in virtual-time packages, lock annotations,
-# wire-frame seq/crc discipline, NaN comparisons. Must exit 0.
+# wire-frame seq/crc discipline, NaN comparisons, plus the program-wide
+# passes — mutex acquisition-order cycles (lockorder) and goroutines with
+# no termination path (goroleak). Must exit 0.
 tempest-vet:
 	$(GO) run ./cmd/tempest-vet ./...
 
@@ -52,6 +54,13 @@ bench-instrument:
 # baseline). Re-run and commit when touching internal/critpath's sweep.
 bench-critpath:
 	./scripts/bench/critpath_bench.sh
+
+# Interprocedural analysis cost over this repository (loader vs
+# callgraph+costmodel), written to BENCH_analysis.json (the committed
+# baseline). Re-run and commit when touching internal/analysis/callgraph
+# or internal/analysis/costmodel.
+bench-analysis:
+	./scripts/bench/analysis_bench.sh
 
 # One-iteration pass over the streaming-pipeline benchmarks: compiles and
 # executes every benchmark body (batch vs stream allocation profile,

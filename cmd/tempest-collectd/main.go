@@ -68,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"tempest/internal/analysis/costmodel"
 	"tempest/internal/collect"
 	"tempest/internal/introspect"
 	"tempest/internal/parser"
@@ -101,6 +102,7 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	policyTopK := fs.Int("policy-topk", 0, "functions per node nominated for detail instrumentation (0 = default 5)")
 	policyInterval := fs.Duration("policy-interval", 0, "minimum time between policy rounds per node (0 = default 2s)")
 	policyBudget := fs.Uint64("policy-budget", 0, "per-round detail event budget per node before backpressure (0 = default 100000)")
+	policyPriors := fs.String("policy-priors", "", "instrumentation-plan JSON (tempest-instrument -plan) whose static scores seed each new node's detail set before the first measurement round")
 	logLevel := fs.String("log-level", "", "log verbosity: debug|info|warn|error (default info)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,15 +141,23 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	if *unit == "C" || *unit == "c" {
 		u = parser.Celsius
 	}
+	var priors map[string]float64
+	if *policyPriors != "" {
+		if priors, err = loadPriors(*policyPriors); err != nil {
+			return err
+		}
+		logger.Info("static priors loaded", "file", *policyPriors, "functions", len(priors))
+	}
 	c := collect.New(collect.Options{
 		Unit: u, Shards: *shards, Logger: logger,
 		StoreDir:     *storeDir,
 		StoreOptions: store.Options{Retention: *retention, Window: *storeWindow},
 		Policy: collect.PolicyOptions{
-			Enabled:     *policy,
-			TopK:        *policyTopK,
-			Interval:    *policyInterval,
-			EventBudget: *policyBudget,
+			Enabled:      *policy,
+			TopK:         *policyTopK,
+			Interval:     *policyInterval,
+			EventBudget:  *policyBudget,
+			StaticPriors: priors,
 		},
 	})
 	defer c.Close()
@@ -243,6 +253,30 @@ func debugMux(c *collect.Collector) *http.ServeMux {
 
 // uploadTrace streams one recorded trace file to a collector's ingest
 // port — the network equivalent of handing the file to tempest-parse.
+// loadPriors reads an instrumentation plan (tempest-instrument -plan)
+// and extracts its static scores as policy priors. Skipped functions
+// are excluded: they carry no hooks, so nominating them is pointless.
+func loadPriors(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := costmodel.ParsePlan(raw)
+	if err != nil {
+		return nil, err
+	}
+	priors := make(map[string]float64, len(plan.Entries))
+	for _, e := range plan.Entries {
+		if e.Mode != "skip" && e.Score > 0 {
+			priors[e.Sym] = e.Score
+		}
+	}
+	if len(priors) == 0 {
+		return nil, fmt.Errorf("%s: no usable priors (no instrumented functions with positive scores)", path)
+	}
+	return priors, nil
+}
+
 func uploadTrace(path, addr string) error {
 	f, err := os.Open(path)
 	if err != nil {

@@ -14,14 +14,27 @@
 // uninstrumented package; `go build -tags tempest_instr` selects the
 // instrumented twins. Filter with -match / -exclude (regexps over
 // symbols like "pkg.(*T).M").
+//
+// With -budget the static cost model (internal/analysis/costmodel)
+// plans the instrumentation instead of hooking everything: functions
+// whose predicted hook cost would blow the overhead budget are demoted
+// to coarse counting or skipped entirely, cheapest-per-unit-of-hotness
+// first. -plan writes the decision set as reviewable JSON:
+//
+//	tempest-instrument -n -budget 0.05 -plan - ./pkg
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 
+	"tempest/internal/analysis"
+	"tempest/internal/analysis/callgraph"
+	"tempest/internal/analysis/costmodel"
 	"tempest/internal/instrumenter"
 )
 
@@ -38,6 +51,9 @@ func run(args []string) int {
 		exclude = fs.String("exclude", "", "skip symbols matching this `regexp`")
 		tag     = fs.String("tag", instrumenter.DefaultBuildTag, "build `tag` for in-place twins")
 		quiet   = fs.Bool("q", false, "suppress the per-function listing")
+		budget  = fs.Float64("budget", 0, "overhead budget as a `fraction` of predicted runtime (e.g. 0.05); the static cost model demotes cheap-but-chatty functions to coarse or skip until the estimate fits")
+		planOut = fs.String("plan", "", "write the reviewable instrumentation-plan JSON to this `file` (\"-\" for stdout); with -n, plan without rewriting")
+		bench   = fs.String("hookbench", "", "BENCH_instrument.json `file` with measured per-call hook costs (default: module root's copy, else built-in numbers)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tempest-instrument [-o dir | -w | -n] [-match re] [-exclude re] package-dir")
@@ -81,15 +97,41 @@ func run(args []string) int {
 		opts.OutDir = os.TempDir()
 	}
 
+	if *budget > 0 || *planOut != "" {
+		plan, err := buildPlan(fs.Arg(0), *budget, *bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tempest-instrument: %v\n", err)
+			return 1
+		}
+		opts.Plan = plan
+		fmt.Fprintf(os.Stderr, "tempest-instrument: plan: predicted overhead %.1f%% -> %.1f%% (budget %.1f%%), %d functions planned\n",
+			100*plan.BaselineOverhead, 100*plan.EstimatedOverhead, 100*plan.Budget, len(plan.Entries))
+		if *planOut != "" {
+			if err := writePlan(plan, *planOut); err != nil {
+				fmt.Fprintf(os.Stderr, "tempest-instrument: %v\n", err)
+				return 1
+			}
+		}
+	}
+
 	res, err := instrumenter.Instrument(fs.Arg(0), opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tempest-instrument: %v\n", err)
 		return 1
 	}
 	if !*quiet {
-		for _, fn := range res.Funcs {
-			fmt.Println(fn)
+		// Keep stdout clean for the plan when it goes there too.
+		names := os.Stdout
+		if *planOut == "-" {
+			names = os.Stderr
 		}
+		for _, fn := range res.Funcs {
+			fmt.Fprintln(names, fn)
+		}
+	}
+	if len(res.Skipped) > 0 || len(res.Coarse) > 0 {
+		fmt.Fprintf(os.Stderr, "tempest-instrument: plan keeps %d functions in detail, demotes %d to coarse, skips %d\n",
+			len(res.Funcs)-len(res.Coarse), len(res.Coarse), len(res.Skipped))
 	}
 	if *dryRun {
 		fmt.Fprintf(os.Stderr, "tempest-instrument: would instrument %d functions in %s\n", len(res.Funcs), res.PkgPath)
@@ -106,4 +148,65 @@ func run(args []string) int {
 	fmt.Fprintf(os.Stderr, "tempest-instrument: instrumented %d functions in %s (%d files)\n",
 		len(res.Funcs), res.PkgPath, len(res.Files))
 	return 0
+}
+
+// buildPlan loads the target package (and its module-internal
+// dependencies) through the offline loader, builds the interprocedural
+// call graph, prices every function with the measured hook costs and
+// returns the budgeted instrumentation plan.
+func buildPlan(dir string, budget float64, benchPath string) (*costmodel.Plan, error) {
+	// Loader patterns are module-relative: turn the target directory
+	// into one so the plan covers the package being instrumented (plus
+	// its module-internal dependencies), not the module root.
+	pattern := "."
+	if abs, err := filepath.Abs(dir); err == nil {
+		if modDir, _, err := analysis.FindModule(abs); err == nil {
+			if rel, err := filepath.Rel(modDir, abs); err == nil {
+				pattern = "./" + filepath.ToSlash(rel)
+			}
+		}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir}, pattern)
+	if err != nil {
+		return nil, err
+	}
+	g, err := callgraph.Build(pkgs, callgraph.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m := costmodel.Analyze(g, costmodel.Options{})
+	hooks := DefaultHooks(dir, benchPath)
+	return m.BuildPlan(costmodel.PlanOptions{Budget: budget, Hooks: hooks}), nil
+}
+
+// DefaultHooks resolves hook costs: an explicit -hookbench file, else
+// the module root's committed BENCH_instrument.json, else the built-in
+// defaults.
+func DefaultHooks(dir, benchPath string) costmodel.HookCosts {
+	if benchPath == "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if modDir, _, err := analysis.FindModule(abs); err == nil {
+				benchPath = filepath.Join(modDir, "BENCH_instrument.json")
+			}
+		}
+	}
+	if benchPath != "" {
+		if hc, err := costmodel.LoadHookCosts(benchPath); err == nil {
+			return hc
+		}
+	}
+	return costmodel.DefaultHookCosts
+}
+
+// writePlan renders the plan to path, stdout for "-".
+func writePlan(p *costmodel.Plan, path string) error {
+	if path != "-" {
+		return p.WriteJSON(path)
+	}
+	raw, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(raw, '\n'))
+	return err
 }

@@ -36,7 +36,44 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
 	// Run inspects one package and reports findings via pass.Report.
+	// Exactly one of Run and RunProgram must be set.
 	Run func(pass *Pass) error
+	// RunProgram inspects the whole loaded package set at once. Passes
+	// whose invariant spans package boundaries (lock-acquisition order,
+	// goroutine lifecycles through cross-package helpers) use this form;
+	// the driver calls it exactly once per Run invocation.
+	RunProgram func(pass *ProgramPass) error
+}
+
+// Program is the whole loaded package set handed to program-wide
+// analyzers. All packages share one FileSet (the loader's).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Package returns the loaded package with the given import path, nil if
+// absent.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.PkgPath == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// ProgramPass carries the whole program to a program-wide Analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Report records one diagnostic; the driver filters ignored sites.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // Pass carries one package's syntax and type information to an Analyzer.
@@ -85,6 +122,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue // program-wide analyzer; handled below
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -102,6 +142,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		// Program-wide analyzers see the whole set once, with every
+		// package's ignore directives in effect.
+		var allIgnores []ignoreSet
+		for _, pkg := range pkgs {
+			allIgnores = append(allIgnores, collectIgnores(pkg))
+		}
+		prog := &Program{Fset: pkgs[0].Fset, Pkgs: pkgs}
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			name := a.Name
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			pass.Report = func(d Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				for _, ig := range allIgnores {
+					if ig.suppressed(name, pos) {
+						return
+					}
+				}
+				findings = append(findings, Finding{Position: pos, Analyzer: name, Message: d.Message})
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("analysis %s: %w", a.Name, err)
 			}
 		}
 	}

@@ -1,0 +1,86 @@
+// Package edge exercises the call-graph corners: method values,
+// generic instantiations, mutual recursion and interface dispatch with
+// zero, one and many implementers.
+package edge
+
+// --- mutual recursion: ping and pong must land in one SCC and the
+// cost propagation must converge rather than chase the cycle.
+
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return Ping(n - 1)
+}
+
+// --- method values: the call through f must resolve to (*Counter).Inc.
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func UseMethodValue(c *Counter) {
+	f := c.Inc
+	for i := 0; i < 8; i++ {
+		f()
+	}
+}
+
+// --- generic instantiation: Apply[int] and Apply[string] share one
+// declared node; the call edge must exist regardless of type args.
+
+func Apply[T any](v T, f func(T) T) T {
+	return f(f(v))
+}
+
+func double(x int) int      { return x * 2 }
+func shout(s string) string { return s + "!" }
+
+func UseGenerics() (int, string) {
+	return Apply(21, double), Apply("hey", shout)
+}
+
+// --- interface dispatch.
+
+// Lonely has exactly one implementer: the call site devirtualizes to it.
+type Lonely interface{ Solo() int }
+
+type onlyImpl struct{}
+
+func (onlyImpl) Solo() int { return 1 }
+
+func CallLonely(l Lonely) int { return l.Solo() }
+
+// Crowded has three implementers: the site fans out to all of them.
+type Crowded interface{ Pick() int }
+
+type implA struct{}
+type implB struct{}
+type implC struct{}
+
+func (implA) Pick() int { return 1 }
+func (implB) Pick() int { return 2 }
+func (implC) Pick() int { return 3 }
+
+func CallCrowded(c Crowded) int { return c.Pick() }
+
+// Orphan has no implementer anywhere in the load set: the site stays
+// dynamic (no devirtualized targets, charged as external work).
+type Orphan interface{ Nobody() }
+
+func CallOrphan(o Orphan) { o.Nobody() }
+
+// keep the implementers reachable so they aren't dead roots
+var (
+	_ = onlyImpl{}.Solo
+	_ = implA{}.Pick
+	_ = implB{}.Pick
+	_ = implC{}.Pick
+)

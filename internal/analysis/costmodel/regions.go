@@ -1,0 +1,225 @@
+package costmodel
+
+import (
+	"sort"
+
+	"tempest/internal/analysis/callgraph"
+)
+
+// binding is one resolved argument flowing into a callee: a string
+// value (region names) or a function with the environment it captured.
+type binding struct {
+	str *callgraph.StrArg // ArgConst or ArgList only
+	fn  *fnBinding
+}
+
+// fnBinding pairs a function value with its lexical environment, so a
+// closure handed through a wrapper still resolves the names and
+// callbacks it captured at its definition site.
+type fnBinding struct {
+	node *callgraph.Node
+	env  map[int]binding
+}
+
+// RegionCost is one named instrumentation region's predicted weight.
+type RegionCost struct {
+	Name string
+	Cost float64
+}
+
+// RegionCosts replays the item trees from the given root IDs with full
+// context sensitivity — string and function arguments are bound at each
+// call site and carried down the chain — and attributes loop-weighted
+// work to the innermost enclosing named region, the static analogue of
+// a measured profile's exclusive-time ranking. Work outside any region
+// lands under "".
+func (m *Model) RegionCosts(rootIDs []string) []RegionCost {
+	w := &regionWalker{m: m, acc: map[string]float64{}, stack: map[*callgraph.Node]bool{}}
+	for _, id := range rootIDs {
+		if n := m.Graph.Lookup(id); n != nil {
+			w.walkNode(n, nil, "", 1, 0)
+		}
+	}
+	out := make([]RegionCost, 0, len(w.acc))
+	for name, cost := range w.acc {
+		out = append(out, RegionCost{Name: name, Cost: cost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+type regionWalker struct {
+	m     *Model
+	acc   map[string]float64
+	stack map[*callgraph.Node]bool
+	steps int
+}
+
+func (w *regionWalker) walkNode(n *callgraph.Node, env map[int]binding, region string, mult float64, depth int) {
+	if depth > w.m.Opts.MaxWalkDepth || w.steps > w.m.Opts.MaxWalkSteps || w.stack[n] {
+		return
+	}
+	if n.External || n.Items == nil {
+		w.acc[region] += w.m.Opts.ExtCallCost * mult
+		return
+	}
+	w.stack[n] = true
+	w.walkItem(n.Items, n, env, region, mult, depth)
+	delete(w.stack, n)
+}
+
+func (w *regionWalker) walkItem(it *callgraph.Item, n *callgraph.Node, env map[int]binding, region string, mult float64, depth int) {
+	w.steps++
+	if w.steps > w.m.Opts.MaxWalkSteps {
+		return
+	}
+	switch it.Kind {
+	case callgraph.ItemGroup:
+		for _, c := range it.Children {
+			w.walkItem(c, n, env, region, mult, depth)
+		}
+	case callgraph.ItemWork:
+		w.acc[region] += it.Cost * w.m.weight(it.Depth) * mult
+	case callgraph.ItemRegion:
+		names, share := w.resolveNames(it.Name, env)
+		if len(names) == 0 {
+			names, share = []string{region}, 1 // unresolved: stay in the outer region
+		}
+		for _, name := range names {
+			for _, c := range it.Children {
+				w.walkItem(c, n, env, name, mult*share, depth)
+			}
+		}
+	case callgraph.ItemCall:
+		if it.Bound {
+			return // synthesized for the context-free phases; the walk rebinds itself
+		}
+		wd := w.m.weight(it.Depth)
+		cenv := w.bindArgs(it, env)
+		switch {
+		case it.Callee != nil && !it.Callee.External:
+			callee := cenv
+			if it.Callee.Lit() {
+				// Direct closure call: the literal sees the current
+				// lexical environment under its own arguments.
+				callee = overlay(env, cenv)
+			}
+			w.walkNode(it.Callee, callee, region, mult*wd, depth+1)
+		case it.Callee != nil: // external
+			w.acc[region] += w.m.Opts.ExtCallCost * wd * mult
+			w.walkBindings(cenv, region, mult*wd, depth)
+		case it.ParamCallee >= 0:
+			if b, ok := env[it.ParamCallee]; ok && b.fn != nil {
+				w.walkNode(b.fn.node, overlay(b.fn.env, cenv), region, mult*wd, depth+1)
+			} else {
+				w.acc[region] += w.m.Opts.ExtCallCost * wd * mult
+			}
+		case len(it.Targets) > 0:
+			share := mult * wd / float64(len(it.Targets))
+			for _, t := range it.Targets {
+				w.walkNode(t, cenv, region, share, depth+1)
+			}
+		default:
+			// Unresolved call holding resolvable callbacks: assume it
+			// invokes them at the external default depth.
+			w.acc[region] += w.m.Opts.ExtCallCost * wd * mult
+			w.walkBindings(cenv, region, mult*wd, depth)
+		}
+	}
+}
+
+// walkBindings runs the function bindings handed to an external or
+// unresolved callee, at the configured external callback depth.
+func (w *regionWalker) walkBindings(cenv map[int]binding, region string, mult float64, depth int) {
+	extW := w.m.weight(w.m.Graph.Opts.ExternalParamDepth)
+	// Deterministic order.
+	idxs := make([]int, 0, len(cenv))
+	for i := range cenv {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if b := cenv[i]; b.fn != nil {
+			w.walkNode(b.fn.node, b.fn.env, region, mult*extW, depth+1)
+		}
+	}
+}
+
+// bindArgs resolves a call site's string and function arguments against
+// the current environment into the callee's environment.
+func (w *regionWalker) bindArgs(it *callgraph.Item, env map[int]binding) map[int]binding {
+	if len(it.StrArgs) == 0 && len(it.FuncArgs) == 0 {
+		return nil
+	}
+	cenv := map[int]binding{}
+	for i, sa := range it.StrArgs {
+		if r, ok := resolveStr(sa, env); ok {
+			cenv[i] = binding{str: &r}
+		}
+	}
+	for i, fa := range it.FuncArgs {
+		switch {
+		case fa.Node != nil:
+			cenv[i] = binding{fn: &fnBinding{node: fa.Node, env: env}}
+		case fa.Param >= 0:
+			if b, ok := env[fa.Param]; ok && b.fn != nil {
+				cenv[i] = b
+			}
+		}
+	}
+	return cenv
+}
+
+// resolveStr reduces a StrArg to ArgConst or ArgList using the
+// environment for parameter references.
+func resolveStr(sa callgraph.StrArg, env map[int]binding) (callgraph.StrArg, bool) {
+	switch sa.Kind {
+	case callgraph.ArgConst, callgraph.ArgList:
+		return sa, true
+	case callgraph.ArgParam:
+		if b, ok := env[sa.Param]; ok && b.str != nil {
+			return *b.str, true
+		}
+	}
+	return callgraph.StrArg{}, false
+}
+
+// resolveNames turns a region-name argument into concrete names plus
+// the cost share each receives (a range list splits evenly: the loop's
+// weight already covers the repetition).
+func (w *regionWalker) resolveNames(sa callgraph.StrArg, env map[int]binding) ([]string, float64) {
+	r, ok := resolveStr(sa, env)
+	if !ok {
+		return nil, 0
+	}
+	switch r.Kind {
+	case callgraph.ArgConst:
+		return []string{r.Value}, 1
+	case callgraph.ArgList:
+		return r.List, 1 / float64(len(r.List))
+	}
+	return nil, 0
+}
+
+// overlay layers over on top of base without mutating either.
+func overlay(base, over map[int]binding) map[int]binding {
+	if len(over) == 0 {
+		return base
+	}
+	if len(base) == 0 {
+		return over
+	}
+	out := make(map[int]binding, len(base)+len(over))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range over {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package goroleak flags goroutines launched with no visible
+// termination path. A long-lived goroutine should be observably
+// stoppable — a select on a done/context channel, a channel receive
+// that ends when the sender closes, a return on error — and Tempest's
+// collector, shipper and store daemons all follow that shape. What this
+// pass catches is the goroutine that cannot stop:
+//
+//   - `go f()` where the spawned body (or a function it statically
+//     calls, to a small depth) contains an unconditional `for { … }`
+//     whose body has no return, no break out of the loop, no select,
+//     no channel receive and no panic — it spins or works forever;
+//   - a bare `select {}`, which blocks forever by construction.
+//
+// The check runs program-wide so a spawn in one package is followed
+// into the helper it calls in another. WaitGroup.Done, counters and
+// logging inside such a loop do not make it stoppable and do not
+// silence the finding; a sanctioned forever-goroutine (a daemon that is
+// meant to die with the process) carries
+// `//tempest:ignore goroleak <rationale>`.
+package goroleak
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"tempest/internal/analysis"
+)
+
+// Analyzer implements the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "goroutines must have a visible termination path: an unconditional loop with no " +
+		"return/break/select/receive (or a bare select{}) runs forever",
+	RunProgram: runProgram,
+}
+
+// maxCallDepth bounds how far the checker follows static calls out of
+// the spawned body.
+const maxCallDepth = 3
+
+func runProgram(pass *analysis.ProgramPass) error {
+	c := &checker{
+		bodies: map[*types.Func]*body{},
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						c.bodies[obj] = &body{block: fd.Body, pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c.checkSpawn(pass, pkg, g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// body pairs a function body with the package whose type info covers it.
+type body struct {
+	block *ast.BlockStmt
+	pkg   *analysis.Package
+}
+
+type checker struct {
+	bodies map[*types.Func]*body
+}
+
+// checkSpawn resolves the spawned function and reports if it hangs.
+func (c *checker) checkSpawn(pass *analysis.ProgramPass, pkg *analysis.Package, g *ast.GoStmt) {
+	var b *body
+	where := ""
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		b = &body{block: fun.Body, pkg: pkg}
+	default:
+		obj := calleeObj(pkg, g.Call)
+		if obj == nil {
+			return
+		}
+		db, ok := c.bodies[obj]
+		if !ok {
+			return
+		}
+		b = db
+		where = " in " + obj.Name()
+	}
+	if hang := c.findHang(b, 0, map[*types.Func]bool{}); hang != nil {
+		pass.Reportf(g.Pos(), "goroutine has no visible termination path: %s%s never returns, breaks, selects or receives",
+			hang.what, where)
+	}
+}
+
+// hangSite describes the blocking construct found.
+type hangSite struct {
+	pos  token.Pos
+	what string
+}
+
+// findHang scans a body for an unguarded infinite loop or a bare
+// select{}, following static calls up to maxCallDepth.
+func (c *checker) findHang(b *body, depth int, seen map[*types.Func]bool) *hangSite {
+	var found *hangSite
+	ast.Inspect(b.block, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested literal only blocks where it is called
+		case *ast.GoStmt:
+			return false // a nested spawn is checked at its own go statement
+		case *ast.SelectStmt:
+			if len(v.Body.List) == 0 {
+				found = &hangSite{pos: v.Pos(), what: "a bare select{}"}
+				return false
+			}
+		case *ast.ForStmt:
+			if !infiniteCond(b.pkg, v.Cond) {
+				return true
+			}
+			if !hasTerminator(v.Body) {
+				found = &hangSite{pos: v.Pos(), what: "an unconditional for loop"}
+				return false
+			}
+		case *ast.CallExpr:
+			if depth >= maxCallDepth {
+				return true
+			}
+			obj := calleeObj(b.pkg, v)
+			if obj == nil || seen[obj] {
+				return true
+			}
+			if cb, ok := c.bodies[obj]; ok {
+				seen[obj] = true
+				if h := c.findHang(cb, depth+1, seen); h != nil {
+					found = &hangSite{pos: v.Pos(), what: h.what + " (via " + obj.Name() + ")"}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// infiniteCond reports whether the loop condition is absent or the
+// constant true.
+func infiniteCond(pkg *analysis.Package, cond ast.Expr) bool {
+	if cond == nil {
+		return true
+	}
+	tv, ok := pkg.TypesInfo.Types[cond]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+// hasTerminator reports whether a loop body contains a way out or a
+// wait point: return, a break binding to this loop, goto, select, a
+// channel receive, ranging over a channel, or panic.
+func hasTerminator(loopBody *ast.BlockStmt) bool {
+	has := false
+	// breakable counts the for/switch/select statements between the
+	// loop body and a plain break, which would capture it.
+	var walk func(n ast.Node, breakable int)
+	walk = func(n ast.Node, breakable int) {
+		if has || n == nil {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return // returns/receives inside a literal do not exit the loop
+		case *ast.ReturnStmt:
+			has = true
+			return
+		case *ast.BranchStmt:
+			switch v.Tok {
+			case token.BREAK:
+				if v.Label != nil || breakable == 0 {
+					has = true
+				}
+			case token.GOTO:
+				has = true
+			}
+			return
+		case *ast.SelectStmt:
+			has = true
+			return
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				has = true
+				return
+			}
+		case *ast.RangeStmt:
+			// Ranging a channel is a receive; ranging anything else is an
+			// inner loop (breakable for plain break).
+			walk(v.X, breakable)
+			walk(v.Body, breakable+1)
+			return
+		case *ast.ForStmt:
+			walk(v.Init, breakable)
+			walk(v.Cond, breakable)
+			walk(v.Post, breakable)
+			walk(v.Body, breakable+1)
+			return
+		case *ast.SwitchStmt:
+			walk(v.Init, breakable)
+			walk(v.Tag, breakable)
+			walk(v.Body, breakable+1)
+			return
+		case *ast.TypeSwitchStmt:
+			walk(v.Init, breakable)
+			walk(v.Assign, breakable)
+			walk(v.Body, breakable+1)
+			return
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				has = true
+				return
+			}
+		}
+		children(n, func(ch ast.Node) { walk(ch, breakable) })
+	}
+	walk(loopBody, 0)
+	return has
+}
+
+// calleeObj resolves a call to its declared function object, nil when
+// dynamic.
+func calleeObj(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := pkg.TypesInfo.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[fun]; ok {
+			obj, _ := sel.Obj().(*types.Func)
+			return obj
+		}
+		obj, _ := pkg.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// children invokes fn for each immediate child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"tempest/internal/analysis/analysistest"
+	"tempest/internal/analysis/passes/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "a")
+}

@@ -1,0 +1,163 @@
+// Package a seeds goroutine-leak violations for the goroleak pass.
+package a
+
+import "sync"
+
+// Spin loops forever with no way out: the classic busy worker leak.
+func Spin(counter *int) {
+	go func() { // want `goroutine has no visible termination path: an unconditional for loop`
+		for {
+			*counter++
+		}
+	}()
+}
+
+// Block parks forever on a bare select.
+func Block() {
+	go func() { // want `goroutine has no visible termination path: a bare select\{\}`
+		select {}
+	}()
+}
+
+// pump has the infinite loop in a named function the goroutine calls.
+func pump(out []int) {
+	for {
+		out = append(out, len(out))
+	}
+}
+
+func StartPump(out []int) {
+	go pump(out) // want `goroutine has no visible termination path: an unconditional for loop in pump`
+}
+
+// relayInner hides the loop one call deeper; the checker follows static
+// calls.
+func relayInner() {
+	for i := 0; ; i++ {
+		_ = i * i
+	}
+}
+
+func relay() {
+	relayInner()
+}
+
+func StartRelay() {
+	go relay() // want `goroutine has no visible termination path: an unconditional for loop \(via relayInner\) in relay`
+}
+
+// ForTrue: a constant-true condition is still an infinite loop.
+func ForTrue(counter *int) {
+	go func() { // want `goroutine has no visible termination path: an unconditional for loop`
+		for true {
+			*counter++
+		}
+	}()
+}
+
+// BreakInSwitch: the break binds to the switch, not the loop — the loop
+// still runs forever.
+func BreakInSwitch(counter *int) {
+	go func() { // want `goroutine has no visible termination path: an unconditional for loop`
+		for {
+			switch *counter {
+			case 0:
+				break
+			default:
+				*counter++
+			}
+		}
+	}()
+}
+
+// --- negatives: all of these have a visible termination path ---
+
+// SelectLoop is the sanctioned daemon shape: select on a done channel.
+func SelectLoop(work <-chan int, done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Drain ends when the sender closes the channel.
+func Drain(ch <-chan int, sum *int) {
+	go func() {
+		for v := range ch {
+			*sum += v
+		}
+	}()
+}
+
+// Receive waits on a channel inside the loop.
+func Receive(ch <-chan int, sum *int) {
+	go func() {
+		for {
+			*sum += <-ch
+		}
+	}()
+}
+
+// Bounded terminates by its own condition.
+func Bounded(n int, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// BreakOut leaves the loop with a plain break bound to it.
+func BreakOut(counter *int) {
+	go func() {
+		for {
+			if *counter > 10 {
+				break
+			}
+			*counter++
+		}
+	}()
+}
+
+// LabeledBreak leaves through an outer label from inside a switch.
+func LabeledBreak(counter *int) {
+	go func() {
+	loop:
+		for {
+			switch *counter {
+			case 0:
+				break loop
+			default:
+				*counter++
+			}
+		}
+	}()
+}
+
+// Panics is observable: it crashes rather than silently leaking.
+func Panics(counter *int) {
+	go func() {
+		for {
+			if *counter < 0 {
+				panic("negative")
+			}
+			*counter++
+		}
+	}()
+}
+
+// Sanctioned forever-goroutine, documented and ignored.
+func Heartbeat(counter *int) {
+	//tempest:ignore goroleak heartbeat is meant to live for the whole process
+	go func() {
+		for {
+			*counter++
+		}
+	}()
+}

@@ -1,0 +1,116 @@
+// Package a seeds lock-ordering violations for the lockorder pass.
+package a
+
+import "sync"
+
+// Registry and Journal hold the two struct-field locks the cycle runs
+// through.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type Journal struct {
+	mu      sync.RWMutex
+	entries []string
+}
+
+// Consistent order: Registry.mu then Journal.mu — the baseline the
+// reversed functions below conflict with.
+func MoveEntry(r *Registry, j *Journal, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.mu.Lock() // want `a\.Journal\.mu acquired while holding a\.Registry\.mu.*potential deadlock cycle`
+	defer j.mu.Unlock()
+	r.items[k] = len(j.entries)
+}
+
+// Reversed order: Journal.mu then Registry.mu — with MoveEntry above,
+// a cycle.
+func Reindex(r *Registry, j *Journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.mu.Lock() // want `a\.Registry\.mu acquired while holding a\.Journal\.mu.*potential deadlock cycle`
+	defer r.mu.Unlock()
+	for k := range r.items {
+		j.entries = append(j.entries, k)
+	}
+}
+
+// Sequential acquisition — Unlock before the next Lock — orders nothing
+// and must stay silent.
+func Sequential(r *Registry, j *Journal) {
+	j.mu.Lock()
+	j.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// Self-deadlock: re-acquiring an exclusive lock already held.
+func Recount(r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `a\.Registry\.mu acquired while already held.*self-deadlock`
+	defer r.mu.Unlock()
+}
+
+// Nested RLock is shared: many readers may hold it at once.
+func Snapshot(j *Journal) int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.entries)
+}
+
+// Indirect cycle: Flush locks Journal.mu and then calls appendItem,
+// which locks Registry.mu — the transitive edge Journal.mu →
+// Registry.mu conflicts with MoveEntry's direct order.
+func Flush(r *Registry, j *Journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	appendItem(r, "flushed") // want `a\.Registry\.mu acquired through call to a\.appendItem while holding a\.Journal\.mu`
+}
+
+func appendItem(r *Registry, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k]++
+}
+
+// globalMu orders against struct locks the same way.
+var globalMu sync.Mutex
+
+func Audit(r *Registry) {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	r.mu.Lock() // want `a\.Registry\.mu acquired while holding a\.globalMu.*potential deadlock cycle`
+	defer r.mu.Unlock()
+}
+
+func Rebalance(r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	globalMu.Lock() // want `a\.globalMu acquired while holding a\.Registry\.mu.*potential deadlock cycle`
+	defer globalMu.Unlock()
+}
+
+// A goroutine body is a separate execution: the spawned Lock below is
+// not "while holding" and must stay silent.
+func Background(r *Registry, j *Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+	}()
+}
+
+// Sanctioned nested acquisition, documented and ignored.
+func Promote(r *Registry, j *Journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//tempest:ignore lockorder promotion is only called from MoveEntry's test with private copies
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}

@@ -4,7 +4,9 @@ package passes
 import (
 	"tempest/internal/analysis"
 	"tempest/internal/analysis/passes/enterexit"
+	"tempest/internal/analysis/passes/goroleak"
 	"tempest/internal/analysis/passes/lockcheck"
+	"tempest/internal/analysis/passes/lockorder"
 	"tempest/internal/analysis/passes/naneq"
 	"tempest/internal/analysis/passes/seqwire"
 	"tempest/internal/analysis/passes/storehash"
@@ -15,7 +17,9 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		enterexit.Analyzer,
+		goroleak.Analyzer,
 		lockcheck.Analyzer,
+		lockorder.Analyzer,
 		naneq.Analyzer,
 		seqwire.Analyzer,
 		storehash.Analyzer,

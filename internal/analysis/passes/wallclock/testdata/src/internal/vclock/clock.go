@@ -20,6 +20,31 @@ func badTicker() *time.Ticker {
 	return time.NewTicker(time.Second) // want `time.NewTicker would tick on the wall clock`
 }
 
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer would tick on the wall clock`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time.After would block on the wall clock`
+}
+
+func badTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick would tick on the wall clock`
+}
+
+func badAfterFunc(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f) // want `time.AfterFunc would schedule on the wall clock`
+}
+
+// Re-arming an existing timer or ticker is as much a wall-clock wait as
+// creating one; Stop stays legal (it reads nothing).
+func badReset(tm *time.Timer, tk *time.Ticker) {
+	tm.Reset(time.Second) // want `time.Timer.Reset would re-arm a wall-clock timer`
+	tk.Reset(time.Second) // want `time.Ticker.Reset would re-arm a wall-clock ticker`
+	tm.Stop()
+	tk.Stop()
+}
+
 // Pure duration arithmetic and formatting stay legal.
 func ok(d time.Duration) string {
 	return (3 * d).String()

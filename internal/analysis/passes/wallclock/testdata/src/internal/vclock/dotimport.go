@@ -1,0 +1,13 @@
+// Dot-imported time hides the package qualifier; the pass must resolve
+// bare identifiers through the type checker to catch these.
+package vclock
+
+import . "time"
+
+func badDotNow() Time {
+	return Now() // want `time.Now would read the wall clock`
+}
+
+func badDotSleep() {
+	Sleep(Millisecond) // want `time.Sleep would block on the wall clock`
+}

@@ -3,10 +3,16 @@
 // runs for equal seeds — rests on every timestamp flowing from a
 // vclock.Clock; a stray time.Now or time.Sleep silently reintroduces
 // host-machine nondeterminism that only shows up as flaky golden tests.
+//
+// The check resolves through the type checker, not syntax: qualified
+// calls (time.Now), dot-imported calls (Now after `import . "time"`)
+// and re-arming methods on timer values ((*time.Timer).Reset,
+// (*time.Ticker).Reset) are all caught.
 package wallclock
 
 import (
 	"go/ast"
+	"go/types"
 
 	"tempest/internal/analysis"
 )
@@ -29,11 +35,18 @@ var banned = map[string]string{
 	"AfterFunc": "schedule on the wall clock",
 }
 
+// bannedMethods are wall-clock methods on time types, keyed
+// "Recv.Method". Stop is allowed: halting a timer reads nothing.
+var bannedMethods = map[string]string{
+	"Timer.Reset":  "re-arm a wall-clock timer",
+	"Ticker.Reset": "re-arm a wall-clock ticker",
+}
+
 // Analyzer implements the wallclock pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc: "forbid time.Now/Since/Sleep and friends in virtual-time packages " +
-		"(internal/cluster, internal/vclock, internal/thermal): simulated runs must be deterministic",
+	Doc: "forbid time.Now/Since/Sleep and friends (including dot-imported forms and Timer/Ticker.Reset) " +
+		"in virtual-time packages (internal/cluster, internal/vclock, internal/thermal): simulated runs must be deterministic",
 	Run: run,
 }
 
@@ -42,23 +55,58 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		// Selector uses are reported at the SelectorExpr; their Sel
+		// idents are remembered so the ident case below doesn't report
+		// the same use twice.
+		asSel := map[*ast.Ident]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			var id *ast.Ident
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				asSel[v.Sel] = true
+				id = v.Sel
+			case *ast.Ident:
+				if asSel[v] {
+					return true
+				}
+				id = v // dot-imported uses resolve through bare idents
+			default:
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
 			if !ok {
 				return true
 			}
-			obj := pass.TypesInfo.Uses[sel.Sel]
-			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			if recv := sig.Recv(); recv != nil {
+				key := recvTypeName(recv.Type()) + "." + fn.Name()
+				if verb, isBanned := bannedMethods[key]; isBanned {
+					pass.Reportf(id.Pos(), "time.%s would %s inside virtual-time package %s; use a vclock.Clock",
+						key, verb, pass.Pkg.Name())
+				}
 				return true
 			}
-			verb, isBanned := banned[obj.Name()]
-			if !isBanned {
-				return true
+			if verb, isBanned := banned[fn.Name()]; isBanned {
+				pass.Reportf(id.Pos(), "time.%s would %s inside virtual-time package %s; use a vclock.Clock",
+					fn.Name(), verb, pass.Pkg.Name())
 			}
-			pass.Reportf(sel.Pos(), "time.%s would %s inside virtual-time package %s; use a vclock.Clock",
-				obj.Name(), verb, pass.Pkg.Name())
 			return true
 		})
 	}
 	return nil
+}
+
+// recvTypeName names a method receiver's base type ("Timer" for
+// *time.Timer).
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
 }

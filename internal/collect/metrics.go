@@ -51,6 +51,7 @@ type Metrics struct {
 	policyRounds      *introspect.Counter // policy evaluation rounds run across all nodes
 	policyDirectives  *introspect.Counter // directives issued (instrumentation set changed)
 	policyThrottles   *introspect.Counter // rounds where the event budget halved the detail allowance
+	policySeeds       *introspect.Counter // nodes cold-started from static priors
 	controlFramesSent *introspect.Counter // control frames written down ship connections
 }
 
@@ -80,6 +81,7 @@ func newMetrics(shards int) *Metrics {
 	m.policyRounds = m.debug.Counter("tempest_collect_policy_rounds_total", "Adaptive-sampling policy evaluation rounds.")
 	m.policyDirectives = m.debug.Counter("tempest_collect_policy_directives_total", "Policy directives issued (per-node instrumentation set changed).")
 	m.policyThrottles = m.debug.Counter("tempest_collect_policy_throttles_total", "Policy rounds where the event budget halved the detail allowance.")
+	m.policySeeds = m.debug.Counter("tempest_collect_policy_seeds_total", "Nodes whose policy was cold-started from static priors.")
 	m.controlFramesSent = m.debug.Counter("tempest_collect_control_frames_sent_total", "Control frames written down ship connections.")
 	return m
 }

@@ -47,6 +47,14 @@ type PolicyOptions struct {
 	// old heat fades so the ranking tracks the workload's present, and
 	// a function must sustain heat to hold a detail slot.
 	Decay float64
+	// StaticPriors seeds every new node's score table with the static
+	// cost model's predictions (function name → static score, any
+	// positive scale) so predicted-hot functions start in detail mode
+	// the moment the node first reports, instead of waiting out the
+	// first measurement round — the cold-start fix. Priors are
+	// normalized to a peak of 1.0 at seeding and then decay like any
+	// other heat, so real degree-seconds take over as rounds complete.
+	StaticPriors map[string]float64
 }
 
 func (p PolicyOptions) withDefaults() PolicyOptions {
@@ -93,6 +101,9 @@ type nodePolicy struct {
 	roundEvents uint64
 	// rounds counts completed evaluation rounds.
 	rounds uint64
+	// seeded marks that static priors were folded into this node's
+	// scores, so the cold-start seeding happens at most once.
+	seeded bool
 	// rev is the last issued directive revision; payload its encoding.
 	// Replayed from the durable store on restart so a reborn collector
 	// re-issues the exact policy its predecessor acked.
@@ -166,9 +177,11 @@ func (sh *shard) evalPolicy(ns *nodeState) *ctlFrame {
 	np := ns.policyState()
 	now := sh.c.opts.Now()
 	if np.lastEval.IsZero() {
-		// First sighting starts the clock; scoring needs one full round.
+		// First sighting starts the clock; scoring needs one full round —
+		// unless static priors are configured, in which case the predicted
+		// hot set goes to detail mode immediately.
 		np.lastEval = now
-		return nil
+		return sh.seedPriors(ns, np, po)
 	}
 	if now.Sub(np.lastEval) < po.Interval {
 		return nil
@@ -263,6 +276,56 @@ func (sh *shard) evalPolicy(ns *nodeState) *ctlFrame {
 	return sh.issueDirective(ns, np)
 }
 
+// seedPriors folds the configured static priors into a fresh node's
+// score table, nominates the predicted top K for detail mode and issues
+// the resulting directive — the cold-start path that replaces the empty
+// first round. Returns nil when no priors are configured or the node
+// was already seeded (directive replay after restart counts: a reborn
+// collector must not clobber its predecessor's converged policy with
+// static guesses).
+func (sh *shard) seedPriors(ns *nodeState, np *nodePolicy, po PolicyOptions) *ctlFrame {
+	if len(po.StaticPriors) == 0 || np.seeded || np.payload != nil {
+		return nil
+	}
+	np.seeded = true
+	peak := 0.0
+	for _, p := range po.StaticPriors {
+		if p > peak {
+			peak = p
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
+	for name, p := range po.StaticPriors {
+		if p > 0 {
+			np.scores[name] = p / peak
+		}
+	}
+	if np.allowed == 0 {
+		np.allowed = po.TopK
+	}
+	type cand struct {
+		name  string
+		score float64
+	}
+	ranked := make([]cand, 0, len(np.scores))
+	for name, sc := range np.scores {
+		ranked = append(ranked, cand{name, sc})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	for i := 0; i < len(ranked) && i < np.allowed; i++ {
+		np.detail[ranked[i].name] = true
+	}
+	sh.c.metrics.policySeeds.Add(1)
+	return sh.issueDirective(ns, np)
+}
+
 // issueDirective encodes the node's desired set and, if it differs from
 // the last issued directive, bumps the revision and persists it so a
 // restarted collector re-issues the same policy. Returns the frame to
@@ -341,6 +404,9 @@ type PolicyStatus struct {
 	Allowed int    `json:"allowed"`
 	Rounds  uint64 `json:"rounds"`
 	Tracked int    `json:"tracked"`
+	// Seeded reports whether this node's scores were cold-started from
+	// static priors.
+	Seeded bool `json:"seeded"`
 }
 
 // policyStatus snapshots one node's policy state for the API.
@@ -354,6 +420,7 @@ func (ns *nodeState) policyStatus() PolicyStatus {
 	st.Allowed = np.allowed
 	st.Rounds = np.rounds
 	st.Tracked = len(np.scores)
+	st.Seeded = np.seeded
 	for name := range np.detail {
 		st.Detail = append(st.Detail, PolicyFunc{Name: name, Score: np.scores[name]})
 	}

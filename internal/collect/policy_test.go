@@ -517,3 +517,73 @@ func TestShipperCorruptControlRedialsWithoutLosingFrames(t *testing.T) {
 		t.Fatalf("profile diverged after corrupt-control redial:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestPolicyStaticPriorSeeding pins the cold-start fix: with static
+// priors configured, a node's very first sighting yields an immediate
+// directive putting the predicted-hot set in detail mode, and real
+// measurement rounds then take over from the decayed priors.
+func TestPolicyStaticPriorSeeding(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{Shards: 1, Now: clk.Now, Policy: PolicyOptions{
+		Enabled: true, TopK: 2, Interval: 100 * time.Millisecond, HysteresisRounds: 1,
+		StaticPriors: map[string]float64{
+			"predictedHot":  9.5e8,
+			"predictedWarm": 3.2e8,
+			"predictedCold": 1.1e5,
+		},
+	}})
+	defer c.Close()
+	const node = 3
+	sh := c.shardFor(node)
+	pd := &policyDriver{t: t, sh: sh, node: node}
+
+	// First sighting: no measurements yet, but the priors produce rev 1
+	// with the predicted top-2 in detail mode.
+	ctl := pd.coarse(nil)
+	if ctl == nil {
+		t.Fatal("no directive on first sighting despite static priors")
+	}
+	if ctl.rev != 1 {
+		t.Fatalf("seed directive rev = %d, want 1", ctl.rev)
+	}
+	d, err := decodeControl(ctl.payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := funcNames(d); !reflect.DeepEqual(names, []string{"predictedHot", "predictedWarm"}) {
+		t.Fatalf("seeded detail set = %v, want [predictedHot predictedWarm]", names)
+	}
+
+	st := c.PolicyStatuses()[0]
+	if !st.Seeded {
+		t.Fatalf("status not marked seeded: %+v", st)
+	}
+
+	// The workload disagrees with the prediction: one unpredicted
+	// function dominates. Normalized priors (peak 1.0) decay under real
+	// degree-seconds, so measurement wins within the hysteresis window.
+	measured := []instrument.CoarseStat{{Name: "actualHot", Calls: 50, Nanos: int64(4 * time.Second)}}
+	var last instrument.Directive
+	for i := 0; i < 4; i++ {
+		clk.Advance(150 * time.Millisecond)
+		if ctl := pd.coarse(measured); ctl != nil {
+			if last, err = decodeControl(ctl.payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names := funcNames(last)
+	if len(names) == 0 || names[0] != "actualHot" {
+		t.Fatalf("measurement did not take over from priors: final detail set %v", names)
+	}
+	for _, n := range names {
+		if n == "predictedCold" {
+			t.Fatalf("low prior promoted to detail: %v", names)
+		}
+	}
+
+	// A second sighting of the same node must not re-seed.
+	if got := c.metrics.policySeeds.Value(); got != 1 {
+		t.Fatalf("policySeeds = %d, want 1", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"tempest/internal/analysis"
+	"tempest/internal/analysis/costmodel"
 )
 
 // DefaultBuildTag selects instrumented twins in in-place mode.
@@ -71,6 +72,11 @@ type Options struct {
 	// package's module-derived import path, falling back to the
 	// directory base name).
 	PkgPath string
+	// Plan, when non-nil, lets the static cost model drive per-function
+	// decisions: symbols the plan marks "skip" get no prologue at all,
+	// and "coarse" symbols are instrumented but registered with a
+	// coarse-mode override so they only maintain call/time buckets.
+	Plan *costmodel.Plan
 }
 
 // OutFile is one file the rewrite wants on disk.
@@ -91,6 +97,10 @@ type Result struct {
 	PkgPath string
 	// Funcs lists the instrumented symbols in slot order.
 	Funcs []string
+	// Coarse lists the subset of Funcs the plan demoted to coarse mode.
+	Coarse []string
+	// Skipped lists symbols the plan left uninstrumented.
+	Skipped []string
 	// Files are the outputs to write, in deterministic order.
 	Files []OutFile
 }
@@ -149,11 +159,12 @@ func Instrument(dir string, opts Options) (*Result, error) {
 			skippedOwn++
 			continue
 		}
-		rewritten, symbols, err := rewriteFile(fset, f, src, res.PkgName, opts, &slot)
+		rewritten, symbols, fileSkipped, err := rewriteFile(fset, f, src, res.PkgName, opts, &slot)
 		if err != nil {
 			return nil, err
 		}
 		res.Funcs = append(res.Funcs, symbols...)
+		res.Skipped = append(res.Skipped, fileSkipped...)
 		switch {
 		case opts.OutDir != "":
 			// Copy mode ships every file so the output is a complete
@@ -191,6 +202,13 @@ func Instrument(dir string, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("instrumenter: no functions in %s match the filter", dir)
 	}
 
+	if opts.Plan != nil {
+		for _, fn := range res.Funcs {
+			if opts.Plan.Mode(fn) == "coarse" {
+				res.Coarse = append(res.Coarse, fn)
+			}
+		}
+	}
 	reg, err := registrationFile(res, opts)
 	if err != nil {
 		return nil, err
@@ -225,13 +243,13 @@ func Apply(res *Result) error {
 // rewriteFile splices Trace prologues into f. It returns the new
 // content (nil when no function was instrumented) and the instrumented
 // symbols in declaration order, advancing *slot across files.
-func rewriteFile(fset *token.FileSet, f *ast.File, src []byte, pkgName string, opts Options, slot *int) ([]byte, []string, error) {
+func rewriteFile(fset *token.FileSet, f *ast.File, src []byte, pkgName string, opts Options, slot *int) ([]byte, []string, []string, error) {
 	type splice struct {
 		offset int
 		text   string
 	}
 	var splices []splice
-	var symbols []string
+	var symbols, skipped []string
 
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
@@ -243,6 +261,10 @@ func rewriteFile(fset *token.FileSet, f *ast.File, src []byte, pkgName string, o
 			continue
 		}
 		if opts.Exclude != nil && opts.Exclude.MatchString(sym) {
+			continue
+		}
+		if opts.Plan != nil && opts.Plan.Mode(sym) == "skip" {
+			skipped = append(skipped, sym)
 			continue
 		}
 		if hasTracePrologue(fd) {
@@ -257,11 +279,11 @@ func rewriteFile(fset *token.FileSet, f *ast.File, src []byte, pkgName string, o
 		*slot++
 	}
 	if len(splices) == 0 {
-		return nil, nil, nil
+		return nil, nil, skipped, nil
 	}
 
 	if ident := fileDeclares(f, "instrument"); ident {
-		return nil, nil, fmt.Errorf("instrumenter: %s declares or imports the identifier %q, which the injected prologue needs",
+		return nil, nil, nil, fmt.Errorf("instrumenter: %s declares or imports the identifier %q, which the injected prologue needs",
 			fset.Position(f.Pos()).Filename, "instrument")
 	}
 	// Import the runtime package as a standalone decl right after the
@@ -281,9 +303,9 @@ func rewriteFile(fset *token.FileSet, f *ast.File, src []byte, pkgName string, o
 	}
 	formatted, err := format.Source(out)
 	if err != nil {
-		return nil, nil, fmt.Errorf("instrumenter: formatting %s: %w", fset.Position(f.Pos()).Filename, err)
+		return nil, nil, nil, fmt.Errorf("instrumenter: formatting %s: %w", fset.Position(f.Pos()).Filename, err)
 	}
-	return formatted, symbols, nil
+	return formatted, symbols, skipped, nil
 }
 
 // symbolName renders the runtime-style symbol FuncName would report:
@@ -443,6 +465,15 @@ func registrationFile(res *Result, opts Options) ([]byte, error) {
 		fmt.Fprintf(&b, "\t%q,\n", fn)
 	}
 	b.WriteString("})\n")
+	if len(res.Coarse) > 0 {
+		b.WriteString("\n// The static instrumentation plan demotes these functions to coarse\n")
+		b.WriteString("// call/time counting; the override applies at init, before any tracer\n")
+		b.WriteString("// attaches.\nfunc init() {\n\tfor _, fn := range []string{\n")
+		for _, fn := range res.Coarse {
+			fmt.Fprintf(&b, "\t\t%q,\n", fn)
+		}
+		b.WriteString("\t} {\n\t\tinstrument.SetFunctionMode(fn, instrument.ModeCoarse)\n\t}\n}\n")
+	}
 	return format.Source([]byte(b.String()))
 }
 

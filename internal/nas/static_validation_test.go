@@ -1,0 +1,178 @@
+package nas
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/analysis"
+	"tempest/internal/analysis/callgraph"
+	"tempest/internal/analysis/costmodel"
+	"tempest/internal/cluster"
+	"tempest/internal/trace"
+)
+
+// Static-vs-dynamic validation (ISSUE 9 acceptance): the cost model's
+// context-sensitive region walk over the statically built call graph
+// must predict the same hot spots a measured class-S run reports. This
+// is the paper's selective-instrumentation premise made checkable —
+// if the static ranking diverged from measurement, budget-driven
+// instrumentation plans would skip the wrong functions.
+
+// rankSinks identifies cluster.Rank.Enter/Exit as the region sinks the
+// NAS kernels instrument through.
+func rankSinks() []callgraph.RegionSink {
+	return []callgraph.RegionSink{{
+		Enter: "tempest/internal/cluster.(*Rank).Enter",
+		Exit:  "tempest/internal/cluster.(*Rank).Exit",
+	}}
+}
+
+// staticRegionRanking builds the call graph for this package and ranks
+// instrumentation regions reachable from root by predicted cost.
+func staticRegionRanking(t *testing.T, root string) []costmodel.RegionCost {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "../.."}, "./internal/nas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := callgraph.Build(pkgs, callgraph.Options{Sinks: rankSinks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := costmodel.Analyze(g, costmodel.Options{})
+	var out []costmodel.RegionCost
+	for _, r := range m.RegionCosts([]string{root}) {
+		if r.Name != "" { // work outside any region is not a profile line
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// exclusiveTimes computes per-function exclusive (flat) time from raw
+// trace events with a per-lane shadow stack — the measured counterpart
+// of the static region ranking (Profile only records inclusive time).
+func exclusiveTimes(traces []*trace.Trace) map[string]time.Duration {
+	excl := map[string]time.Duration{}
+	for _, tr := range traces {
+		type lane struct {
+			stack []string
+			last  time.Duration
+		}
+		lanes := map[uint32]*lane{}
+		for _, e := range tr.Events {
+			if e.Kind != trace.KindEnter && e.Kind != trace.KindExit {
+				continue
+			}
+			l := lanes[e.Lane]
+			if l == nil {
+				l = &lane{}
+				lanes[e.Lane] = l
+			}
+			if len(l.stack) > 0 {
+				excl[l.stack[len(l.stack)-1]] += e.TS - l.last
+			}
+			l.last = e.TS
+			name, _ := tr.Sym.Name(e.FuncID)
+			if e.Kind == trace.KindEnter {
+				l.stack = append(l.stack, name)
+			} else if len(l.stack) > 0 {
+				l.stack = l.stack[:len(l.stack)-1]
+			}
+		}
+	}
+	return excl
+}
+
+// topMeasured ranks the measured exclusive times, dropping the
+// communication pseudo-functions the static model does not predict.
+func topMeasured(excl map[string]time.Duration) []string {
+	type kv struct {
+		name string
+		d    time.Duration
+	}
+	var all []kv
+	for name, d := range excl {
+		if strings.HasPrefix(name, "MPI_") {
+			continue
+		}
+		all = append(all, kv{name, d})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].name < all[j].name
+	})
+	out := make([]string, 0, len(all))
+	for _, e := range all {
+		out = append(out, e.name)
+	}
+	return out
+}
+
+func TestStaticTopKMatchesBTMeasurement(t *testing.T) {
+	static := staticRegionRanking(t, "tempest/internal/nas.RunBTParams")
+	if len(static) < 5 {
+		t.Fatalf("static ranking too short: %v", static)
+	}
+	staticTop := map[string]bool{}
+	for _, r := range static[:5] {
+		staticTop[r.Name] = true
+	}
+
+	c := newBTCluster(t, 4)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunBT(rc, ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := topMeasured(exclusiveTimes(res.Traces))
+	if len(measured) < 5 {
+		t.Fatalf("measured ranking too short: %v", measured)
+	}
+
+	overlap := 0
+	for _, name := range measured[:5] {
+		if staticTop[name] {
+			overlap++
+		}
+	}
+	if overlap < 3 {
+		t.Errorf("static top-5 %v overlaps measured top-5 %v in only %d functions, want ≥3",
+			static[:5], measured[:5], overlap)
+	}
+
+	// The statically predicted hottest region must be measured-hot too:
+	// the axis solves dominate both rankings.
+	if !strings.HasSuffix(static[0].Name, "_solve") {
+		t.Errorf("static hottest region = %q, want one of the axis solves", static[0].Name)
+	}
+}
+
+func TestStaticTopMatchesEPMeasurement(t *testing.T) {
+	static := staticRegionRanking(t, "tempest/internal/nas.RunEPParams")
+	if len(static) == 0 {
+		t.Fatal("no static regions for EP")
+	}
+	if static[0].Name != "ep_kernel" {
+		t.Errorf("static hottest EP region = %q, want ep_kernel", static[0].Name)
+	}
+
+	c := newBTCluster(t, 4)
+	res, err := c.Run(func(rc *cluster.Rank) error {
+		_, err := RunEP(rc, ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := topMeasured(exclusiveTimes(res.Traces))
+	if len(measured) == 0 || measured[0] != "ep_kernel" {
+		t.Errorf("measured hottest EP function = %v, want ep_kernel first", measured)
+	}
+}

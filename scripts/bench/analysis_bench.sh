@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Benchmarks the interprocedural analysis layer over this repository
+# itself and emits BENCH_analysis.json — the committed baseline pinning
+# that static hot-spot prediction stays fast enough to run on every
+# instrumentation pass:
+#
+#   load       analysis.Load over ./... (go list -export + parse + check)
+#   analyze    callgraph.Build + costmodel.Analyze on the loaded packages
+#
+# Both rows record ns/op, B/op and allocs/op. The analyze row is the
+# one the planner's interactive story depends on: -budget/-plan adds
+# one Build+Analyze on top of the load the instrumenter already does.
+#
+# Usage:  scripts/bench/analysis_bench.sh [output.json]
+#   BENCHTIME=5s scripts/bench/analysis_bench.sh    # longer runs
+#
+# The JSON is stable-keyed for diffing; re-run and commit alongside any
+# change that touches internal/analysis/callgraph or costmodel.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+OUT="${1:-BENCH_analysis.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkRepo(Load|Analysis)$' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/analysis/costmodel/)
+echo "$raw" >&2
+
+field() { # field <bench-name> <unit>
+	echo "$raw" | awk -v b="$1" -v u="$2" \
+		'$1 ~ "^"b"(-[0-9]+)?$" { for (i=2; i<NF; i++) if ($(i+1) == u) { print $i; exit } }'
+}
+
+load_ns=$(field BenchmarkRepoLoad ns/op)
+load_bytes=$(field BenchmarkRepoLoad B/op)
+load_allocs=$(field BenchmarkRepoLoad allocs/op)
+an_ns=$(field BenchmarkRepoAnalysis ns/op)
+an_bytes=$(field BenchmarkRepoAnalysis B/op)
+an_allocs=$(field BenchmarkRepoAnalysis allocs/op)
+
+for v in "$load_ns" "$load_bytes" "$load_allocs" "$an_ns" "$an_bytes" "$an_allocs"; do
+	if [ -z "$v" ]; then
+		echo "analysis_bench: missing benchmark result" >&2
+		exit 1
+	fi
+done
+
+goversion=$(go env GOVERSION)
+cat >"$OUT" <<EOF
+{
+  "benchmark": "tempest interprocedural analysis over ./... (this repository)",
+  "go": "$goversion",
+  "benchtime": "$BENCHTIME",
+  "load": {
+    "ns_per_op": $load_ns,
+    "bytes_per_op": $load_bytes,
+    "allocs_per_op": $load_allocs
+  },
+  "analyze": {
+    "ns_per_op": $an_ns,
+    "bytes_per_op": $an_bytes,
+    "allocs_per_op": $an_allocs
+  },
+  "notes": "load = analysis.Load(./...) from a warm build cache (go list -export, parse, type check). analyze = callgraph.Build + costmodel.Analyze on the pre-loaded packages — the increment tempest-instrument -budget pays over a plain instrumentation run."
+}
+EOF
+echo "wrote $OUT" >&2
