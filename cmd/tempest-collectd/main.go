@@ -25,7 +25,13 @@
 // is safe; on restart the store replays into warm profiles and shippers
 // resume where they left off. -retention folds raw history older than
 // the window into compact hot-spot archives (fleet rankings keep their
-// full history; per-sample profiles cover the retained window).
+// full history; per-sample profiles cover the retained window), bucketed
+// by -archive-granule so folded history still answers windowed hot-spot
+// queries. The store is also the query substrate for historical reads:
+// /api/series/{node}?from=&to= rebuilds a node's series over any stored
+// range, /api/hotspots?window=30m ranks the trailing window, and
+// /api/windows/{node} lists the granularities a node's history can be
+// queried at (raw segments vs folded archives).
 // -verify-store walks the chains offline, prints a per-shard report and
 // exits non-zero if any committed history fails to verify (a torn tail
 // on the final segment is indistinguishable from a crash mid-write, so
@@ -48,8 +54,11 @@
 //
 //	curl http://collector:7078/api/nodes
 //	curl http://collector:7078/api/hotspots?k=5
+//	curl 'http://collector:7078/api/hotspots?window=30m'
 //	curl http://collector:7078/api/profile/3?format=text
 //	curl http://collector:7078/api/series/3
+//	curl 'http://collector:7078/api/series/3?from=2026-08-06T12:00:00Z&to=2026-08-06T12:05:00Z'
+//	curl http://collector:7078/api/windows/3
 //	curl http://collector:7078/api/policy
 //	curl http://collector:7078/metrics
 package main
@@ -96,6 +105,7 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	storeDir := fs.String("store-dir", "", "durable store directory: acked ingest survives a crash and is replayed on restart (empty = memory-only)")
 	retention := fs.Duration("retention", 0, "compact raw store history older than this into folded hot-spot archives (0 = keep raw forever)")
 	storeWindow := fs.Duration("store-window", 0, "store segment roll window (0 = default 1h); retention granularity")
+	archiveGranule := fs.Duration("archive-granule", 0, "wall-clock bucket width retention folds archived heat into (0 = store window); finer granules keep compacted history answerable for narrower ?window= queries")
 	verifyStore := fs.Bool("verify-store", false, "verify -store-dir's hash chains end to end, print a report and exit (0 = intact)")
 	debugAddr := fs.String("debug-addr", "", "opt-in debug HTTP address (pprof, /debug/vars, /debug/introspect); keep it loopback")
 	policy := fs.Bool("policy", false, "enable the adaptive-sampling policy engine: rank coarse reports and steer per-function instrumentation on adaptive shippers")
@@ -150,8 +160,9 @@ func run(args []string, out io.Writer, ready chan<- *collect.Collector) error {
 	}
 	c := collect.New(collect.Options{
 		Unit: u, Shards: *shards, Logger: logger,
-		StoreDir:     *storeDir,
-		StoreOptions: store.Options{Retention: *retention, Window: *storeWindow},
+		StoreDir:       *storeDir,
+		StoreOptions:   store.Options{Retention: *retention, Window: *storeWindow},
+		ArchiveGranule: *archiveGranule,
 		Policy: collect.PolicyOptions{
 			Enabled:      *policy,
 			TopK:         *policyTopK,

@@ -18,22 +18,27 @@ import (
 // The checkpoint archive: what retention compaction keeps of raw batches
 // it deletes. Per node it records the ingest cursors a restarted
 // collector needs (resume sequence, cumulative symbol table, segment and
-// event counts) plus the node's per-sensor hot-spot contributions folded
-// over the compacted history. Folds are associative — each compaction
-// merges a window's rankings into the previous archive with the same
-// time-weighted math MergeHotFunctions uses — so however many compactions
-// history passes through, Hotspots answers as if every event were still
-// raw. Full per-sample profiles are the price of retention: /api/profile
-// only reflects events still in raw segments.
+// event counts). The folded hot-spot heat lives in a separate window
+// section: compaction buckets aged-out batches by commit wall clock into
+// granule-aligned windows and ranks each bucket independently, so
+// compacted history still answers time-ranged hot-spot queries at that
+// granularity instead of collapsing into one all-time fold per pass.
+// Folds are associative — merging any set of windows with the same
+// time-weighted math MergeHotFunctions uses reproduces the all-time
+// ranking — so however many compactions history passes through, Hotspots
+// answers as if every event were still raw. Full per-sample profiles are
+// the price of retention: /api/profile only reflects events still in raw
+// segments.
 
 const (
-	archiveVersion = 1
+	archiveVersion   = 2
+	archiveVersionV1 = 1
 	// archiveMaxCount bounds every decoded collection so a corrupt blob
 	// cannot demand absurd allocations.
 	archiveMaxCount = 1 << 24
 )
 
-// archiveNode is one node's compacted state.
+// archiveNode is one node's compacted ingest cursors.
 type archiveNode struct {
 	node      uint32
 	rank      uint32
@@ -41,13 +46,43 @@ type archiveNode struct {
 	segments  uint64
 	events    uint64 // events folded into heat (no longer replayable)
 	truncated bool
-	syms      []string                 // cumulative symbol table, dense ids
-	heat      [][]hotspot.FunctionHeat // per sensor id
+	syms      []string // cumulative symbol table, dense ids
 }
 
-// fleetArchive is a whole shard's compacted history, nodes ascending.
+// archiveWindowNode is one node's contribution to one folded window.
+type archiveWindowNode struct {
+	node   uint32
+	events uint64
+	heat   [][]hotspot.FunctionHeat // per sensor id
+}
+
+// archiveWindow is the folded heat of one wall-clock granule
+// [fromWall, toWall). A window with both bounds zero is legacy v1 heat
+// whose bounds were never recorded: it overlaps every query range.
+type archiveWindow struct {
+	fromWall int64
+	toWall   int64
+	nodes    []archiveWindowNode
+}
+
+// legacy reports whether the window predates recorded bounds.
+func (w *archiveWindow) legacy() bool { return w.fromWall == 0 && w.toWall == 0 }
+
+// overlaps reports whether the window intersects the half-open query
+// range [from, to). Legacy windows overlap everything — claiming too
+// much history beats silently dropping it.
+func (w *archiveWindow) overlaps(from, to int64) bool {
+	if w.legacy() {
+		return true
+	}
+	return w.fromWall < to && w.toWall > from
+}
+
+// fleetArchive is a whole shard's compacted history: per-node cursors,
+// nodes ascending, plus folded heat windows ascending by start time.
 type fleetArchive struct {
-	nodes []*archiveNode
+	nodes   []*archiveNode
+	windows []archiveWindow
 }
 
 // node finds or creates one node's entry.
@@ -63,6 +98,118 @@ func (a *fleetArchive) node(id, rank uint32) *archiveNode {
 	return ent
 }
 
+// find returns one node's entry, nil when the archive never saw it.
+func (a *fleetArchive) find(id uint32) *archiveNode {
+	for _, ent := range a.nodes {
+		if ent.node == id {
+			return ent
+		}
+	}
+	return nil
+}
+
+// addWindow folds one window into the archive. Two compaction passes can
+// legitimately produce the same granule (a bucket split across segments
+// folded at different times); their heat merges associatively instead of
+// duplicating the window.
+func (a *fleetArchive) addWindow(w archiveWindow) {
+	if len(w.nodes) == 0 {
+		return
+	}
+	for i := range a.windows {
+		ex := &a.windows[i]
+		if ex.fromWall != w.fromWall || ex.toWall != w.toWall {
+			continue
+		}
+		for _, wn := range w.nodes {
+			merged := false
+			for j := range ex.nodes {
+				en := &ex.nodes[j]
+				if en.node != wn.node {
+					continue
+				}
+				en.events += wn.events
+				for len(en.heat) < len(wn.heat) {
+					en.heat = append(en.heat, nil)
+				}
+				for sid := range wn.heat {
+					en.heat[sid] = foldFunctionHeat(en.heat[sid], wn.heat[sid])
+				}
+				merged = true
+				break
+			}
+			if !merged {
+				ex.nodes = append(ex.nodes, wn)
+			}
+		}
+		sort.Slice(ex.nodes, func(i, j int) bool { return ex.nodes[i].node < ex.nodes[j].node })
+		return
+	}
+	sort.Slice(w.nodes, func(i, j int) bool { return w.nodes[i].node < w.nodes[j].node })
+	a.windows = append(a.windows, w)
+	sort.Slice(a.windows, func(i, j int) bool {
+		if a.windows[i].fromWall != a.windows[j].fromWall {
+			return a.windows[i].fromWall < a.windows[j].fromWall
+		}
+		return a.windows[i].toWall < a.windows[j].toWall
+	})
+}
+
+// nodeHeat folds every window's contribution for one node — the all-time
+// archived ranking replayArchive seeds Hotspots with.
+func (a *fleetArchive) nodeHeat(id uint32) [][]hotspot.FunctionHeat {
+	var out [][]hotspot.FunctionHeat
+	for _, w := range a.windows {
+		for _, wn := range w.nodes {
+			if wn.node != id {
+				continue
+			}
+			for len(out) < len(wn.heat) {
+				out = append(out, nil)
+			}
+			for sid := range wn.heat {
+				out[sid] = foldFunctionHeat(out[sid], wn.heat[sid])
+			}
+		}
+	}
+	return out
+}
+
+// rangeHeat folds every window overlapping [from, to) for one sensor —
+// the archived half of a time-ranged hot-spot answer, at the folded
+// granularity.
+func (a *fleetArchive) rangeHeat(from, to int64, sensor int) []hotspot.FunctionHeat {
+	var out []hotspot.FunctionHeat
+	for _, w := range a.windows {
+		if !w.overlaps(from, to) {
+			continue
+		}
+		for _, wn := range w.nodes {
+			if sensor >= 0 && sensor < len(wn.heat) {
+				out = foldFunctionHeat(out, wn.heat[sensor])
+			}
+		}
+	}
+	return out
+}
+
+// nodeRangeArchived reports whether [from, to) touches archived history
+// for one node, and how many archived events that overlap covers.
+func (a *fleetArchive) nodeRangeArchived(id uint32, from, to int64) (events uint64, overlap bool) {
+	for _, w := range a.windows {
+		if !w.overlaps(from, to) {
+			continue
+		}
+		for _, wn := range w.nodes {
+			if wn.node == id {
+				overlap = true
+				events += wn.events
+			}
+		}
+	}
+	return events, overlap
+}
+
 // encodeArchive serialises the archive blob (uvarints and LE float bits).
 func encodeArchive(a *fleetArchive) []byte {
 	var buf bytes.Buffer
@@ -73,6 +220,19 @@ func encodeArchive(a *fleetArchive) []byte {
 		buf.Write(scratch[:8])
 	}
 	str := func(s string) { uv(uint64(len(s))); buf.WriteString(s) }
+	heat := func(sensors [][]hotspot.FunctionHeat) {
+		uv(uint64(len(sensors)))
+		for _, sensor := range sensors {
+			uv(uint64(len(sensor)))
+			for _, f := range sensor {
+				str(f.Name)
+				fv(f.AvgTemp)
+				fv(f.MaxTemp)
+				fv(f.TotalTimeS)
+				fv(f.Score)
+			}
+		}
+	}
 
 	uv(archiveVersion)
 	uv(uint64(len(a.nodes)))
@@ -91,24 +251,26 @@ func encodeArchive(a *fleetArchive) []byte {
 		for _, name := range ent.syms {
 			str(name)
 		}
-		uv(uint64(len(ent.heat)))
-		for _, sensor := range ent.heat {
-			uv(uint64(len(sensor)))
-			for _, f := range sensor {
-				str(f.Name)
-				fv(f.AvgTemp)
-				fv(f.MaxTemp)
-				fv(f.TotalTimeS)
-				fv(f.Score)
-			}
+	}
+	uv(uint64(len(a.windows)))
+	for _, w := range a.windows {
+		uv(uint64(w.fromWall))
+		uv(uint64(w.toWall))
+		uv(uint64(len(w.nodes)))
+		for _, wn := range w.nodes {
+			uv(uint64(wn.node))
+			uv(wn.events)
+			heat(wn.heat)
 		}
 	}
 	return buf.Bytes()
 }
 
-// decodeArchive parses an archive blob. A nil or empty blob is an empty
-// archive. The store's hash chain already vouches for integrity, but a
-// dropped-then-rebuilt archive path exists, so every count is bounded.
+// decodeArchive parses an archive blob, v2 or the pre-window v1 layout
+// (whose per-node all-time heat becomes one legacy window with unknown
+// bounds). A nil or empty blob is an empty archive. The store's hash
+// chain already vouches for integrity, but a dropped-then-rebuilt
+// archive path exists, so every count is bounded.
 func decodeArchive(blob []byte) (*fleetArchive, error) {
 	a := &fleetArchive{}
 	if len(blob) == 0 {
@@ -140,15 +302,42 @@ func decodeArchive(blob []byte) (*fleetArchive, error) {
 		}
 		return string(s), nil
 	}
+	readHeat := func(node uint32) ([][]hotspot.FunctionHeat, error) {
+		nsensors, err := uv("sensor count")
+		if err != nil || nsensors > archiveMaxCount {
+			return nil, fmt.Errorf("collect: archive sensor count")
+		}
+		heat := make([][]hotspot.FunctionHeat, nsensors)
+		for sid := uint64(0); sid < nsensors; sid++ {
+			nheat, err := uv("heat count")
+			if err != nil || nheat > archiveMaxCount {
+				return nil, fmt.Errorf("collect: archive heat count")
+			}
+			for h := uint64(0); h < nheat; h++ {
+				f := hotspot.FunctionHeat{Node: node}
+				if f.Name, err = str("heat name"); err != nil {
+					return nil, err
+				}
+				for _, dst := range []*float64{&f.AvgTemp, &f.MaxTemp, &f.TotalTimeS, &f.Score} {
+					if *dst, err = fv("heat value"); err != nil {
+						return nil, err
+					}
+				}
+				heat[sid] = append(heat[sid], f)
+			}
+		}
+		return heat, nil
+	}
 
 	ver, err := binary.ReadUvarint(buf)
-	if err != nil || ver != archiveVersion {
+	if err != nil || (ver != archiveVersion && ver != archiveVersionV1) {
 		return nil, fmt.Errorf("collect: archive version %d", ver)
 	}
 	nNodes, err := uv("node count")
 	if err != nil || nNodes > archiveMaxCount {
 		return nil, fmt.Errorf("collect: archive node count")
 	}
+	var legacy archiveWindow
 	for i := uint64(0); i < nNodes; i++ {
 		ent := &archiveNode{}
 		node, err := uv("node")
@@ -183,30 +372,64 @@ func decodeArchive(blob []byte) (*fleetArchive, error) {
 			}
 			ent.syms = append(ent.syms, name)
 		}
-		nsensors, err := uv("sensor count")
-		if err != nil || nsensors > archiveMaxCount {
-			return nil, fmt.Errorf("collect: archive sensor count")
-		}
-		ent.heat = make([][]hotspot.FunctionHeat, nsensors)
-		for sid := uint64(0); sid < nsensors; sid++ {
-			nheat, err := uv("heat count")
-			if err != nil || nheat > archiveMaxCount {
-				return nil, fmt.Errorf("collect: archive heat count")
+		if ver == archiveVersionV1 {
+			// v1 carried each node's all-time heat inline; it survives as
+			// one shared window whose bounds were never recorded.
+			heat, err := readHeat(ent.node)
+			if err != nil {
+				return nil, err
 			}
-			for h := uint64(0); h < nheat; h++ {
-				f := hotspot.FunctionHeat{Node: ent.node}
-				if f.Name, err = str("heat name"); err != nil {
-					return nil, err
-				}
-				for _, dst := range []*float64{&f.AvgTemp, &f.MaxTemp, &f.TotalTimeS, &f.Score} {
-					if *dst, err = fv("heat value"); err != nil {
-						return nil, err
-					}
-				}
-				ent.heat[sid] = append(ent.heat[sid], f)
+			if len(heat) > 0 {
+				legacy.nodes = append(legacy.nodes, archiveWindowNode{
+					node: ent.node, events: ent.events, heat: heat,
+				})
 			}
 		}
 		a.nodes = append(a.nodes, ent)
+	}
+	if ver == archiveVersionV1 {
+		if len(legacy.nodes) > 0 {
+			a.windows = append(a.windows, legacy)
+		}
+	} else {
+		nWindows, err := uv("window count")
+		if err != nil || nWindows > archiveMaxCount {
+			return nil, fmt.Errorf("collect: archive window count")
+		}
+		for i := uint64(0); i < nWindows; i++ {
+			var w archiveWindow
+			// Bounds are wall-clock nanoseconds — far past uv's allocation
+			// bound — so read them raw like the cursor counters.
+			from, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("collect: archive window from: %w", err)
+			}
+			to, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("collect: archive window to: %w", err)
+			}
+			w.fromWall, w.toWall = int64(from), int64(to)
+			nwn, err := uv("window node count")
+			if err != nil || nwn > archiveMaxCount {
+				return nil, fmt.Errorf("collect: archive window node count")
+			}
+			for j := uint64(0); j < nwn; j++ {
+				var wn archiveWindowNode
+				node, err := uv("window node")
+				if err != nil {
+					return nil, err
+				}
+				wn.node = uint32(node)
+				if wn.events, err = binary.ReadUvarint(buf); err != nil {
+					return nil, fmt.Errorf("collect: archive window events: %w", err)
+				}
+				if wn.heat, err = readHeat(wn.node); err != nil {
+					return nil, err
+				}
+				w.nodes = append(w.nodes, wn)
+			}
+			a.windows = append(a.windows, w)
+		}
 	}
 	if buf.Len() != 0 {
 		return nil, fmt.Errorf("collect: %d trailing archive bytes", buf.Len())
@@ -259,31 +482,107 @@ func foldFunctionHeat(a, b []hotspot.FunctionHeat) []hotspot.FunctionHeat {
 }
 
 // NewCompactor returns the store.Compactor the collector installs:
-// aged-out raw batches are replayed through a throwaway mid-stream
-// Builder per node, ranked by internal/hotspot per sensor, and folded
-// into the previous archive. Deterministic; retains nothing.
-func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compactor {
+// aged-out raw batches are bucketed by commit wall clock into
+// granule-aligned windows, each bucket replayed through a throwaway
+// mid-stream Builder per node and ranked by internal/hotspot per sensor,
+// and the per-window rankings appended to the previous archive. granule
+// <= 0 folds the whole pass into a single window spanning its batches.
+// Deterministic; retains nothing.
+func NewCompactor(unit parser.Unit, sampleInterval, granule time.Duration) store.Compactor {
+	gran := granule.Nanoseconds()
 	return func(prevArchive []byte, batches []store.Batch) ([]byte, error) {
 		arch, err := decodeArchive(prevArchive)
 		if err != nil {
 			return nil, err
 		}
 		type nodeFold struct {
-			ent   *archiveNode
-			sym   *trace.SymTab
+			ent *archiveNode
+			sym *trace.SymTab
+			// Per-bucket state, reset at each window boundary. dead marks a
+			// poisoned builder; decoding continues for the symbol table.
 			b     *parser.Builder
-			dead  bool // builder poisoned; keep decoding for the symbol table
+			dead  bool
 			fresh uint64
 		}
 		folds := map[uint32]*nodeFold{}
 		var order []uint32
 		var scratch []trace.Event
+
+		// curStart/curEnd bound the bucket being folded; flush finishes its
+		// builders into one archiveWindow and resets per-bucket state.
+		var curStart, curEnd int64
+		haveBucket := false
+		flush := func() error {
+			if !haveBucket {
+				return nil
+			}
+			w := archiveWindow{fromWall: curStart, toWall: curEnd}
+			sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+			for _, id := range order {
+				nf := folds[id]
+				if nf.b == nil {
+					continue
+				}
+				np, err := nf.b.Finish()
+				nf.b = nil
+				if err != nil || nf.dead {
+					// A bucket whose builder poisoned contributes cursors but
+					// no heat — the same events poisoned the live builder too.
+					nf.dead = false
+					nf.fresh = 0
+					continue
+				}
+				nf.ent.events += nf.fresh
+				wn := archiveWindowNode{node: id, events: nf.fresh}
+				nf.fresh = 0
+				p := &parser.Profile{Unit: unit, Nodes: []parser.NodeProfile{*np}}
+				wn.heat = make([][]hotspot.FunctionHeat, len(np.Samples))
+				for sid := range np.Samples {
+					hf, err := HotFunctions(p, sid, 0)
+					if err != nil || len(hf) == 0 {
+						continue
+					}
+					wn.heat[sid] = hf
+				}
+				if wn.events > 0 || len(wn.heat) > 0 {
+					w.nodes = append(w.nodes, wn)
+				}
+			}
+			arch.addWindow(w)
+			return nil
+		}
+
 		for _, wb := range batches {
 			if wb.Flags&store.FlagPolicy != 0 {
 				// Policy directives age out with their retention window:
 				// the engine re-converges from live traffic, and a
 				// checkpoint has nowhere to resume a revision counter from.
 				continue
+			}
+			// Window boundary: commit clocks are nondecreasing, so crossing
+			// into a new granule closes the previous bucket.
+			bs, be := wb.WallNano, wb.WallNano+1
+			if gran > 0 {
+				bs = wb.WallNano - wb.WallNano%gran
+				be = bs + gran
+			}
+			switch {
+			case !haveBucket:
+				curStart, curEnd = bs, be
+				haveBucket = true
+			case gran > 0 && bs != curStart:
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				curStart, curEnd = bs, be
+			case gran <= 0:
+				// Single-window pass: the bucket grows to cover every batch.
+				if bs < curStart {
+					curStart = bs
+				}
+				if be > curEnd {
+					curEnd = be
+				}
 			}
 			nf, ok := folds[wb.Node]
 			if !ok {
@@ -292,13 +591,7 @@ func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compacto
 				for _, name := range ent.syms {
 					sym.Register(name)
 				}
-				nf = &nodeFold{
-					ent: ent,
-					sym: sym,
-					b: parser.NewBuilder(wb.Node, sym, parser.Options{
-						Unit: unit, SampleInterval: sampleInterval, MidStream: true,
-					}),
-				}
+				nf = &nodeFold{ent: ent, sym: sym}
 				folds[wb.Node] = nf
 				order = append(order, wb.Node)
 			}
@@ -324,38 +617,26 @@ func NewCompactor(unit parser.Unit, sampleInterval time.Duration) store.Compacto
 			if wb.Flags&store.FlagTruncated != 0 {
 				nf.ent.truncated = true
 			}
-			if !nf.dead {
-				if err := nf.b.Add(ev); err != nil {
-					nf.dead = true
-				} else {
-					nf.fresh += uint64(len(ev))
-				}
+			if nf.dead {
+				continue
 			}
+			if nf.b == nil {
+				nf.b = parser.NewBuilder(wb.Node, nf.sym, parser.Options{
+					Unit: unit, SampleInterval: sampleInterval, MidStream: true,
+				})
+			}
+			if err := nf.b.Add(ev); err != nil {
+				nf.dead = true
+			} else {
+				nf.fresh += uint64(len(ev))
+			}
+		}
+		if err := flush(); err != nil {
+			return nil, err
 		}
 		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 		for _, id := range order {
-			nf := folds[id]
-			nf.ent.syms = nf.sym.Names()
-			np, err := nf.b.Finish()
-			if err != nil {
-				// A window whose builder poisoned contributes cursors but no
-				// heat — the same events poisoned the live builder too.
-				continue
-			}
-			nf.ent.events += nf.fresh
-			p := &parser.Profile{Unit: unit, Nodes: []parser.NodeProfile{*np}}
-			if len(np.Samples) > len(nf.ent.heat) {
-				grown := make([][]hotspot.FunctionHeat, len(np.Samples))
-				copy(grown, nf.ent.heat)
-				nf.ent.heat = grown
-			}
-			for sid := range np.Samples {
-				hf, err := HotFunctions(p, sid, 0)
-				if err != nil || len(hf) == 0 {
-					continue
-				}
-				nf.ent.heat[sid] = foldFunctionHeat(nf.ent.heat[sid], hf)
-			}
+			folds[id].ent.syms = folds[id].sym.Names()
 		}
 		return encodeArchive(arch), nil
 	}

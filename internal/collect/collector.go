@@ -60,6 +60,15 @@ type Options struct {
 	// Retention, SyncEvery). Metrics, Logger, Now and — unless overridden —
 	// Compact are wired by the collector itself.
 	StoreOptions store.Options
+	// ArchiveGranule is the wall-clock bucket width retention compaction
+	// folds aged-out batches into (default: the store's segment Window).
+	// Finer granules keep compacted history answerable for narrower
+	// /api/hotspots?window= queries at the cost of a larger archive.
+	ArchiveGranule time.Duration
+	// WindowCache bounds the per-shard LRU of decoded historical windows
+	// (default 16 entries) so dashboard scrubbing doesn't re-decode the
+	// same raw segments per request.
+	WindowCache int
 	// Policy configures the adaptive-sampling policy engine: when enabled,
 	// the collector ranks each node's coarse instrumentation buckets and
 	// piggybacks per-function enable/disable directives on ship-stream
@@ -79,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
+	}
+	if o.WindowCache <= 0 {
+		o.WindowCache = 16
 	}
 	o.Policy = o.Policy.withDefaults()
 	return o
@@ -145,7 +157,9 @@ type shardReq struct {
 	batch  []trace.Event // opEvents: decoded events (bulk mode)
 	sym    *trace.SymTab // opEvents: table the batch's FuncIDs resolve in
 	trunc  bool          // opFinishBulk
-	sensor int           // opArchHeat
+	sensor int           // opArchHeat, opWindowHeat
+	from   int64         // opWindowHeat, opWindowProfile: wall-clock range
+	to     int64
 	reply  chan shardResp
 }
 
@@ -162,6 +176,9 @@ const (
 	opArchHeat
 	opPolicyStatus
 	opCritPath
+	opWindowHeat
+	opWindowProfile
+	opWindows
 )
 
 // shardResp carries a shard worker's answer.
@@ -181,6 +198,11 @@ type shardResp struct {
 	crit       *critpath.Summary
 	critTracks []critpath.Track
 	critDur    time.Duration
+	// History fields answer opWindowHeat/opWindowProfile/opWindows.
+	windows    []WindowEntry
+	archEvents uint64
+	archived   bool // the queried range touches folded archive windows
+	durable    bool
 }
 
 // shard owns a disjoint subset of the fleet's nodes. Its worker
@@ -197,6 +219,11 @@ type shard struct {
 	// during New's single-threaded open/replay phase.
 	store   store.Store
 	durable bool // disk-backed and not degraded
+
+	// hist is the shard's historical-query state: the decoded checkpoint
+	// archive plus an LRU of decoded raw windows. Worker-owned, lazily
+	// built on the first time-ranged query (see window.go).
+	hist shardHistory
 }
 
 // Collector is the fleet ingest service: it accepts shipped chunk
@@ -281,7 +308,14 @@ func (c *Collector) openStores() {
 	so.Logger = c.opts.Logger
 	so.Now = c.opts.Now
 	if so.Compact == nil {
-		so.Compact = NewCompactor(c.opts.Unit, c.opts.SampleInterval)
+		granule := c.opts.ArchiveGranule
+		if granule <= 0 {
+			granule = so.Window
+		}
+		if granule <= 0 {
+			granule = time.Hour // store.Options' own Window default
+		}
+		so.Compact = NewCompactor(c.opts.Unit, c.opts.SampleInterval, granule)
 	}
 	for i, sh := range c.shards {
 		dir := filepath.Join(c.opts.StoreDir, store.ShardDirName(i))
@@ -357,12 +391,13 @@ func (sh *shard) persist(ns *nodeState, seq uint64, flags uint8, payload []byte)
 	if !sh.durable {
 		return
 	}
+	wall := sh.c.opts.Now().UnixNano()
 	err := sh.store.Append(store.Batch{
 		Node:     ns.id,
 		Rank:     ns.rank,
 		Seq:      seq,
 		Flags:    flags,
-		WallNano: sh.c.opts.Now().UnixNano(),
+		WallNano: wall,
 		Payload:  payload,
 	})
 	if err != nil {
@@ -375,6 +410,9 @@ func (sh *shard) persist(ns *nodeState, seq uint64, flags uint8, payload []byte)
 		return
 	}
 	ns.symsStored = ns.sym.Len()
+	// Cached window decodes whose range extends past this commit are now
+	// missing a batch; drop them so the next query re-decodes.
+	sh.hist.invalidateAppend(wall)
 }
 
 // persistBulk re-encodes one bulk-path batch as a self-contained chunk —
@@ -431,7 +469,7 @@ func (sh *shard) replayArchive(blob []byte) error {
 			lastSeen:   sh.c.opts.Now(),
 			symsStored: sym.Len(),
 			archEvents: ent.events,
-			archHeat:   ent.heat,
+			archHeat:   arch.nodeHeat(ent.node),
 			crit:       critpath.New(critpath.Options{Timeline: true, MaxTrackSegments: critTrackCap}),
 		}
 		if ent.truncated {
@@ -744,6 +782,15 @@ func (sh *shard) handle(req shardReq) shardResp {
 			}
 		}
 		return resp
+
+	case opWindowHeat:
+		return sh.handleWindowHeat(req)
+
+	case opWindowProfile:
+		return sh.handleWindowProfile(req)
+
+	case opWindows:
+		return sh.handleWindows(req)
 	}
 	return shardResp{err: fmt.Errorf("collect: unknown shard op %d", req.op)}
 }

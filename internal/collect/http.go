@@ -2,12 +2,15 @@ package collect
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"tempest/internal/critpath"
+	"tempest/internal/hotspot"
 	"tempest/internal/parser"
 	"tempest/internal/report"
 )
@@ -35,8 +38,15 @@ func (cw *countingResponseWriter) Write(p []byte) (int, error) {
 //	GET /api/profile/{node}   one node's live profile (JSON; ?format=text
 //	                          for the paper's report layout)
 //	GET /api/hotspots         fleet hot-spot rankings (?k= top-K,
-//	                          ?sensor= sensor index, default 0)
-//	GET /api/series/{node}    one node's sample series as streaming CSV
+//	                          ?sensor= sensor index, default 0;
+//	                          ?window=30m ranks the trailing window from
+//	                          durable history instead of all time)
+//	GET /api/series/{node}    one node's sample series as streaming CSV;
+//	                          ?from=&to= (RFC 3339 or unix seconds,
+//	                          half-open) rebuilds the series over that
+//	                          range from the durable store
+//	GET /api/windows/{node}   the stored windows a node's history can be
+//	                          queried at (raw segments vs folded archives)
 //	GET /api/critpath/{node}  one node's serialization/wait analysis
 //	                          (JSON; ?format=text for the report layout)
 //	GET /api/timeline/{node}  one node's per-lane busy/wait timeline
@@ -80,30 +90,81 @@ func (c *Collector) Handler() http.Handler {
 		report.WriteJSON(w, &parser.Profile{Unit: c.opts.Unit, Nodes: []parser.NodeProfile{*np}})
 	})
 	mux.HandleFunc("GET /api/series/{node}", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		fromS, toS := q.Get("from"), q.Get("to")
+		if (fromS == "") != (toS == "") {
+			http.Error(w, "bad range: from and to must be given together", http.StatusBadRequest)
+			return
+		}
+		if fromS != "" {
+			// Historical path: rebuild the series over [from, to) from the
+			// durable store instead of snapshotting the live builder.
+			id, err := strconv.ParseUint(r.PathValue("node"), 10, 32)
+			if err != nil {
+				http.Error(w, "bad node id", http.StatusBadRequest)
+				return
+			}
+			from, err := parseTimeParam(fromS)
+			if err != nil {
+				http.Error(w, "bad from parameter", http.StatusBadRequest)
+				return
+			}
+			to, err := parseTimeParam(toS)
+			if err != nil {
+				http.Error(w, "bad to parameter", http.StatusBadRequest)
+				return
+			}
+			if from > to {
+				http.Error(w, "bad range: from after to", http.StatusBadRequest)
+				return
+			}
+			np, archEvents, archived, err := c.WindowSeries(uint32(id), from, to)
+			if err != nil {
+				if errors.Is(err, ErrHistoryUnavailable) {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			comments := []string{fmt.Sprintf("window: [%s, %s)",
+				time.Unix(0, from).UTC().Format(time.RFC3339Nano),
+				time.Unix(0, to).UTC().Format(time.RFC3339Nano))}
+			if archived {
+				comments = append(comments, archivedMarker(archEvents))
+			}
+			var nps []*parser.NodeProfile
+			if np != nil {
+				nps = append(nps, np)
+			}
+			c.streamSeries(w, uint32(id), nps, comments)
+			return
+		}
 		np, ok := c.nodeParam(w, r)
 		if !ok {
 			return
 		}
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		cw := &countingResponseWriter{ResponseWriter: w}
-		cs, err := report.NewSeriesCSVStream(cw)
-		if err == nil {
-			err = cs.Node(np)
+		// The live series only covers raw history: events retention folded
+		// into archives are gone from the builder, so the series would
+		// silently shrink. Say so in-band instead.
+		var comments []string
+		if n := c.nodeArchivedEvents(np.NodeID); n > 0 {
+			comments = append(comments, archivedMarker(n))
 		}
-		if err == nil {
+		c.streamSeries(w, np.NodeID, []*parser.NodeProfile{np}, comments)
+	})
+	mux.HandleFunc("GET /api/windows/{node}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("node"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad node id", http.StatusBadRequest)
 			return
 		}
-		// A silent empty 200 used to hide both failure modes here. Before
-		// the first body byte a real 500 is still possible; after it, the
-		// status line is already on the wire, so abort the connection and
-		// let the client's short read tell the truth.
-		c.metrics.streamErrors.Add(1)
-		c.opts.Logger.Warn("series response failed", "route", "/api/series", "node", np.NodeID, "bytes", cw.n, "err", err)
-		if cw.n == 0 {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		wr, err := c.NodeWindows(uint32(id))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		panic(http.ErrAbortHandler)
+		c.writeJSON(w, "/api/windows", wr)
 	})
 	mux.HandleFunc("GET /api/critpath/{node}", func(w http.ResponseWriter, r *http.Request) {
 		sum, _, _, ok := c.critParam(w, r)
@@ -150,6 +211,29 @@ func (c *Collector) Handler() http.Handler {
 			http.Error(w, "bad sensor parameter", http.StatusBadRequest)
 			return
 		}
+		if winS := q.Get("window"); winS != "" {
+			d, err := time.ParseDuration(winS)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad window parameter", http.StatusBadRequest)
+				return
+			}
+			// [now-window, ∞): commit clocks never lead the collector's
+			// clock, so the open upper bound just means "up to the newest
+			// committed batch" without excluding commits at this instant.
+			from := c.opts.Now().Add(-d).UnixNano()
+			resp, err := c.WindowHotspots(sensor, k, from, math.MaxInt64)
+			if err != nil {
+				if errors.Is(err, ErrHistoryUnavailable) {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			resp.Window = d.String()
+			c.writeJSON(w, "/api/hotspots", resp)
+			return
+		}
 		resp, err := c.Hotspots(sensor, k)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -180,6 +264,9 @@ type HotspotsResponse struct {
 	K      int    `json:"k"`
 	Sensor int    `json:"sensor"`
 	Unit   string `json:"unit"`
+	// Window, when set, scopes the answer to the trailing duration it
+	// names, served from durable history (?window=).
+	Window string `json:"window,omitempty"`
 	// Functions ranks (node, function) pairs by thermal contribution —
 	// the paper's per-node hot-spot answer, fleet-wide.
 	Functions []apiFunction `json:"functions"`
@@ -214,13 +301,19 @@ type apiNode struct {
 // uncompacted run. Nodes rankings need raw samples, so they cover live
 // history only.
 func (c *Collector) Hotspots(sensor, k int) (*HotspotsResponse, error) {
-	p := c.Profile()
+	return c.assembleHotspots(c.Profile(), c.archivedHeat(sensor), sensor, k)
+}
+
+// assembleHotspots ranks one profile snapshot (live or rebuilt from a
+// historical window) folded with archived heat into the /api/hotspots
+// shape — the shared back half of Hotspots and WindowHotspots.
+func (c *Collector) assembleHotspots(p *parser.Profile, arch []hotspot.FunctionHeat, sensor, k int) (*HotspotsResponse, error) {
 	// Merge from the untruncated ranking, then cut both to k.
 	full, err := HotFunctions(p, sensor, 0)
 	if err != nil {
 		return nil, err
 	}
-	if arch := c.archivedHeat(sensor); len(arch) > 0 {
+	if len(arch) > 0 {
 		full = foldFunctionHeat(arch, full)
 	}
 	merged := MergeHotFunctions(full, k)
@@ -285,6 +378,63 @@ func intParam(s string, def int) (int, error) {
 		return def, nil
 	}
 	return strconv.Atoi(s)
+}
+
+// parseTimeParam reads a range bound as RFC 3339 (nanosecond precision
+// allowed) or a unix timestamp in seconds (fractional allowed), returning
+// wall-clock nanoseconds.
+func parseTimeParam(s string) (int64, error) {
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t.UnixNano(), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("collect: bad time %q", s)
+	}
+	return int64(f * 1e9), nil
+}
+
+// archivedMarker is the truncation comment a series response carries when
+// part of the requested history survives only as folded archive heat.
+func archivedMarker(events uint64) string {
+	return fmt.Sprintf("truncated: %d events archived beyond series granularity", events)
+}
+
+// nodeArchivedEvents reports how many of one node's events retention has
+// folded out of raw history (0 for unknown nodes — the caller already
+// resolved existence).
+func (c *Collector) nodeArchivedEvents(id uint32) uint64 {
+	resp := c.shardFor(id).call(shardReq{op: opWindows, node: id})
+	if resp.err != nil {
+		return 0
+	}
+	return resp.archEvents
+}
+
+// streamSeries emits node profiles as the CSV series format, preceded by
+// comment lines. Error handling matches the original /api/series
+// contract: a real 500 while no body byte is out, an aborted connection
+// after — a silent empty 200 must not hide a failure.
+func (c *Collector) streamSeries(w http.ResponseWriter, node uint32, nps []*parser.NodeProfile, comments []string) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	cw := &countingResponseWriter{ResponseWriter: w}
+	cs, err := report.NewSeriesCSVStream(cw, comments...)
+	for _, np := range nps {
+		if err != nil {
+			break
+		}
+		err = cs.Node(np)
+	}
+	if err == nil {
+		return
+	}
+	c.metrics.streamErrors.Add(1)
+	c.opts.Logger.Warn("series response failed", "route", "/api/series", "node", node, "bytes", cw.n, "err", err)
+	if cw.n == 0 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	panic(http.ErrAbortHandler)
 }
 
 // writeJSON encodes v as the response body. Encode failures (unmarshalable

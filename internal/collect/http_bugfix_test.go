@@ -111,3 +111,32 @@ func TestHotspotsNegativeKRejected(t *testing.T) {
 		t.Errorf("k=-5 body = %.80s", body)
 	}
 }
+
+// Every malformed /api/hotspots query parameter — non-integer k, the
+// time-ranged window included — must 400 with the same "bad <name>
+// parameter" body shape as the negative-k path, never silently fall
+// back to a default.
+func TestHotspotsBadParamsRejected(t *testing.T) {
+	c := goldenCollector(t, 1)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	for query, wantBody := range map[string]string{
+		"k=abc":            "bad k parameter",
+		"k=1.5":            "bad k parameter",
+		"sensor=abc":       "bad sensor parameter",
+		"window=abc":       "bad window parameter", // not a duration
+		"window=30":        "bad window parameter", // unitless
+		"window=-5m":       "bad window parameter", // negative
+		"window=0s":        "bad window parameter", // empty window
+		"k=abc&window=30m": "bad k parameter",      // k checked even with window set
+	} {
+		code, body, _ := get(t, srv, "/api/hotspots?"+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("?%s status = %d, want 400 (body %.80s)", query, code, body)
+			continue
+		}
+		if !strings.Contains(body, wantBody) {
+			t.Errorf("?%s body = %.80s, want %q", query, body, wantBody)
+		}
+	}
+}

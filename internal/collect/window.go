@@ -1,0 +1,408 @@
+package collect
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tempest/internal/hotspot"
+	"tempest/internal/parser"
+	"tempest/internal/store"
+	"tempest/internal/trace"
+)
+
+// The historical read path: time-ranged queries over the durable store.
+// Raw segments still on disk are re-decoded on demand — the same
+// builder-rebuild machinery the retention compactor uses, driven by
+// store.HistoryStore.ReadRange — and ranges older than retention are
+// answered from the archive's folded per-granule windows. Each shard
+// keeps a small LRU of decoded windows so a dashboard scrubbing back and
+// forth doesn't re-scan the same segments per request. All of this state
+// is owned by the shard worker goroutine, like every builder.
+
+// ErrHistoryUnavailable reports a time-ranged query against a collector
+// (or shard) without a durable store: memory-only ingest has no history
+// beyond the live builders.
+var ErrHistoryUnavailable = errors.New("collect: durable history not enabled")
+
+// WindowEntry is one stored window a node's history can be queried at,
+// as served by /api/windows/{node}.
+type WindowEntry struct {
+	// Kind is "raw" (batches on disk, queryable at any sub-range) or
+	// "archived" (folded heat, queryable only at this granularity).
+	Kind string    `json:"kind"`
+	From time.Time `json:"from"`
+	To   time.Time `json:"to"`
+	// Batches counts stored batches in a raw window (whole-shard segment
+	// granularity, not per node).
+	Batches int `json:"batches,omitempty"`
+	// Events counts this node's events folded into an archived window.
+	Events uint64 `json:"events,omitempty"`
+	// Active marks the raw segment still receiving appends.
+	Active bool `json:"active,omitempty"`
+}
+
+// WindowsResponse is the /api/windows/{node} body.
+type WindowsResponse struct {
+	Node    uint32        `json:"node"`
+	Durable bool          `json:"durable"`
+	Windows []WindowEntry `json:"windows"`
+}
+
+// windowDecode is one [from, to) range rebuilt from raw batches: every
+// node's finished profile over exactly the in-range events. Cached
+// entries are read-only once built — readers shallow-copy the
+// NodeProfiles into response Profiles and never write through them.
+type windowDecode struct {
+	profiles []*parser.NodeProfile // sorted by NodeID
+	byNode   map[uint32]*parser.NodeProfile
+}
+
+// histCacheEnt is one LRU slot.
+type histCacheEnt struct {
+	key string
+	to  int64 // invalidation bound: a later append inside [from, to) stales it
+	dec *windowDecode
+}
+
+// shardHistory is a shard's historical-query state: the decoded archive
+// (refreshed when the store's compaction generation moves) and the LRU
+// of decoded raw windows. Zero value ready; worker-owned.
+type shardHistory struct {
+	gen    uint64
+	genSet bool
+	arch   *fleetArchive
+	lru    *list.List
+	idx    map[string]*list.Element
+}
+
+// history returns the shard's store as a HistoryStore when time-ranged
+// queries are possible (disk-backed and not degraded).
+func (sh *shard) history() (store.HistoryStore, bool) {
+	hs, ok := sh.store.(store.HistoryStore)
+	return hs, ok && sh.durable
+}
+
+// histArchive returns the decoded checkpoint archive, re-decoding when a
+// compaction moved the raw/archived split (which also stales every
+// cached raw decode: their batches may have been folded away).
+func (sh *shard) histArchive(hs store.HistoryStore) *fleetArchive {
+	gen := hs.CompactGen()
+	if sh.hist.genSet && sh.hist.gen == gen {
+		return sh.hist.arch
+	}
+	arch, err := decodeArchive(hs.ArchiveBlob())
+	if err != nil {
+		sh.c.opts.Logger.Error("store archive undecodable; historical queries see raw history only",
+			"shard", sh.id, "err", err)
+		arch = &fleetArchive{}
+	}
+	sh.hist.gen, sh.hist.genSet = gen, true
+	sh.hist.arch = arch
+	sh.hist.lru, sh.hist.idx = nil, nil
+	return arch
+}
+
+// invalidateAppend drops cached decodes whose range extends past a fresh
+// commit at wall — they no longer cover every in-range batch.
+func (h *shardHistory) invalidateAppend(wall int64) {
+	if h.lru == nil {
+		return
+	}
+	var stale []*list.Element
+	for el := h.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*histCacheEnt).to > wall {
+			stale = append(stale, el)
+		}
+	}
+	for _, el := range stale {
+		delete(h.idx, el.Value.(*histCacheEnt).key)
+		h.lru.Remove(el)
+	}
+}
+
+// decodeWindow rebuilds every node's profile over the raw batches
+// committed in [from, to), serving from the LRU when the same range was
+// decoded before. The prefix pass replays earlier chunks through each
+// node's symbol table only — chunk symbol ids are dense and cumulative,
+// so in-range payloads decode correctly no matter where the range starts —
+// and the in-range pass folds events into throwaway mid-stream builders.
+func (sh *shard) decodeWindow(hs store.HistoryStore, from, to int64) (*windowDecode, error) {
+	sh.c.metrics.windowQueries.Add(1)
+	key := fmt.Sprintf("%d:%d", from, to)
+	if el, ok := sh.hist.idx[key]; ok {
+		sh.c.metrics.windowCacheHits.Add(1)
+		sh.hist.lru.MoveToFront(el)
+		return el.Value.(*histCacheEnt).dec, nil
+	}
+	start := time.Now()
+
+	type winFold struct {
+		ent  *archiveNode // nil when the archive never saw the node
+		sym  *trace.SymTab
+		b    *parser.Builder
+		dead bool
+	}
+	arch := sh.histArchive(hs)
+	folds := map[uint32]*winFold{}
+	var order []uint32
+	var scratch []trace.Event
+	fold := func(b store.Batch) *winFold {
+		nf, ok := folds[b.Node]
+		if !ok {
+			sym := trace.NewSymTab()
+			if ent := arch.find(b.Node); ent != nil {
+				// Post-compaction raw chunks were encoded against the
+				// archive's cumulative table; seed it so ids stay dense.
+				for _, name := range ent.syms {
+					sym.Register(name)
+				}
+			}
+			nf = &winFold{sym: sym}
+			folds[b.Node] = nf
+			order = append(order, b.Node)
+		}
+		return nf
+	}
+	decode := func(b store.Batch, nf *winFold) ([]trace.Event, bool) {
+		ev, err := decodeChunk(b.Payload, nf.sym, scratch)
+		if err != nil {
+			// The node's symbol continuity is broken from here on; its
+			// later batches are unattributable, so the node drops out of
+			// this window rather than mis-attributing heat.
+			nf.dead = true
+			nf.b = nil
+			return nil, false
+		}
+		scratch = ev[:0]
+		return ev, true
+	}
+	err := hs.ReadRange(from, to,
+		func(b store.Batch) error { // prefix: symbols only
+			if b.Flags&(store.FlagPolicy|store.FlagCoarse) != 0 {
+				return nil
+			}
+			nf := fold(b)
+			if !nf.dead {
+				decode(b, nf)
+			}
+			return nil
+		},
+		func(b store.Batch) error { // in range: symbols + events
+			if b.Flags&(store.FlagPolicy|store.FlagCoarse) != 0 {
+				return nil
+			}
+			nf := fold(b)
+			if nf.dead {
+				return nil
+			}
+			ev, ok := decode(b, nf)
+			if !ok {
+				return nil
+			}
+			if nf.b == nil {
+				nf.b = parser.NewBuilder(b.Node, nf.sym, parser.Options{
+					Unit:           sh.c.opts.Unit,
+					SampleInterval: sh.c.opts.SampleInterval,
+					MidStream:      true,
+				})
+			}
+			if b.Flags&store.FlagTruncated != 0 {
+				nf.b.SetTruncated(true)
+			}
+			if err := nf.b.Add(ev); err != nil {
+				nf.dead = true
+				nf.b = nil
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	dec := &windowDecode{byNode: map[uint32]*parser.NodeProfile{}}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		nf := folds[id]
+		if nf.b == nil || nf.dead {
+			continue
+		}
+		np, err := nf.b.Finish()
+		if err != nil {
+			continue
+		}
+		dec.profiles = append(dec.profiles, np)
+		dec.byNode[id] = np
+	}
+	sh.c.metrics.windowDecodeSeconds.ObserveSince(start)
+
+	if sh.hist.lru == nil {
+		sh.hist.lru = list.New()
+		sh.hist.idx = map[string]*list.Element{}
+	}
+	sh.hist.idx[key] = sh.hist.lru.PushFront(&histCacheEnt{key: key, to: to, dec: dec})
+	for sh.hist.lru.Len() > sh.c.opts.WindowCache {
+		el := sh.hist.lru.Back()
+		delete(sh.hist.idx, el.Value.(*histCacheEnt).key)
+		sh.hist.lru.Remove(el)
+	}
+	return dec, nil
+}
+
+// rangeArchived reports whether [from, to) touches any folded archive
+// window on this shard.
+func rangeArchived(arch *fleetArchive, from, to int64) bool {
+	for _, w := range arch.windows {
+		if w.overlaps(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleWindowHeat answers opWindowHeat: the shard's contribution to a
+// time-ranged hot-spot ranking — rebuilt profiles over in-range raw
+// batches, plus the archive's folded heat for every window overlapping
+// the range (at the folded granularity).
+func (sh *shard) handleWindowHeat(req shardReq) shardResp {
+	hs, ok := sh.history()
+	if !ok {
+		return shardResp{err: ErrHistoryUnavailable}
+	}
+	arch := sh.histArchive(hs)
+	dec, err := sh.decodeWindow(hs, req.from, req.to)
+	if err != nil {
+		return shardResp{err: err}
+	}
+	return shardResp{
+		durable:  true,
+		profiles: dec.profiles,
+		heat:     arch.rangeHeat(req.from, req.to, req.sensor),
+		archived: rangeArchived(arch, req.from, req.to),
+	}
+}
+
+// handleWindowProfile answers opWindowProfile: one node's profile over
+// the in-range raw batches (profiles empty when the node has none),
+// plus how much of its in-range history lives only in folded archives.
+func (sh *shard) handleWindowProfile(req shardReq) shardResp {
+	hs, ok := sh.history()
+	if !ok {
+		return shardResp{err: ErrHistoryUnavailable}
+	}
+	if _, known := sh.nodes[req.node]; !known {
+		return shardResp{err: fmt.Errorf("collect: unknown node %d", req.node)}
+	}
+	arch := sh.histArchive(hs)
+	dec, err := sh.decodeWindow(hs, req.from, req.to)
+	if err != nil {
+		return shardResp{err: err}
+	}
+	resp := shardResp{durable: true}
+	if np := dec.byNode[req.node]; np != nil {
+		resp.profiles = []*parser.NodeProfile{np}
+	}
+	resp.archEvents, resp.archived = arch.nodeRangeArchived(req.node, req.from, req.to)
+	return resp
+}
+
+// handleWindows answers opWindows: the granularities one node's history
+// can be queried at — folded archive windows (this node's slices) and
+// the shard's raw segment windows (whole-shard granularity; any
+// sub-range of those is decodable on demand).
+func (sh *shard) handleWindows(req shardReq) shardResp {
+	ns, known := sh.nodes[req.node]
+	if !known {
+		return shardResp{err: fmt.Errorf("collect: unknown node %d", req.node)}
+	}
+	resp := shardResp{windows: []WindowEntry{}, archEvents: ns.archEvents}
+	hs, ok := sh.history()
+	if !ok {
+		return resp
+	}
+	resp.durable = true
+	arch := sh.histArchive(hs)
+	for _, w := range arch.windows {
+		for _, wn := range w.nodes {
+			if wn.node != req.node {
+				continue
+			}
+			resp.windows = append(resp.windows, WindowEntry{
+				Kind:   "archived",
+				From:   time.Unix(0, w.fromWall).UTC(),
+				To:     time.Unix(0, w.toWall).UTC(),
+				Events: wn.events,
+			})
+		}
+	}
+	for _, wi := range hs.Windows() {
+		resp.windows = append(resp.windows, WindowEntry{
+			Kind: "raw",
+			From: time.Unix(0, wi.FirstWall).UTC(),
+			// Stored bounds are inclusive observed commits; the API speaks
+			// half-open ranges, so the window covers up to LastWall+1.
+			To:      time.Unix(0, wi.LastWall+1).UTC(),
+			Batches: wi.Batches,
+			Active:  wi.Active,
+		})
+	}
+	return resp
+}
+
+// WindowHotspots computes a time-ranged /api/hotspots answer over
+// [from, to) (wall-clock nanos, half-open): raw-covered history is
+// re-decoded exactly, archived history contributes every folded window
+// overlapping the range. Shards without durable stores are skipped;
+// when no shard has one the error is ErrHistoryUnavailable.
+func (c *Collector) WindowHotspots(sensor, k int, from, to int64) (*HotspotsResponse, error) {
+	var nps []*parser.NodeProfile
+	var arch []hotspot.FunctionHeat
+	durable := 0
+	for _, sh := range c.shards {
+		resp := sh.call(shardReq{op: opWindowHeat, sensor: sensor, from: from, to: to})
+		if resp.err != nil {
+			if errors.Is(resp.err, ErrHistoryUnavailable) {
+				continue
+			}
+			return nil, resp.err
+		}
+		durable++
+		nps = append(nps, resp.profiles...)
+		arch = foldFunctionHeat(arch, resp.heat)
+	}
+	if durable == 0 {
+		return nil, ErrHistoryUnavailable
+	}
+	sort.Slice(nps, func(i, j int) bool { return nps[i].NodeID < nps[j].NodeID })
+	p := &parser.Profile{Unit: c.opts.Unit}
+	for _, np := range nps {
+		p.Nodes = append(p.Nodes, *np)
+	}
+	return c.assembleHotspots(p, arch, sensor, k)
+}
+
+// WindowSeries rebuilds one node's profile over the raw batches in
+// [from, to). np is nil when the node exists but has no raw events in
+// range; archEvents/archived report history the range touches that
+// survives only as folded archive heat (beyond series granularity).
+func (c *Collector) WindowSeries(id uint32, from, to int64) (np *parser.NodeProfile, archEvents uint64, archived bool, err error) {
+	resp := c.shardFor(id).call(shardReq{op: opWindowProfile, node: id, from: from, to: to})
+	if resp.err != nil {
+		return nil, 0, false, resp.err
+	}
+	if len(resp.profiles) > 0 {
+		np = resp.profiles[0]
+	}
+	return np, resp.archEvents, resp.archived, nil
+}
+
+// NodeWindows lists the stored windows one node's history can be
+// queried at — the /api/windows/{node} answer.
+func (c *Collector) NodeWindows(id uint32) (*WindowsResponse, error) {
+	resp := c.shardFor(id).call(shardReq{op: opWindows, node: id})
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return &WindowsResponse{Node: id, Durable: resp.durable, Windows: resp.windows}, nil
+}

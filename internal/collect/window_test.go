@@ -1,0 +1,340 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tempest/internal/store"
+	"tempest/internal/trace"
+)
+
+// windowFixture builds the deterministic mixed-history collector the
+// endpoint goldens query: one shard, 1-minute segments and archive
+// granules, 5-minute retention. Node 1's events are ingested at t0 and
+// aged out into the folded archive when node 2's ingest at t0+8m rolls
+// the segment; node 2 stays raw. The returned walls are the two commit
+// instants.
+func windowFixture(t *testing.T) (*Collector, time.Time, time.Time) {
+	t.Helper()
+	clk := newStoreClock()
+	opts := Options{
+		StoreDir: t.TempDir(),
+		Shards:   1,
+		Logger:   quietLogger(),
+		Now:      clk.now,
+		StoreOptions: store.Options{
+			Window:    time.Minute,
+			Retention: 5 * time.Minute,
+		},
+	}
+	c := New(opts)
+	t.Cleanup(func() { c.Close() })
+	t0 := clk.now()
+	if err := c.IngestTrace(buildTrace(t, 1, []string{"compute", "exchange"}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(8 * time.Minute)
+	t1 := clk.now()
+	if err := c.IngestTrace(buildTrace(t, 2, []string{"compute", "io"}, 60)); err != nil {
+		t.Fatal(err)
+	}
+	return c, t0, t1
+}
+
+func rfc3339(ts time.Time) string { return ts.UTC().Format(time.RFC3339Nano) }
+
+func TestHTTPWindowEndpointsGolden(t *testing.T) {
+	c, t0, t1 := windowFixture(t)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Node 1's history is fully archived, node 2's fully raw: the window
+	// listing shows both granularities.
+	code, body, _ := get(t, srv, "/api/windows/1")
+	if code != 200 {
+		t.Fatalf("/api/windows/1 status %d:\n%s", code, body)
+	}
+	checkGolden(t, "windows_archived_node", body)
+	code, body, _ = get(t, srv, "/api/windows/2")
+	if code != 200 {
+		t.Fatalf("/api/windows/2 status %d:\n%s", code, body)
+	}
+	checkGolden(t, "windows_raw_node", body)
+
+	// A trailing window wide enough for both nodes folds archived heat
+	// (node 1) with the on-demand raw decode (node 2).
+	code, body, _ = get(t, srv, "/api/hotspots?window=30m&k=5")
+	if code != 200 {
+		t.Fatalf("hotspots window status %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, `"window": "30m0s"`) {
+		t.Errorf("response does not echo the window:\n%s", body)
+	}
+	checkGolden(t, "hotspots_window_mixed", body)
+
+	// Range spanning raw history only: rows plus the window comment.
+	code, body, hdr := get(t, srv, fmt.Sprintf("/api/series/2?from=%s&to=%s",
+		rfc3339(t1), rfc3339(t1.Add(time.Minute))))
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "text/csv") {
+		t.Fatalf("raw-range series: status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	checkGolden(t, "series_window_raw", body)
+
+	// Range spanning only compacted history: 200 with the explicit
+	// truncation marker, never a silent empty series.
+	code, body, _ = get(t, srv, fmt.Sprintf("/api/series/1?from=%s&to=%s",
+		rfc3339(t0.Add(-time.Minute)), rfc3339(t0.Add(time.Minute))))
+	if code != 200 {
+		t.Fatalf("archived-range series status %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "# truncated:") {
+		t.Fatalf("archived-range series lacks truncation marker:\n%s", body)
+	}
+	checkGolden(t, "series_window_archived", body)
+
+	// Empty range: an answer (headers, no rows), not an error.
+	code, body, _ = get(t, srv, fmt.Sprintf("/api/series/2?from=%s&to=%s",
+		rfc3339(t1), rfc3339(t1)))
+	if code != 200 {
+		t.Fatalf("empty-range series status %d:\n%s", code, body)
+	}
+	checkGolden(t, "series_window_empty", body)
+
+	// Range entirely before the first stored record: clean empty series.
+	code, body, _ = get(t, srv, fmt.Sprintf("/api/series/1?from=%s&to=%s",
+		rfc3339(t0.Add(-2*time.Hour)), rfc3339(t0.Add(-time.Hour))))
+	if code != 200 {
+		t.Fatalf("before-history series status %d:\n%s", code, body)
+	}
+	if strings.Contains(body, "# truncated:") {
+		t.Errorf("range before history claims truncation:\n%s", body)
+	}
+	checkGolden(t, "series_window_before", body)
+
+	// Parameter and existence failures.
+	for path, want := range map[string]int{
+		// Reversed range: from after to.
+		fmt.Sprintf("/api/series/2?from=%s&to=%s", rfc3339(t1.Add(time.Hour)), rfc3339(t1)): 400,
+		"/api/series/2?from=2026-01-01T00:00:00Z":                                           400, // from without to
+		"/api/series/2?to=2026-01-01T00:00:00Z":                                             400, // to without from
+		"/api/series/2?from=nonsense&to=2026-01-01T00:00:00Z":                               400,
+		"/api/series/99?from=0&to=1":                                                        404, // unknown node, well-formed range
+		"/api/windows/99":                                                                   404,
+		"/api/windows/bad":                                                                  400,
+	} {
+		if code, _, _ := get(t, srv, path); code != want {
+			t.Errorf("%s status = %d, want %d", path, code, want)
+		}
+	}
+}
+
+// TestWindowQueriesWithoutStore pins the memory-only contract: the
+// historical endpoints answer 503 (not 404, not empty 200) when there is
+// no durable store to query.
+func TestWindowQueriesWithoutStore(t *testing.T) {
+	c := goldenCollector(t, 2)
+	if _, err := c.WindowHotspots(0, 10, 0, 1); !errors.Is(err, ErrHistoryUnavailable) {
+		t.Fatalf("WindowHotspots without store: %v, want ErrHistoryUnavailable", err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	for _, path := range []string{
+		"/api/hotspots?window=30m",
+		"/api/series/1?from=0&to=100",
+	} {
+		if code, _, _ := get(t, srv, path); code != 503 {
+			t.Errorf("%s status = %d, want 503", path, code)
+		}
+	}
+	// The window listing still answers: it reports durable=false.
+	code, body, _ := get(t, srv, "/api/windows/1")
+	if code != 200 || !strings.Contains(body, `"durable": false`) {
+		t.Errorf("/api/windows/1 without store: status %d body %s", code, body)
+	}
+}
+
+// TestWindowHotspotsMatchesOracle is the acceptance property: over any
+// range covered by raw windows, the time-ranged answer is exactly what
+// an uncompacted oracle collector replaying only the in-range events
+// produces — function set, heat ordering, and node rankings.
+func TestWindowHotspotsMatchesOracle(t *testing.T) {
+	clk := newStoreClock()
+	opts := Options{StoreDir: t.TempDir(), Shards: 1, Logger: quietLogger(), Now: clk.now}
+	c := New(opts)
+	defer c.Close()
+
+	specs := [][]string{
+		{"compute", "exchange"},
+		{"compute", "io"},
+		{"idle_wait", "compute"},
+		{"reduce", "compute"},
+		{"io", "exchange"},
+	}
+	var traces []*traceFixture
+	for i, fn := range specs {
+		tf := &traceFixture{tr: buildTrace(t, uint32(i+1), fn, 30+10*i), wall: clk.now()}
+		if err := c.IngestTrace(tf.tr); err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tf)
+		clk.advance(time.Minute)
+	}
+	end := traces[len(traces)-1].wall.UnixNano() + 1
+
+	for _, rng := range [][2]int{{0, 5}, {0, 1}, {1, 4}, {2, 3}, {4, 5}, {1, 5}, {2, 2}} {
+		from := traces[rng[0]].wall.UnixNano()
+		to := end
+		if rng[1] < len(traces) {
+			to = traces[rng[1]].wall.UnixNano()
+		}
+		oracle := New(Options{Logger: quietLogger()})
+		for i := rng[0]; i < rng[1]; i++ {
+			if err := oracle.IngestTrace(traces[i].tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := oracle.Hotspots(0, 10)
+		oracle.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.WindowHotspots(0, 10, from, to)
+		if err != nil {
+			t.Fatalf("WindowHotspots[%d,%d): %v", rng[0], rng[1], err)
+		}
+		if !reflect.DeepEqual(got.Functions, want.Functions) {
+			t.Errorf("range [%d,%d): functions diverged from oracle:\n got %+v\nwant %+v", rng[0], rng[1], got.Functions, want.Functions)
+		}
+		if !reflect.DeepEqual(got.Merged, want.Merged) {
+			t.Errorf("range [%d,%d): merged diverged from oracle:\n got %+v\nwant %+v", rng[0], rng[1], got.Merged, want.Merged)
+		}
+		if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+			t.Errorf("range [%d,%d): nodes diverged from oracle:\n got %+v\nwant %+v", rng[0], rng[1], got.Nodes, want.Nodes)
+		}
+	}
+}
+
+type traceFixture struct {
+	tr   *trace.Trace
+	wall time.Time
+}
+
+// TestWindowHotspotsCompactedMatchesOracle checks the archived side of
+// the acceptance property: after retention folds raw history into
+// granule windows, a range covering those windows still answers exactly
+// like the uncompacted oracle (function set and ordering) — the fold is
+// associative, so the granularity loss never changes a covered ranking.
+func TestWindowHotspotsCompactedMatchesOracle(t *testing.T) {
+	clk := newStoreClock()
+	dir := t.TempDir()
+	opts := Options{
+		StoreDir: dir,
+		Shards:   1,
+		Logger:   quietLogger(),
+		Now:      clk.now,
+		StoreOptions: store.Options{
+			Window:    time.Minute,
+			Retention: 5 * time.Minute,
+		},
+		ArchiveGranule: time.Minute,
+	}
+	oracle := New(Options{Logger: quietLogger()})
+	defer oracle.Close()
+
+	c1 := New(opts)
+	t0 := clk.now()
+	for i, fn := range [][]string{{"compute", "exchange"}, {"compute", "io"}} {
+		tr := buildTrace(t, uint32(i+1), fn, 50+10*i)
+		if err := c1.IngestTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.IngestTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Minute)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Hotspots(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen far past retention: everything folds into per-minute archive
+	// windows; raw history is gone.
+	clk.advance(10 * time.Minute)
+	c2 := New(opts)
+	defer c2.Close()
+	got, err := c2.WindowHotspots(0, 10, t0.Add(-time.Hour).UnixNano(), clk.now().UnixNano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Functions, want.Functions) {
+		t.Errorf("archived-range functions diverged from oracle:\n got %+v\nwant %+v", got.Functions, want.Functions)
+	}
+	if !reflect.DeepEqual(got.Merged, want.Merged) {
+		t.Errorf("archived-range merged diverged from oracle:\n got %+v\nwant %+v", got.Merged, want.Merged)
+	}
+}
+
+// TestWindowDecodeCacheAndInvalidation pins the LRU contract: a repeated
+// range is served from cache, and an append landing inside a cached
+// range evicts it so the next query sees the new events.
+func TestWindowDecodeCacheAndInvalidation(t *testing.T) {
+	clk := newStoreClock()
+	opts := Options{StoreDir: t.TempDir(), Shards: 1, Logger: quietLogger(), Now: clk.now}
+	c := New(opts)
+	defer c.Close()
+	if err := c.IngestTrace(buildTrace(t, 1, []string{"compute"}, 20)); err != nil {
+		t.Fatal(err)
+	}
+	from := clk.now().Add(-time.Minute).UnixNano()
+	to := clk.now().Add(time.Hour).UnixNano()
+
+	q1, err := c.WindowHotspots(0, 10, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, h := c.metrics.windowQueries.Value(), c.metrics.windowCacheHits.Value(); q != 1 || h != 0 {
+		t.Fatalf("after first query: queries=%d hits=%d, want 1/0", q, h)
+	}
+	q2, err := c.WindowHotspots(0, 10, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, h := c.metrics.windowQueries.Value(), c.metrics.windowCacheHits.Value(); q != 2 || h != 1 {
+		t.Fatalf("after repeat query: queries=%d hits=%d, want 2/1", q, h)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatalf("cached answer diverged:\n got %+v\nwant %+v", q2, q1)
+	}
+
+	// A commit inside the cached range must evict it — and the re-decode
+	// must see the new node.
+	clk.advance(time.Minute)
+	if err := c.IngestTrace(buildTrace(t, 2, []string{"fresh_func"}, 20)); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := c.WindowHotspots(0, 10, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, h := c.metrics.windowQueries.Value(), c.metrics.windowCacheHits.Value(); q != 3 || h != 1 {
+		t.Fatalf("after invalidating append: queries=%d hits=%d, want 3/1", q, h)
+	}
+	found := false
+	for _, f := range q3.Functions {
+		if f.Name == "fresh_func" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale cache: post-append query misses the new node's function: %+v", q3.Functions)
+	}
+}

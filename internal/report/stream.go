@@ -46,7 +46,16 @@ type SeriesCSVStream struct {
 }
 
 // NewSeriesCSVStream writes the CSV header and returns a row streamer.
-func NewSeriesCSVStream(w io.Writer) (*SeriesCSVStream, error) {
+// Optional comments are emitted first, one per line, each prefixed with
+// "# " — how the collector's historical endpoints annotate a series with
+// its query window or an archived-history truncation marker without
+// breaking column parsers that skip comment lines.
+func NewSeriesCSVStream(w io.Writer, comments ...string) (*SeriesCSVStream, error) {
+	for _, com := range comments {
+		if _, err := fmt.Fprintf(w, "# %s\n", com); err != nil {
+			return nil, err
+		}
+	}
 	if _, err := fmt.Fprintln(w, "time_s,node,sensor,label,value"); err != nil {
 		return nil, err
 	}

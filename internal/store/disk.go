@@ -251,13 +251,14 @@ func uvarintLen(v uint64) int {
 
 // segScan is the result of walking one segment file.
 type segScan struct {
-	header   segHeader
-	final    Chain // chain after the last intact record
-	records  int
-	batches  int
-	lastWall int64
-	goodOff  int64 // offset just past the last intact record
-	tear     error // nil if the file ended cleanly on a frame boundary
+	header    segHeader
+	final     Chain // chain after the last intact record
+	records   int
+	batches   int
+	firstWall int64 // earliest batch wall clock (valid when batches > 0)
+	lastWall  int64
+	goodOff   int64 // offset just past the last intact record
+	tear      error // nil if the file ended cleanly on a frame boundary
 }
 
 // scanSegmentFile walks one segment or checkpoint file, verifying frame
@@ -319,6 +320,9 @@ func scanSegmentFile(path string, fn func(record) error) (*segScan, error) {
 		sc.records++
 		sc.goodOff += int64(trace.SegmentFrameHdrLen + len(payload))
 		if kind == recBatch {
+			if sc.batches == 0 || wall < sc.firstWall {
+				sc.firstWall = wall
+			}
 			sc.batches++
 			sc.lastWall = wall
 		}
@@ -328,11 +332,12 @@ func scanSegmentFile(path string, fn func(record) error) (*segScan, error) {
 // segMeta is the in-memory index entry for one closed, uncompacted
 // segment file.
 type segMeta struct {
-	index    uint64
-	path     string
-	lastWall int64
-	final    Chain
-	batches  int
+	index     uint64
+	path      string
+	firstWall int64
+	lastWall  int64
+	final     Chain
+	batches   int
 }
 
 // Disk is the durable backend: an append-only, hash-chained segment log
@@ -342,16 +347,17 @@ type Disk struct {
 	dir  string
 	opts Options
 
-	err    error // poisoned after an I/O failure
+	err         error // poisoned after an I/O failure
 	closedStore bool
 
-	f         *os.File  // active segment, nil until the first Append
-	w         io.Writer // f, possibly wrapped by opts.WrapWriter
-	segIndex  uint64    // highest segment index ever used
-	segStart  time.Time // when the active segment was opened
-	segBytes  int64
-	segBatches int
-	sinceSync int
+	f            *os.File  // active segment, nil until the first Append
+	w            io.Writer // f, possibly wrapped by opts.WrapWriter
+	segIndex     uint64    // highest segment index ever used
+	segStart     time.Time // when the active segment was opened
+	segBytes     int64
+	segBatches   int
+	segFirstWall int64 // earliest batch wall in the active segment
+	sinceSync    int
 
 	chain    Chain
 	lastWall int64
@@ -360,6 +366,10 @@ type Disk struct {
 	ckptIndex uint64    // highest checkpoint index (0 = none)
 	ckptPath  string
 	archive   []byte
+	// compactGen counts successful compactions this process has run (and
+	// starts at 1 after recovery when a checkpoint exists), so readers
+	// caching decoded history can tell when the archive/raw split moved.
+	compactGen uint64
 
 	scratch []byte
 }
@@ -528,11 +538,12 @@ func (d *Disk) recover() error {
 			}
 		}
 		d.closed = append(d.closed, segMeta{
-			index:    idx,
-			path:     path,
-			lastWall: sc.lastWall,
-			final:    sc.final,
-			batches:  sc.batches,
+			index:     idx,
+			path:      path,
+			firstWall: sc.firstWall,
+			lastWall:  sc.lastWall,
+			final:     sc.final,
+			batches:   sc.batches,
 		})
 		d.chain = sc.final
 		if sc.lastWall > d.lastWall {
@@ -655,6 +666,9 @@ func (d *Disk) Append(b Batch) error {
 	}
 	d.chain = nextChain
 	d.segBytes += int64(trace.SegmentFrameHdrLen + len(body) + ChainLen)
+	if d.segBatches == 0 || b.WallNano < d.segFirstWall {
+		d.segFirstWall = b.WallNano
+	}
 	d.segBatches++
 	d.lastWall = b.WallNano
 	d.sinceSync++
@@ -734,6 +748,7 @@ func (d *Disk) roll(now time.Time) error {
 	d.segStart = now
 	d.segBytes = int64(len(hdr))
 	d.segBatches = 0
+	d.segFirstWall = 0
 	d.sinceSync = 0
 	d.opts.Metrics.Segments.Add(1)
 	return nil
@@ -748,11 +763,12 @@ func (d *Disk) closeActive() error {
 	err := d.f.Close()
 	if err == nil {
 		d.closed = append(d.closed, segMeta{
-			index:    d.segIndex,
-			path:     d.segPath(d.segIndex),
-			lastWall: d.lastWall,
-			final:    d.chain,
-			batches:  d.segBatches,
+			index:     d.segIndex,
+			path:      d.segPath(d.segIndex),
+			firstWall: d.segFirstWall,
+			lastWall:  d.lastWall,
+			final:     d.chain,
+			batches:   d.segBatches,
 		})
 	}
 	d.f = nil
@@ -768,9 +784,16 @@ func (d *Disk) maybeCompact(now time.Time) {
 	if d.opts.Retention <= 0 || d.opts.Compact == nil || len(d.closed) == 0 {
 		return
 	}
+	// The boundary is half-open, matching the read path's [from, to)
+	// windows: a batch committed exactly at now-Retention is the oldest
+	// moment still inside the retained window, so a segment whose last
+	// batch lands on the cutoff stays raw (strictly-older-only folds).
+	// Folding it would make the same instant answer at folded granularity
+	// from one query and raw granularity from the next — the edge window
+	// must live on exactly one side.
 	cutoff := now.Add(-d.opts.Retention).UnixNano()
 	covered := 0
-	for covered < len(d.closed) && d.closed[covered].lastWall <= cutoff {
+	for covered < len(d.closed) && d.closed[covered].lastWall < cutoff {
 		covered++
 	}
 	if covered == 0 {
@@ -825,6 +848,7 @@ func (d *Disk) maybeCompact(now time.Time) {
 	d.ckptPath = d.ckptPathFor(last.index)
 	d.archive = blob
 	d.closed = append([]segMeta(nil), d.closed[covered:]...)
+	d.compactGen++
 	d.opts.Metrics.Compactions.Add(1)
 	d.opts.Metrics.CompactedBatches.Add(uint64(len(batches)))
 }

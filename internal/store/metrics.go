@@ -8,37 +8,41 @@ import "tempest/internal/introspect"
 // fields are safe for concurrent use across shard stores, so one Metrics
 // serves the whole collector.
 type Metrics struct {
-	Appends       *introspect.Counter      // batches committed
-	AppendedBytes *introspect.Counter      // record bytes written (framing included)
-	AppendErrors  *introspect.Counter      // appends failed (store poisoned → shard degrades)
-	AppendSeconds *introspect.Distribution // commit latency, fsync included
-	Syncs         *introspect.Counter      // fsync calls on segment files
-	SyncSeconds   *introspect.Distribution // fsync latency
-	Segments      *introspect.Counter      // segment files opened
-	ReplayedBatches *introspect.Counter    // batches replayed into builders at startup
-	SalvagedTails *introspect.Counter      // torn segment tails truncated during recovery
-	RecoveryErrors *introspect.Counter     // corruption found outside the salvageable tail
-	Compactions    *introspect.Counter     // checkpoints written by retention
-	CompactedBatches *introspect.Counter   // raw batches folded into checkpoint archives
-	CompactionErrors *introspect.Counter   // compaction attempts abandoned (raw kept)
+	Appends          *introspect.Counter      // batches committed
+	AppendedBytes    *introspect.Counter      // record bytes written (framing included)
+	AppendErrors     *introspect.Counter      // appends failed (store poisoned → shard degrades)
+	AppendSeconds    *introspect.Distribution // commit latency, fsync included
+	Syncs            *introspect.Counter      // fsync calls on segment files
+	SyncSeconds      *introspect.Distribution // fsync latency
+	Segments         *introspect.Counter      // segment files opened
+	ReplayedBatches  *introspect.Counter      // batches replayed into builders at startup
+	SalvagedTails    *introspect.Counter      // torn segment tails truncated during recovery
+	RecoveryErrors   *introspect.Counter      // corruption found outside the salvageable tail
+	Compactions      *introspect.Counter      // checkpoints written by retention
+	CompactedBatches *introspect.Counter      // raw batches folded into checkpoint archives
+	CompactionErrors *introspect.Counter      // compaction attempts abandoned (raw kept)
+	RangeReads       *introspect.Counter      // historical ReadRange scans served
+	RangeBatches     *introspect.Counter      // batches streamed to in-range callbacks
 }
 
 // NewMetrics registers the store metric families on r.
 func NewMetrics(r *introspect.Registry) *Metrics {
 	return &Metrics{
-		Appends:       r.Counter("tempest_store_appends_total", "Batches committed to the durable store."),
-		AppendedBytes: r.Counter("tempest_store_bytes_total", "Bytes appended to store segments, framing included."),
-		AppendErrors:  r.Counter("tempest_store_append_errors_total", "Store append failures (the owning shard degrades to memory-only)."),
-		AppendSeconds: r.Distribution("tempest_store_append_seconds", "Durable commit latency per batch, fsync included."),
-		Syncs:         r.Counter("tempest_store_syncs_total", "fsync calls on store segment files."),
-		SyncSeconds:   r.Distribution("tempest_store_sync_seconds", "fsync latency on store segment files."),
-		Segments:      r.Counter("tempest_store_segments_total", "Store segment files opened."),
-		ReplayedBatches: r.Counter("tempest_store_replayed_batches_total", "Batches replayed from the store into warm builders at startup."),
-		SalvagedTails: r.Counter("tempest_store_salvaged_tails_total", "Torn segment tails truncated away during crash recovery."),
-		RecoveryErrors: r.Counter("tempest_store_recovery_errors_total", "Corruption found outside the salvageable tail (history lost)."),
-		Compactions:    r.Counter("tempest_store_compactions_total", "Retention checkpoints written."),
+		Appends:          r.Counter("tempest_store_appends_total", "Batches committed to the durable store."),
+		AppendedBytes:    r.Counter("tempest_store_bytes_total", "Bytes appended to store segments, framing included."),
+		AppendErrors:     r.Counter("tempest_store_append_errors_total", "Store append failures (the owning shard degrades to memory-only)."),
+		AppendSeconds:    r.Distribution("tempest_store_append_seconds", "Durable commit latency per batch, fsync included."),
+		Syncs:            r.Counter("tempest_store_syncs_total", "fsync calls on store segment files."),
+		SyncSeconds:      r.Distribution("tempest_store_sync_seconds", "fsync latency on store segment files."),
+		Segments:         r.Counter("tempest_store_segments_total", "Store segment files opened."),
+		ReplayedBatches:  r.Counter("tempest_store_replayed_batches_total", "Batches replayed from the store into warm builders at startup."),
+		SalvagedTails:    r.Counter("tempest_store_salvaged_tails_total", "Torn segment tails truncated away during crash recovery."),
+		RecoveryErrors:   r.Counter("tempest_store_recovery_errors_total", "Corruption found outside the salvageable tail (history lost)."),
+		Compactions:      r.Counter("tempest_store_compactions_total", "Retention checkpoints written."),
 		CompactedBatches: r.Counter("tempest_store_compacted_batches_total", "Raw batches folded into checkpoint archives by retention."),
 		CompactionErrors: r.Counter("tempest_store_compaction_errors_total", "Compaction attempts abandoned with raw segments kept."),
+		RangeReads:       r.Counter("tempest_store_range_reads_total", "Historical ReadRange scans served from raw segments."),
+		RangeBatches:     r.Counter("tempest_store_range_batches_total", "Batches streamed to time-ranged query callbacks."),
 	}
 }
 

@@ -1,0 +1,206 @@
+package store_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tempest/internal/store"
+)
+
+// collectRange drains one ReadRange call, copying payloads out of the
+// scan buffers.
+func collectRange(t *testing.T, d *store.Disk, from, to int64) (prefix, in []store.Batch) {
+	t.Helper()
+	err := d.ReadRange(from, to,
+		func(b store.Batch) error {
+			b.Payload = append([]byte(nil), b.Payload...)
+			prefix = append(prefix, b)
+			return nil
+		},
+		func(b store.Batch) error {
+			b.Payload = append([]byte(nil), b.Payload...)
+			in = append(in, b)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ReadRange: %v", err)
+	}
+	return prefix, in
+}
+
+// TestDiskWindowsAndReadRange pins the historical read path's core
+// contracts: Windows lists every raw segment (active included) with its
+// observed wall bounds, and ReadRange streams exactly the half-open
+// [from, to) slice of commits, handing everything earlier to the prefix
+// callback so chunk decoders keep symbol continuity.
+func TestDiskWindowsAndReadRange(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	opts := store.Options{Now: clk.now, Logger: quietLogger(), Window: 3 * time.Second}
+	d, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Ten commits one second apart: with a 3s segment window they land in
+	// several segments, the last still active.
+	var walls []int64
+	for i := 0; i < 10; i++ {
+		b := testBatch(1, uint64(i), clk.t, fmt.Sprintf("p%02d", i))
+		if err := d.Append(b); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		walls = append(walls, b.WallNano)
+		clk.advance(time.Second)
+	}
+
+	wins := d.Windows()
+	if len(wins) < 2 {
+		t.Fatalf("10 commits over a 3s window produced %d segment windows, want several: %+v", len(wins), wins)
+	}
+	total := 0
+	var prevLast int64
+	for i, w := range wins {
+		if w.Batches <= 0 || w.FirstWall > w.LastWall {
+			t.Errorf("window %d malformed: %+v", i, w)
+		}
+		if w.FirstWall < prevLast {
+			t.Errorf("window %d overlaps its predecessor: %+v", i, wins)
+		}
+		prevLast = w.LastWall
+		if got := w.Active; got != (i == len(wins)-1) {
+			t.Errorf("window %d Active = %v, want only the last active: %+v", i, got, wins)
+		}
+		total += w.Batches
+	}
+	if total != len(walls) {
+		t.Fatalf("windows cover %d batches, want %d", total, len(walls))
+	}
+	if wins[0].FirstWall != walls[0] || wins[len(wins)-1].LastWall != walls[len(walls)-1] {
+		t.Fatalf("window bounds %d..%d, want %d..%d",
+			wins[0].FirstWall, wins[len(wins)-1].LastWall, walls[0], walls[len(walls)-1])
+	}
+
+	// [walls[3], walls[7]) must stream exactly commits 3..6, with 0..2 as
+	// prefix — the bound at to is excluded, the bound at from included.
+	prefix, in := collectRange(t, d, walls[3], walls[7])
+	if len(prefix) != 3 {
+		t.Fatalf("prefix saw %d batches, want 3: %+v", len(prefix), prefix)
+	}
+	if len(in) != 4 {
+		t.Fatalf("range saw %d batches, want 4: %+v", len(in), in)
+	}
+	for i, b := range in {
+		if want := fmt.Sprintf("p%02d", i+3); string(b.Payload) != want {
+			t.Errorf("range batch %d payload %q, want %q", i, b.Payload, want)
+		}
+	}
+
+	// A range past all history is empty; one covering everything streams
+	// every commit including the active segment's.
+	if _, in := collectRange(t, d, walls[9]+1, walls[9]+1000); len(in) != 0 {
+		t.Errorf("range past history returned %d batches", len(in))
+	}
+	if _, in := collectRange(t, d, 0, walls[9]+1); len(in) != len(walls) {
+		t.Errorf("full range returned %d batches, want %d", len(in), len(walls))
+	}
+
+	// Reversed and empty ranges are no-ops, not errors.
+	if _, in := collectRange(t, d, walls[7], walls[3]); len(in) != 0 {
+		t.Errorf("reversed range returned %d batches", len(in))
+	}
+	if _, in := collectRange(t, d, walls[3], walls[3]); len(in) != 0 {
+		t.Errorf("empty range returned %d batches", len(in))
+	}
+}
+
+// countingCompactor records how many batches each compaction pass folded
+// and stores the running total as the archive blob.
+func countingCompactor(total *int) store.Compactor {
+	return func(prev []byte, batches []store.Batch) ([]byte, error) {
+		*total += len(batches)
+		return json.Marshal(*total)
+	}
+}
+
+// TestRetentionCutoffBoundary pins the keep-vs-fold decision at the
+// retention edge (DESIGN.md §12): a segment whose last commit lands
+// exactly on now-Retention is the oldest instant still inside the
+// retained window and must stay raw; one nanosecond older folds. Without
+// the strict inequality the edge window would answer at folded
+// granularity from one query and raw granularity from the next.
+func TestRetentionCutoffBoundary(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	var folded int
+	opts := store.Options{
+		Now:       clk.now,
+		Logger:    quietLogger(),
+		Window:    time.Minute,
+		Retention: 5 * time.Minute,
+		Compact:   countingCompactor(&folded),
+	}
+	d, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := clk.t
+	if err := d.Append(testBatch(1, 0, t0, "edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with now exactly at lastWall+Retention: cutoff == lastWall,
+	// the segment is the newest instant inside the window — kept raw.
+	clk.t = t0.Add(5 * time.Minute)
+	d, err = store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Fatalf("segment ending exactly at the cutoff was folded (%d batches)", folded)
+	}
+	if ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(ckpts) != 0 {
+		t.Fatalf("checkpoint written at the exact cutoff: %v", ckpts)
+	}
+	if got := d.CompactGen(); got != 0 {
+		t.Fatalf("CompactGen = %d after a no-op pass, want 0", got)
+	}
+	if _, batches := replayAll(t, d); len(batches) != 1 {
+		t.Fatalf("raw history shrank at the exact cutoff: %d batches", len(batches))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One nanosecond later the segment is strictly older than the
+	// retained window and folds.
+	clk.t = t0.Add(5*time.Minute + time.Nanosecond)
+	d, err = store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if folded != 1 {
+		t.Fatalf("compactor folded %d batches past the cutoff, want 1", folded)
+	}
+	if ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(ckpts) == 0 {
+		t.Fatal("no checkpoint written past the cutoff")
+	}
+	if got := d.CompactGen(); got != 1 {
+		t.Fatalf("CompactGen = %d after one compaction, want 1", got)
+	}
+	archive, batches := replayAll(t, d)
+	if len(batches) != 0 {
+		t.Fatalf("folded batches still replay raw: %d", len(batches))
+	}
+	if string(archive) != "1" {
+		t.Fatalf("archive blob %q, want \"1\"", archive)
+	}
+}

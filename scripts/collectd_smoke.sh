@@ -14,6 +14,9 @@
 #   * after a SIGTERM the durable store (-store-dir) must pass
 #     -verify-store, and a restarted collector on the same directory must
 #     replay the history and serve the identical hotspots golden
+#   * the time-ranged surface (/api/windows/{node}, /api/series with
+#     from/to, /api/hotspots?window=) must answer from the replayed
+#     store, agree with the live answers, and reject malformed ranges
 #
 # Run `make collectd-smoke UPDATE_GOLDEN=1` after intentionally changing
 # the hotspot computation or response shape to regenerate the golden.
@@ -139,5 +142,50 @@ curl -fsS "http://$HTTP/healthz" | grep -qx ok
 curl -fsS "http://$HTTP/api/hotspots?k=5" >"$workdir/hotspots-replayed.json"
 diff -u "$golden" "$workdir/hotspots-replayed.json"
 echo "    replayed history matches golden"
+
+echo "==> checking time-ranged queries against the replayed store"
+curl -fsS "http://$HTTP/api/windows/1" >"$workdir/windows.json"
+grep -q '"durable": true' "$workdir/windows.json" || {
+    echo "/api/windows/1 does not report a durable store:"
+    cat "$workdir/windows.json"
+    exit 1
+}
+grep -q '"windows"' "$workdir/windows.json" || {
+    echo "/api/windows/1 lists no windows:"
+    cat "$workdir/windows.json"
+    exit 1
+}
+echo "    /api/windows/1 lists durable history"
+
+# A range covering all of history must reproduce the live series rows
+# exactly; only the leading # comments (window bounds) may differ.
+wide="from=1970-01-01T00:00:00Z&to=2100-01-01T00:00:00Z"
+curl -fsS "http://$HTTP/api/series/1" | grep -v '^#' >"$workdir/series-live.csv"
+curl -fsS "http://$HTTP/api/series/1?$wide" | grep -v '^#' >"$workdir/series-ranged.csv"
+diff -u "$workdir/series-live.csv" "$workdir/series-ranged.csv"
+echo "    full-range series matches live series"
+
+# A window wide enough to cover everything must reproduce the hotspot
+# golden, modulo the echoed "window" field.
+curl -fsS "http://$HTTP/api/hotspots?k=5&window=876000h" \
+    | grep -v '"window"' >"$workdir/hotspots-window.json"
+grep -v '"window"' "$golden" >"$workdir/hotspots-golden-nowindow.json"
+diff -u "$workdir/hotspots-golden-nowindow.json" "$workdir/hotspots-window.json"
+echo "    windowed hotspots match golden"
+
+echo "==> checking malformed ranges are rejected"
+code=$(curl -sS -o /dev/null -w '%{http_code}' \
+    "http://$HTTP/api/series/1?from=2100-01-01T00:00:00Z&to=1970-01-01T00:00:00Z")
+if [ "$code" != "400" ]; then
+    echo "reversed range returned HTTP $code, want 400"
+    exit 1
+fi
+echo "    reversed range -> 400"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$HTTP/api/hotspots?window=nope")
+if [ "$code" != "400" ]; then
+    echo "bad window returned HTTP $code, want 400"
+    exit 1
+fi
+echo "    window=nope -> 400"
 
 echo "==> collectd smoke OK"
